@@ -1,0 +1,63 @@
+// Experiment E14 — §3.5 ablation: a small fast-memory cache in front of the
+// clues hash table. With heavy-tailed (Zipf) destination popularity, a cache
+// of a few hundred entries absorbs most probes, taking the average DRAM cost
+// per packet *below* one access.
+#include "bench_util.h"
+
+int main() {
+  using namespace cluert;
+  const double scale = bench::benchScale();
+  const auto set = rib::makePaperSnapshots(/*seed=*/1999, scale);
+  const auto& sender = set.byName("MAE-East");
+  const auto& receiver = set.byName("MAE-West");
+  const auto t1 = sender.buildTrie();
+  const auto t2 = receiver.buildTrie();
+
+  Rng rng(515);
+  const auto dests = bench::paperDestinations(sender, t1, t2, rng,
+                                              bench::benchDestinations());
+  mem::AccessCounter scratch;
+  std::vector<core::ClueField> clues(dests.size());
+  for (std::size_t i = 0; i < dests.size(); ++i) {
+    const auto bmp = t1.lookup(dests[i], scratch);
+    clues[i] = bmp ? core::ClueField::of(bmp->prefix.length())
+                   : core::ClueField::none();
+  }
+  // Zipf-weighted replay: a few destinations carry most of the traffic.
+  ZipfSampler zipf(dests.size(), 1.1);
+  std::vector<std::size_t> replay(dests.size() * 4);
+  for (auto& r : replay) r = zipf.sample(rng);
+
+  std::printf("Sec. 3.5: clue-entry cache (MAE-East -> MAE-West, Zipf 1.1 "
+              "popularity, %zu packets)\n\n", replay.size());
+  std::printf("%14s %12s %16s\n", "Cache entries", "Hit rate",
+              "DRAM acc/packet");
+
+  const auto clue_universe = sender.prefixes();
+  for (const std::size_t cache : {0u, 64u, 256u, 1024u, 4096u, 16384u}) {
+    lookup::LookupSuite<bench::A> suite(
+        {receiver.entries().begin(), receiver.entries().end()});
+    typename core::CluePort<bench::A>::Options opt;
+    opt.method = lookup::Method::kPatricia;
+    opt.mode = lookup::ClueMode::kAdvance;
+    opt.learn = false;
+    opt.expected_clues = clue_universe.size() + 16;
+    opt.cache_entries = cache;
+    core::CluePort<bench::A> port(suite, &t1, opt);
+    port.precompute(clue_universe);
+
+    mem::AccessCounter acc;
+    for (const std::size_t i : replay) {
+      port.process(dests[i], clues[i], acc);
+    }
+    std::printf("%14zu %11.1f%% %16.3f\n", cache,
+                100.0 * port.cache().stats().hitRate(),
+                static_cast<double>(acc.total()) /
+                    static_cast<double>(replay.size()));
+  }
+  std::printf(
+      "\nShape check: hit rate climbs with cache size (the paper cites 90%%\n"
+      "lookup-cache hit rates [16, 18]); the cached clue table drives DRAM\n"
+      "references per packet below the 1-access floor.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Experiment E11 — §3.3 ablation: the three clue-table construction
+// strategies. Pre-processing (built with the routing tables), learning a
+// hash table on the fly, and the 16-bit indexing technique (no hash
+// function, one access, 16 extra header bits). Reports cold-start cost,
+// warm cost and hit rates.
+#include "bench_util.h"
+
+int main() {
+  using namespace cluert;
+  const double scale = bench::benchScale();
+  const auto set = rib::makePaperSnapshots(/*seed=*/1999, scale);
+  const auto& sender = set.byName("AT&T-1");
+  const auto& receiver = set.byName("AT&T-2");
+  const auto t1 = sender.buildTrie();
+  const auto t2 = receiver.buildTrie();
+
+  Rng rng(8128);
+  const auto dests = bench::paperDestinations(sender, t1, t2, rng,
+                                              bench::benchDestinations());
+  mem::AccessCounter scratch;
+  std::vector<trie::Match<bench::A>> bmps(dests.size());
+  for (std::size_t i = 0; i < dests.size(); ++i) {
+    bmps[i] = *t1.lookup(dests[i], scratch);
+  }
+
+  std::printf("Sec. 3.3 ablation: clue table construction strategies\n");
+  std::printf("(AT&T-1 -> AT&T-2, %zu packets, Advance+Patricia)\n\n",
+              dests.size());
+  std::printf("%-26s %12s %12s %10s\n", "Strategy", "cold acc/pkt",
+              "warm acc/pkt", "warm hits");
+
+  const auto run = [&](bool indexed, bool precomputed, const char* label) {
+    lookup::LookupSuite<bench::A> suite(
+        {receiver.entries().begin(), receiver.entries().end()});
+    typename core::CluePort<bench::A>::Options opt;
+    opt.method = lookup::Method::kPatricia;
+    opt.mode = lookup::ClueMode::kAdvance;
+    opt.indexed = indexed;
+    opt.learn = !precomputed;
+    opt.expected_clues = sender.size() + 16;
+    core::CluePort<bench::A> port(suite, &t1, opt);
+    core::ClueIndexer<bench::A> indexer;
+    if (precomputed) {
+      const auto clues = sender.prefixes();
+      if (indexed) {
+        port.precomputeIndexed(clues, indexer);
+      } else {
+        port.precompute(clues);
+      }
+    }
+    const auto fieldOf = [&](const trie::Match<bench::A>& bmp) {
+      if (!indexed) return core::ClueField::of(bmp.prefix.length());
+      const auto idx = indexer.indexOf(bmp.prefix);
+      return idx ? core::ClueField::indexed(bmp.prefix.length(), *idx)
+                 : core::ClueField::of(bmp.prefix.length());
+    };
+    mem::AccessCounter cold;
+    for (std::size_t i = 0; i < dests.size(); ++i) {
+      port.process(dests[i], fieldOf(bmps[i]), cold);
+    }
+    port.resetStats();
+    mem::AccessCounter warm;
+    for (std::size_t i = 0; i < dests.size(); ++i) {
+      port.process(dests[i], fieldOf(bmps[i]), warm);
+    }
+    const double n = static_cast<double>(dests.size());
+    std::printf("%-26s %12.3f %12.3f %9.1f%%\n", label,
+                static_cast<double>(cold.total()) / n,
+                static_cast<double>(warm.total()) / n,
+                100.0 * static_cast<double>(port.stats().table_hits) / n);
+  };
+
+  run(false, true, "pre-processing (3.3.2)");
+  run(false, false, "learned hash (3.3.1)");
+  run(true, false, "learned indexed (3.3.1)");
+  run(true, true, "pre-indexed (3.3.1+3.3.2)");
+
+  std::printf(
+      "\nShape check: pre-processing has no cold-start penalty; learning\n"
+      "converges to the same warm cost; the indexing technique trades 16\n"
+      "header bits for exactly-one-probe table access (no hash chain).\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Experiment E8 — §5.4 load balancing: import the receiver's more-specifics
+// into the sender so that every clue satisfies Claim 1, turning the receiver
+// into a one-memory-reference-per-packet router (TAG-switching speed without
+// label swapping).
+#include "core/shaping.h"
+
+#include "bench_util.h"
+
+int main() {
+  using namespace cluert;
+  const double scale = bench::benchScale();
+  const auto set = rib::makePaperSnapshots(/*seed=*/1999, scale);
+  const auto& sender_fib = set.byName("ISP-B-1");
+  const auto& receiver_fib = set.byName("ISP-B-2");
+
+  auto t1 = sender_fib.buildTrie();
+  const auto t2 = receiver_fib.buildTrie();
+
+  const auto measure = [&](const trie::BinaryTrie4& sender_trie,
+                           const char* label) {
+    std::vector<ip::Prefix4> clues;
+    sender_trie.forEachPrefix(
+        [&](const ip::Prefix4& p, NextHop) { clues.push_back(p); });
+    const std::size_t bad = core::countProblematicClues(sender_trie, t2, clues);
+
+    // Receiver-side cost with Advance+Patricia over the shaped clue set.
+    // The indexed table (§3.3.1) makes every probe exactly one access, so
+    // the "one memory reference per packet" claim is visible without hash
+    // collision noise.
+    lookup::LookupSuite<bench::A> suite(
+        {receiver_fib.entries().begin(), receiver_fib.entries().end()});
+    typename core::CluePort<bench::A>::Options opt;
+    opt.method = lookup::Method::kPatricia;
+    opt.mode = lookup::ClueMode::kAdvance;
+    opt.learn = false;
+    opt.indexed = true;
+    opt.indexed_capacity = clues.size() + 16;
+    opt.expected_clues = clues.size() + 16;
+    core::CluePort<bench::A> port(suite, &sender_trie, opt);
+    core::ClueIndexer<bench::A> indexer;
+    port.precomputeIndexed(clues, indexer);
+
+    Rng rng(31415);
+    rib::Fib4 sender_as_fib;  // clue universe as a Fib for dest sampling
+    sender_trie.forEachPrefix([&](const ip::Prefix4& p, NextHop nh) {
+      sender_as_fib.add(p, nh);
+    });
+    const auto dests = bench::paperDestinations(
+        sender_as_fib, sender_trie, t2, rng, bench::benchDestinations() / 2);
+    mem::AccessCounter scratch, acc;
+    std::size_t n = 0;
+    for (const auto& dest : dests) {
+      const auto bmp = sender_trie.lookup(dest, scratch);
+      if (!bmp) continue;
+      const auto idx = indexer.indexOf(bmp->prefix);
+      const auto field =
+          idx ? core::ClueField::indexed(bmp->prefix.length(), *idx)
+              : core::ClueField::of(bmp->prefix.length());
+      port.process(dest, field, acc);
+      ++n;
+    }
+    std::printf("%-28s %10zu clues %8zu problematic %12.3f acc/pkt\n", label,
+                clues.size(), bad,
+                static_cast<double>(acc.total()) / static_cast<double>(n));
+    return bad;
+  };
+
+  std::printf("Sec. 5.4: work shaping between ISP-B-1 (sender) and ISP-B-2 "
+              "(receiver, scale %.2f)\n\n", scale);
+  measure(t1, "before import");
+  const std::size_t imported = core::applyZeroWorkImport(t1, t2);
+  std::printf("%-28s %10zu prefixes imported into the sender\n", "import",
+              imported);
+  const std::size_t after = measure(t1, "after import");
+  std::printf(
+      "\nAfter the import every clue satisfies Claim 1 (%zu problematic):\n"
+      "the backbone receiver runs at exactly one memory reference per\n"
+      "packet, as Sec. 5.4 promises.\n",
+      after);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Experiment E7 — §5.1 and Figure 8: MPLS / Tag-switching vs distributed IP
+// lookup at aggregation points, and the clue-integrated MPLS hybrid.
+//
+// Scenario: a downstream router R4 holds prefixes extending the FEC bound to
+// an incoming label (Figure 8's aggregation point). Plain MPLS must do a
+// full IP lookup there; clue-integrated MPLS (§5.1) uses the label as an
+// index into the clue table and continues from the FEC-as-clue.
+#include "mpls/mpls_network.h"
+
+#include "bench_util.h"
+
+int main() {
+  using namespace cluert;
+  const double scale = bench::benchScale();
+  const auto set = rib::makePaperSnapshots(/*seed=*/1999, scale);
+  const auto& upstream_fib = set.byName("AT&T-1");
+  const auto& local_fib = set.byName("AT&T-2");
+  const auto upstream = upstream_fib.buildTrie();
+
+  mpls::MplsRouter4 plain(0, local_fib, {});
+  mpls::MplsRouter4::Options copt;
+  copt.clue_integrated = true;
+  mpls::MplsRouter4 clued(1, local_fib, copt);
+  clued.integrateClues(upstream);
+
+  Rng rng(2718);
+  const auto t2 = local_fib.buildTrie();
+  const auto dests = bench::paperDestinations(upstream_fib, upstream, t2, rng,
+                                              bench::benchDestinations());
+
+  mem::AccessCounter scratch;
+  mem::AccessCounter plain_acc, clued_acc;
+  std::size_t labelled = 0, agg_hits = 0;
+  for (const auto& dest : dests) {
+    const auto fec = upstream.lookup(dest, scratch);
+    if (!fec) continue;
+    const auto lp = plain.labelFor(fec->prefix);
+    const auto lc = clued.labelFor(fec->prefix);
+    if (lp == mpls::kNoLabel || lc == mpls::kNoLabel) continue;
+    ++labelled;
+    const auto dp = plain.forward(lp, dest, plain_acc);
+    clued.forward(lc, dest, clued_acc);
+    if (dp.did_full_lookup) ++agg_hits;
+  }
+
+  std::printf("Sec. 5.1 / Figure 8: MPLS at aggregation points\n");
+  std::printf("(AT&T-1 labels arriving at AT&T-2; %zu labelled packets, "
+              "%zu hit aggregation points)\n\n",
+              labelled, agg_hits);
+  const double n = static_cast<double>(labelled);
+  std::printf("%-34s %10.3f accesses/packet\n",
+              "Plain MPLS (full lookup at agg.)",
+              static_cast<double>(plain_acc.total()) / n);
+  std::printf("%-34s %10.3f accesses/packet\n",
+              "Clue-integrated MPLS (Sec. 5.1)",
+              static_cast<double>(clued_acc.total()) / n);
+
+  // The Figure 8 micro-scenario itself.
+  using MatchT = bench::MatchT;
+  const auto p = [](const char* t) { return *ip::Prefix4::parse(t); };
+  rib::Fib4 r4_fib({MatchT{p("10.0.0.0/24"), 1}, MatchT{p("10.0.0.0/25"), 2},
+                    MatchT{p("10.0.0.128/26"), 3}});
+  rib::Fib4 r3_fib({MatchT{p("10.0.0.0/24"), 1}});
+  mpls::MplsRouter4 r4_plain(4, r4_fib, {});
+  mpls::MplsRouter4::Options o2;
+  o2.clue_integrated = true;
+  mpls::MplsRouter4 r4_clued(5, r4_fib, o2);
+  r4_clued.integrateClues(r3_fib.buildTrie());
+
+  mem::AccessCounter a1, a2;
+  r4_plain.forward(r4_plain.labelFor(p("10.0.0.0/24")),
+                   *ip::Ip4Addr::parse("10.0.0.42"), a1);
+  r4_clued.forward(r4_clued.labelFor(p("10.0.0.0/24")),
+                   *ip::Ip4Addr::parse("10.0.0.42"), a2);
+  std::printf(
+      "\nFigure 8 micro-scenario (label bound to 10.0.0.0/24 at R4, which\n"
+      "holds /25 and /26 extensions):\n");
+  std::printf("  plain MPLS:           %llu accesses\n",
+              static_cast<unsigned long long>(a1.total()));
+  std::printf("  clue-integrated MPLS: %llu accesses\n",
+              static_cast<unsigned long long>(a2.total()));
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Experiment E18 — the §3 similarity story, emergent from a BGP-flavoured
+// protocol: how border aggregation and information-hiding export policies
+// create exactly the neighbor-table dissimilarities that make clues
+// problematic, and what each costs the clue scheme.
+//
+// Topology: a backbone chain of ASes; stub ASes hang off each backbone
+// router and originate address blocks (optionally aggregated at their
+// border). We sweep (a) the fraction of stubs that aggregate and (b) the
+// fraction of prefixes a backbone router hides from its neighbor, and
+// report table similarity, problematic clues, and receiver accesses/packet
+// (Advance+Patricia).
+#include "core/distributed_lookup.h"
+#include "core/shaping.h"
+#include "proto/path_vector.h"
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace cluert;
+using A = ip::Ip4Addr;
+using MatchT = trie::Match<A>;
+
+struct Outcome {
+  double overlap;
+  std::size_t problematic;
+  std::size_t clues;
+  double accesses;
+};
+
+Outcome run(double aggregate_fraction, double hide_fraction,
+            std::uint64_t seed) {
+  Rng rng(seed);
+  proto::PathVectorSimulation sim;
+  constexpr int kBackbone = 6;
+  constexpr int kStubsPer = 3;
+  // Backbone chain.
+  for (int i = 0; i < kBackbone; ++i) sim.addRouter();
+  for (int i = 0; i + 1 < kBackbone; ++i) {
+    sim.peer(static_cast<RouterId>(i), static_cast<RouterId>(i + 1));
+  }
+  // Stubs with /12 blocks split into /16 originations. With probability
+  // `aggregate_fraction`, the *backbone* router aggregates its region at
+  // its border (§3: stubs are internal to the backbone router's domain;
+  // specifics stay inside, the /12 goes out).
+  std::uint32_t next_block = 16;  // first octet of the next /12 family
+  for (int b = 0; b < kBackbone; ++b) {
+    const bool aggregate_region = rng.chance(aggregate_fraction);
+    for (int s = 0; s < kStubsPer; ++s) {
+      const RouterId stub = sim.addRouter();
+      sim.peer(static_cast<RouterId>(b), stub);
+      const ip::Prefix4 block(ip::Ip4Addr(next_block << 24), 12);
+      ++next_block;
+      for (unsigned k = 0; k < 8; ++k) {
+        sim.node(stub).originate(
+            ip::Prefix4(ip::Ip4Addr((block.addr().value()) |
+                                    (k << 16)),
+                        16));
+      }
+      if (aggregate_region) {
+        sim.node(static_cast<RouterId>(b)).setInternalPeer(stub);
+        sim.node(static_cast<RouterId>(b)).addAggregate(block);
+      }
+    }
+  }
+  // Information hiding between backbone routers 2 and 3 (our clue pair):
+  // router 3 hides a fraction of prefixes from router 2.
+  Rng hide_rng(seed + 1);
+  sim.node(3).setExportFilter([&, hide_fraction](const ip::Prefix4& p,
+                                                 RouterId to) mutable {
+    if (to != 2) return true;
+    // Deterministic per-prefix decision.
+    Rng local(std::hash<ip::Prefix4>{}(p) ^ seed);
+    (void)hide_rng;
+    return !local.chance(hide_fraction);
+  });
+  sim.converge();
+
+  // Clue pair: backbone 2 (sender) -> backbone 3 (receiver).
+  const auto sender_fib = sim.fib(2);
+  const auto receiver_fib = sim.fib(3);
+  const auto t1 = sender_fib.buildTrie();
+  const auto t2 = receiver_fib.buildTrie();
+  Outcome out{};
+  out.overlap = static_cast<double>(sender_fib.intersectionSize(receiver_fib)) /
+                static_cast<double>(std::min(sender_fib.size(),
+                                             receiver_fib.size()));
+  const auto clues = sender_fib.prefixes();
+  out.clues = clues.size();
+  out.problematic = core::countProblematicClues(t1, t2, clues);
+
+  lookup::LookupSuite<A> suite(std::vector<MatchT>(
+      receiver_fib.entries().begin(), receiver_fib.entries().end()));
+  typename core::CluePort<A>::Options opt;
+  opt.method = lookup::Method::kPatricia;
+  opt.mode = lookup::ClueMode::kAdvance;
+  opt.learn = false;
+  opt.expected_clues = clues.size() + 16;
+  core::CluePort<A> port(suite, &t1, opt);
+  port.precompute(clues);
+
+  mem::AccessCounter scratch, acc;
+  std::size_t n = 0;
+  Rng traffic(seed + 2);
+  for (int i = 0; i < 4000; ++i) {
+    const auto& p = clues[traffic.index(clues.size())];
+    ip::Ip4Addr dest = p.addr();
+    for (int b = p.length(); b < 32; ++b) {
+      dest = dest.withBit(b, static_cast<unsigned>(traffic.u32() & 1));
+    }
+    const auto bmp = t1.lookup(dest, scratch);
+    if (!bmp) continue;
+    port.process(dest, core::ClueField::of(bmp->prefix.length()), acc);
+    ++n;
+  }
+  out.accesses = static_cast<double>(acc.total()) / static_cast<double>(n);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Sec. 3: what makes neighbor tables dissimilar — border\n"
+              "aggregation and information-hiding policies (backbone pair\n"
+              "2 -> 3, Advance+Patricia)\n\n");
+  std::printf("%-12s %-10s %9s %13s %9s %12s\n", "Aggregating", "Hidden",
+              "Overlap", "Problematic", "Clues", "acc/packet");
+  for (const double agg : {0.0, 0.5, 1.0}) {
+    for (const double hide : {0.0, 0.1, 0.3}) {
+      const auto o = run(agg, hide, 99);
+      std::printf("%10.0f%% %8.0f%% %8.1f%% %13zu %9zu %12.3f\n", agg * 100,
+                  hide * 100, o.overlap * 100, o.problematic, o.clues,
+                  o.accesses);
+    }
+  }
+  std::printf(
+      "\nShape check (Sec. 3): with no aggregation the backbone tables\n"
+      "coincide and Claim 1 holds everywhere. When the receiver's region\n"
+      "aggregates at its border, the receiver keeps more-specifics the\n"
+      "sender never saw — each aggregated block turns its clue problematic\n"
+      "(the Figure 8 situation), costing a short continued search for\n"
+      "destinations in that region. Hiding shrinks the sender's clue set\n"
+      "but does not break anything.\n");
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Experiment E3 — reproduces §6 Table 3: "The total number of prefixes of
+// one router that also appear in the other (i.e., the intersection size)."
+#include "bench_util.h"
+
+int main() {
+  using namespace cluert;
+  const double scale = bench::benchScale();
+  const auto set = rib::makePaperSnapshots(/*seed=*/1999, scale);
+
+  std::printf("Table 3: pairwise intersection sizes (scale %.2f)\n", scale);
+  std::printf("%-10s %-10s %14s %12s\n", "Router A", "Router B",
+              "Intersection", "Paper");
+  const std::size_t paper[5] = {23'382, 5'899, 5'814, 23'381, 55'540};
+  std::size_t i = 0;
+  for (const auto& pair : rib::intersectionPairs()) {
+    const auto& a = set.byName(pair.sender);
+    const auto& b = set.byName(pair.receiver);
+    std::printf("%-10s %-10s %14zu %12.0f\n",
+                std::string(pair.sender).c_str(),
+                std::string(pair.receiver).c_str(), a.intersectionSize(b),
+                static_cast<double>(paper[i++]) * scale);
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Experiment E4 — reproduces §6 Tables 4-9: the average number of memory
+// accesses per lookup at the receiving router, for 10,000 destinations per
+// router pair, across the 15 combinations {Common, Simple, Advance} x
+// {Regular, Patricia, Binary, 6-way, LogW}.
+//
+// Expected shape (§6): Advance ~= 1.0-1.1 for every base method (near the
+// one-access floor, like TAG-switching); Simple ~10x better than the common
+// methods; Advance+trie/Patricia ~22x better than the common trie and ~3.5x
+// better than common LogW.
+#include "common/stats.h"
+
+#include "bench_util.h"
+
+namespace {
+
+// Per-packet distribution for one cell (mode x method) of one pair — the
+// averages hide that the vast majority of packets are exactly one access.
+void printDistribution(const cluert::rib::Fib4& sender,
+                       const cluert::rib::Fib4& receiver) {
+  using namespace cluert;
+  const auto t1 = sender.buildTrie();
+  lookup::LookupSuite<bench::A> suite(
+      {receiver.entries().begin(), receiver.entries().end()});
+  typename core::CluePort<bench::A>::Options opt;
+  opt.method = lookup::Method::kPatricia;
+  opt.mode = lookup::ClueMode::kAdvance;
+  opt.learn = false;
+  const auto clues = sender.prefixes();
+  opt.expected_clues = clues.size() + 16;
+  core::CluePort<bench::A> port(suite, &t1, opt);
+  port.precompute(clues);
+
+  Rng rng(9009);
+  const auto t2 = receiver.buildTrie();
+  const auto dests = bench::paperDestinations(sender, t1, t2, rng, 5'000);
+  mem::AccessCounter scratch;
+  Summary per_packet;
+  mem::AccessCounter acc;
+  for (const auto& d : dests) {
+    const auto bmp = t1.lookup(d, scratch);
+    const auto field = bmp ? core::ClueField::of(bmp->prefix.length())
+                           : core::ClueField::none();
+    const std::uint64_t before = acc.total();
+    port.process(d, field, acc);
+    per_packet.add(static_cast<double>(acc.total() - before));
+  }
+  std::printf(
+      "\n== Per-packet distribution, Advance+Patricia, AT&T-1 -> AT&T-2 ==\n"
+      "mean %.3f | min %.0f | p50 %.0f | p99 %.0f | max %.0f | "
+      "exactly-1-access packets %.1f%%\n",
+      per_packet.mean(), per_packet.min(), per_packet.percentile(50),
+      per_packet.percentile(99), per_packet.max(),
+      100.0 * per_packet.fractionAtMost(1.0));
+}
+
+}  // namespace
+
+int main() {
+  using namespace cluert;
+  const double scale = bench::benchScale();
+  const std::size_t n_dests = bench::benchDestinations();
+  const auto set = rib::makePaperSnapshots(/*seed=*/1999, scale);
+
+  std::printf(
+      "Tables 4-9: average memory accesses per lookup at the receiver\n"
+      "(scale %.2f, %zu destinations per pair, paper methodology of Sec. "
+      "6)\n",
+      scale, n_dests);
+
+  double advance_patricia_sum = 0;
+  double common_regular_sum = 0;
+  double common_logw_sum = 0;
+  double simple_patricia_sum = 0;
+  std::size_t pairs = 0;
+
+  for (const auto& pair : rib::paperPairs()) {
+    const auto& sender = set.byName(pair.sender);
+    const auto& receiver = set.byName(pair.receiver);
+    const auto t1 = sender.buildTrie();
+    const auto t2 = receiver.buildTrie();
+    Rng rng(4711 + pairs);
+    const auto dests =
+        bench::paperDestinations(sender, t1, t2, rng, n_dests);
+    const auto result = bench::runFifteenWay(sender, receiver, dests, t1);
+    bench::printFifteenWay(std::string(pair.sender) + " -> " +
+                               std::string(pair.receiver),
+                           result);
+    common_regular_sum += result.avg[0][0];
+    common_logw_sum += result.avg[0][4];
+    simple_patricia_sum += result.avg[1][1];
+    advance_patricia_sum += result.avg[2][1];
+    ++pairs;
+  }
+
+  const double n = static_cast<double>(pairs);
+  std::printf("\n== Headline ratios (averaged over %zu pairs) ==\n", pairs);
+  std::printf("Advance+Patricia avg accesses:        %.3f  (paper: ~1.0-1.05)\n",
+              advance_patricia_sum / n);
+  std::printf("Common Regular / Advance+Patricia:    %.1fx (paper: ~22x)\n",
+              common_regular_sum / advance_patricia_sum);
+  std::printf("Common LogW / Advance+Patricia:       %.1fx (paper: ~3.5x)\n",
+              common_logw_sum / advance_patricia_sum);
+  std::printf("Common Regular / Simple+Patricia:     %.1fx (paper: ~10x)\n",
+              common_regular_sum / simple_patricia_sum);
+
+  printDistribution(set.byName("AT&T-1"), set.byName("AT&T-2"));
+  return 0;
+}

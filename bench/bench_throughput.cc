@@ -1,0 +1,99 @@
+// Experiment E12 — supplementary wall-clock throughput of the 15 method
+// combinations (google-benchmark). The paper's metric is memory references;
+// this binary confirms the ordering also holds for modern-CPU wall time.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace cluert;
+using bench::A;
+
+struct Workbench {
+  rib::Fib4 sender;
+  rib::Fib4 receiver;
+  trie::BinaryTrie4 t1;
+  std::unique_ptr<lookup::LookupSuite<A>> suite;
+  std::vector<A> dests;
+  std::vector<core::ClueField> clues;
+
+  Workbench() {
+    Rng rng(12345);
+    rib::GenOptions<A> gopt;
+    gopt.size = 20'000;
+    gopt.histogram = rib::internetLengths1999();
+    gopt.subprefix_fraction = 0.2;
+    sender = rib::TableGen<A>::generate(rng, gopt);
+    rib::NeighborOptions<A> nopt;
+    nopt.shared = 18'000;
+    nopt.fresh = 500;
+    nopt.fresh_extension_fraction = 0.3;
+    receiver = rib::TableGen<A>::deriveNeighbor(sender, rng, nopt);
+    for (const auto& e : sender.entries()) t1.insert(e.prefix, e.next_hop);
+    suite = std::make_unique<lookup::LookupSuite<A>>(
+        std::vector<trie::Match<A>>(receiver.entries().begin(),
+                                    receiver.entries().end()));
+    const auto t2 = receiver.buildTrie();
+    dests = bench::paperDestinations(sender, t1, t2, rng, 4'096);
+    mem::AccessCounter scratch;
+    clues.reserve(dests.size());
+    for (const auto& d : dests) {
+      const auto bmp = t1.lookup(d, scratch);
+      clues.push_back(bmp ? core::ClueField::of(bmp->prefix.length())
+                          : core::ClueField::none());
+    }
+  }
+};
+
+Workbench& workbench() {
+  static Workbench wb;
+  return wb;
+}
+
+void BM_Common(benchmark::State& state) {
+  auto& wb = workbench();
+  const auto method = static_cast<lookup::Method>(state.range(0));
+  const auto& engine = wb.suite->engine(method);
+  mem::AccessCounter acc;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.lookup(wb.dests[i], acc));
+    i = (i + 1) % wb.dests.size();
+  }
+  state.SetLabel(std::string(lookup::methodName(method)));
+}
+
+void BM_Clued(benchmark::State& state) {
+  auto& wb = workbench();
+  const auto method = static_cast<lookup::Method>(state.range(0));
+  const auto mode = state.range(1) == 0 ? lookup::ClueMode::kSimple
+                                        : lookup::ClueMode::kAdvance;
+  lookup::LookupSuite<A> suite(std::vector<trie::Match<A>>(
+      wb.receiver.entries().begin(), wb.receiver.entries().end()));
+  typename core::CluePort<A>::Options opt;
+  opt.method = method;
+  opt.mode = mode;
+  opt.learn = false;
+  opt.expected_clues = wb.sender.size() + 16;
+  core::CluePort<A> port(suite, &wb.t1, opt);
+  const auto clues = wb.sender.prefixes();
+  port.precompute(clues);
+  mem::AccessCounter acc;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(port.process(wb.dests[i], wb.clues[i], acc));
+    i = (i + 1) % wb.dests.size();
+  }
+  state.SetLabel(std::string(lookup::methodName(method)) + "/" +
+                 std::string(lookup::clueModeName(mode)));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Common)->DenseRange(0, 4)->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_Clued)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1}})
+    ->Unit(benchmark::kNanosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,153 @@
+// Shared machinery for the experiment binaries: the §6 methodology
+// (destination sampling, the 15-way method comparison) and table printing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/distributed_lookup.h"
+#include "rib/snapshot.h"
+
+namespace cluert::bench {
+
+using A = ip::Ip4Addr;
+using MatchT = trie::Match<A>;
+
+// §6: "A random destination is chosen, and its BMP in R1 is computed. Then
+// we verified that this BMP is a vertex in the trie of R2, and if so the
+// processing of that packet at R2 was carried out."
+//
+// Our synthetic tables cover a small slice of the 2^32 space (the 1999
+// route-server tables covered most of it), so uniform draws would rarely
+// have a BMP at all; we therefore bias destinations toward covered space —
+// the per-method *relative* costs are unaffected (documented in
+// EXPERIMENTS.md).
+inline std::vector<A> paperDestinations(const rib::Fib4& sender,
+                                        const trie::BinaryTrie4& t1,
+                                        const trie::BinaryTrie4& t2, Rng& rng,
+                                        std::size_t count) {
+  std::vector<A> out;
+  out.reserve(count);
+  mem::AccessCounter scratch;
+  const auto entries = sender.entries();
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = count * 200 + 10'000;
+  while (out.size() < count && ++attempts < max_attempts) {
+    A dest(rng.u32());
+    if (!entries.empty() && !rng.chance(0.1)) {
+      const auto& p = entries[rng.index(entries.size())].prefix;
+      dest = p.addr();
+      for (int b = p.length(); b < 32; ++b) {
+        dest = dest.withBit(b, static_cast<unsigned>(rng.u32() & 1));
+      }
+    }
+    const auto bmp = t1.lookup(dest, scratch);
+    if (!bmp) continue;
+    if (t2.findVertex(bmp->prefix) == nullptr) continue;  // §6 filter
+    out.push_back(dest);
+  }
+  return out;
+}
+
+// Average data-plane accesses for the 15 combinations of §6 Tables 4-9.
+struct FifteenWay {
+  // [mode][method]: mode 0 = Common, 1 = Simple, 2 = Advance.
+  double avg[3][5] = {};
+  std::size_t destinations = 0;
+};
+
+inline FifteenWay runFifteenWay(const rib::Fib4& sender,
+                                const rib::Fib4& receiver,
+                                const std::vector<A>& dests,
+                                const trie::BinaryTrie4& t1) {
+  FifteenWay out;
+  out.destinations = dests.size();
+  if (dests.empty()) return out;
+
+  // Precompute each destination's clue (the sender's BMP) once.
+  mem::AccessCounter scratch;
+  std::vector<core::ClueField> clues(dests.size());
+  for (std::size_t i = 0; i < dests.size(); ++i) {
+    const auto bmp = t1.lookup(dests[i], scratch);
+    clues[i] = bmp ? core::ClueField::of(bmp->prefix.length())
+                   : core::ClueField::none();
+  }
+  std::vector<ip::Prefix4> clue_universe = sender.prefixes();
+
+  // One suite serves all 15 cells: the engines are immutable, Simple ports
+  // ignore the Claim-1 bits, and the Advance annotation (neighbor index 0
+  // against t1) is idempotent. Ports are built and torn down per cell to
+  // bound peak memory on the 60k-prefix tables.
+  lookup::LookupSuite<A> suite(
+      {receiver.entries().begin(), receiver.entries().end()});
+
+  for (std::size_t mi = 0; mi < lookup::kAllMethods.size(); ++mi) {
+    const lookup::Method method = lookup::kAllMethods[mi];
+    // Common: the plain engine.
+    {
+      mem::AccessCounter acc;
+      for (const A& d : dests) suite.engine(method).lookup(d, acc);
+      out.avg[0][mi] = static_cast<double>(acc.total()) /
+                       static_cast<double>(dests.size());
+    }
+    // Simple and Advance: a precomputed clue port each.
+    for (int mode_i = 1; mode_i <= 2; ++mode_i) {
+      typename core::CluePort<A>::Options opt;
+      opt.method = method;
+      opt.mode = mode_i == 1 ? lookup::ClueMode::kSimple
+                             : lookup::ClueMode::kAdvance;
+      opt.learn = false;
+      opt.expected_clues = clue_universe.size() + 16;
+      core::CluePort<A> port(suite, &t1, opt);
+      port.precompute(clue_universe);
+      mem::AccessCounter acc;
+      for (std::size_t i = 0; i < dests.size(); ++i) {
+        port.process(dests[i], clues[i], acc);
+      }
+      out.avg[mode_i][mi] = static_cast<double>(acc.total()) /
+                            static_cast<double>(dests.size());
+    }
+  }
+  return out;
+}
+
+inline void printFifteenWay(const std::string& title, const FifteenWay& r) {
+  std::printf("\n== %s (%zu destinations) ==\n", title.c_str(),
+              r.destinations);
+  std::printf("%-10s", "Mode");
+  for (const auto m : lookup::kAllMethods) {
+    std::printf("%10s", std::string(lookup::methodName(m)).c_str());
+  }
+  std::printf("\n");
+  const char* modes[3] = {"Common", "Simple", "Advance"};
+  for (int mode = 0; mode < 3; ++mode) {
+    std::printf("%-10s", modes[mode]);
+    for (std::size_t mi = 0; mi < lookup::kAllMethods.size(); ++mi) {
+      std::printf("%10.2f", r.avg[mode][mi]);
+    }
+    std::printf("\n");
+  }
+}
+
+// Scale used by the heavyweight snapshot benches. 1.0 reproduces the paper's
+// table sizes; override with CLUERT_BENCH_SCALE for quick runs.
+inline double benchScale() {
+  if (const char* s = std::getenv("CLUERT_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0 && v <= 1.0) return v;
+  }
+  return 1.0;
+}
+
+inline std::size_t benchDestinations() {
+  if (const char* s = std::getenv("CLUERT_BENCH_DESTS")) {
+    const long v = std::atol(s);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 10'000;  // the paper's sample size
+}
+
+}  // namespace cluert::bench

@@ -1,0 +1,62 @@
+// mpls_gateway: Figure 8 / §5.1 — an MPLS aggregation point, and how the
+// clue hidden inside a topology-bound label removes its full IP lookup.
+//
+// Topology (Figure 8): upstream routers switch packets by the label bound to
+// 10.0.0.0/24. Router R4 holds longer prefixes (/25, /26) under that FEC, so
+// it must look past the label. Plain MPLS: a complete IP lookup.
+// Clue-integrated MPLS: the label IS the clue — continue from it.
+//
+//   ./build/examples/mpls_gateway
+#include <cstdio>
+
+#include "mpls/mpls_network.h"
+
+using namespace cluert;
+
+int main() {
+  using MatchT = trie::Match<ip::Ip4Addr>;
+  const auto p = [](const char* t) { return *ip::Prefix4::parse(t); };
+
+  // R3 (upstream): knows only the aggregate — it binds the label we receive.
+  rib::Fib4 r3_fib({MatchT{p("10.0.0.0/24"), 4}, MatchT{p("20.0.0.0/8"), 5}});
+  // R4 (the aggregation point of Figure 8).
+  rib::Fib4 r4_fib({
+      MatchT{p("10.0.0.0/24"), 1},
+      MatchT{p("10.0.0.0/25"), 2},
+      MatchT{p("10.0.0.128/26"), 3},
+      MatchT{p("20.0.0.0/8"), 1},
+  });
+
+  mpls::MplsRouter4 r4_plain(0, r4_fib, {});
+  mpls::MplsRouter4::Options copt;
+  copt.clue_integrated = true;
+  mpls::MplsRouter4 r4_clued(1, r4_fib, copt);
+  r4_clued.integrateClues(r3_fib.buildTrie());
+
+  const auto show = [&](const char* dest_text, const char* fec_text) {
+    const auto dest = *ip::Ip4Addr::parse(dest_text);
+    const auto fec = p(fec_text);
+    mem::AccessCounter a_plain, a_clued;
+    const auto d1 = r4_plain.forward(r4_plain.labelFor(fec), dest, a_plain);
+    const auto d2 = r4_clued.forward(r4_clued.labelFor(fec), dest, a_clued);
+    std::printf("dest %-12s label(FEC %-13s)  plain: %-18s %llu acc   "
+                "clued: %-18s %llu acc\n",
+                dest_text, fec_text,
+                d1.match ? d1.match->prefix.toString().c_str() : "-",
+                static_cast<unsigned long long>(a_plain.total()),
+                d2.match ? d2.match->prefix.toString().c_str() : "-",
+                static_cast<unsigned long long>(a_clued.total()));
+  };
+
+  std::printf("MPLS aggregation point (Figure 8) at R4:\n\n");
+  show("10.0.0.42", "10.0.0.0/24");    // falls in the /25 -> must look past
+  show("10.0.0.150", "10.0.0.0/24");   // falls in the /26
+  show("10.0.0.200", "10.0.0.0/24");   // matches only the /24 itself
+  show("20.7.7.7", "20.0.0.0/8");      // leaf FEC: pure label switch, 1 acc
+
+  std::printf(
+      "\nBoth variants route identically; the clue-integrated router avoids\n"
+      "the full IP lookup at the aggregation point (Sec. 5.1). Leaf FECs are\n"
+      "switched in exactly one label-table reference either way.\n");
+  return 0;
+}

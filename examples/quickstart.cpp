@@ -1,0 +1,80 @@
+// Quickstart: two neighboring routers, one clue.
+//
+// Router R1 forwards a packet to router R2 and piggybacks a *clue* — the
+// length of the best matching prefix it found (5 bits in the IPv4 header).
+// R2's clue table turns the lookup into (usually) a single memory access.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build --target quickstart
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/distributed_lookup.h"
+#include "rib/fib.h"
+
+using namespace cluert;
+
+int main() {
+  using A = ip::Ip4Addr;
+  using MatchT = trie::Match<A>;
+  const auto p = [](const char* t) { return *ip::Prefix4::parse(t); };
+
+  // --- R1, the sender: its forwarding table (prefix -> next hop port). ---
+  rib::Fib4 r1_fib({
+      MatchT{p("12.0.0.0/8"), 1},
+      MatchT{p("12.64.0.0/12"), 1},
+      MatchT{p("192.114.0.0/16"), 2},  // next hop 2 == toward R2
+      MatchT{p("198.0.0.0/8"), 2},
+  });
+  const auto r1_trie = r1_fib.buildTrie();
+
+  // --- R2, the receiver: a similar table (the premise of the paper). -----
+  rib::Fib4 r2_fib({
+      MatchT{p("12.0.0.0/8"), 7},
+      MatchT{p("192.114.0.0/16"), 8},
+      MatchT{p("192.114.12.0/24"), 9},  // a more-specific R1 doesn't know
+      MatchT{p("198.0.0.0/8"), 7},
+  });
+  lookup::LookupSuite<A> r2_suite(
+      {r2_fib.entries().begin(), r2_fib.entries().end()});
+
+  // R2 opens a clue port for the link from R1. Advance mode uses R1's
+  // prefix view (in deployment this rides on the routing protocol).
+  core::CluePort<A>::Options opt;
+  opt.method = lookup::Method::kPatricia;
+  opt.mode = lookup::ClueMode::kAdvance;
+  core::CluePort<A> port(r2_suite, &r1_trie, opt);
+  port.precompute(r1_fib.prefixes());
+
+  // --- A packet travels R1 -> R2. ----------------------------------------
+  const auto process = [&](const char* dest_text) {
+    const A dest = *A::parse(dest_text);
+    mem::AccessCounter r1_acc;
+    const auto bmp1 = r1_trie.lookup(dest, r1_acc);  // R1's normal lookup
+    const auto clue = bmp1 ? core::ClueField::of(bmp1->prefix.length())
+                           : core::ClueField::none();
+    mem::AccessCounter r2_acc;
+    const auto r2 = port.process(dest, clue, r2_acc);
+    std::printf("dest %-15s  R1 BMP %-18s  clue /%-2d  R2 BMP %-18s  "
+                "R2 accesses %llu%s\n",
+                dest_text,
+                bmp1 ? bmp1->prefix.toString().c_str() : "-",
+                clue.present ? clue.length : 0,
+                r2.match ? r2.match->prefix.toString().c_str() : "-",
+                static_cast<unsigned long long>(r2_acc.total()),
+                r2.used_fd ? "  (answered from the clue table)" : "");
+  };
+
+  std::printf("Distributed IP lookup, R1 -> R2:\n\n");
+  process("198.5.5.5");      // clue is final: 1 access at R2
+  process("12.99.0.1");      // clue /8; R2 knows nothing longer: 1 access
+  process("192.114.12.250"); // R2 finds its /24 below the clue (case 3)
+  process("192.114.90.1");   // case-3 search fails; FD answers
+
+  const auto& s = port.stats();
+  std::printf("\nR2 port stats: %llu packets, %llu from FD, %llu searched\n",
+              static_cast<unsigned long long>(s.packets),
+              static_cast<unsigned long long>(s.fd_direct),
+              static_cast<unsigned long long>(s.searched));
+  return 0;
+}

@@ -1,0 +1,19 @@
+#include "common/random.h"
+
+namespace cluert {
+
+std::size_t Rng::weighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return 0;
+  std::uniform_real_distribution<double> d(0.0, total);
+  double x = d(engine_);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (x < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace cluert

@@ -1,0 +1,87 @@
+// Deterministic pseudo-random helpers used across generators, tests and
+// benchmarks. Every consumer seeds explicitly so that experiment outputs are
+// reproducible run-to-run (the paper's methodology fixes the packet sample
+// per router pair; we fix the PRNG stream instead).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace cluert {
+
+// Thin wrapper around std::mt19937_64 with the handful of draw shapes the
+// project needs. Not thread-safe; create one per thread / per generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    std::uniform_int_distribution<std::uint64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  // Uniform 32-bit value (used for random IPv4 destinations).
+  std::uint32_t u32() { return static_cast<std::uint32_t>(engine_()); }
+
+  // Uniform 64-bit value.
+  std::uint64_t u64() { return engine_(); }
+
+  // True with probability p (clamped to [0,1]).
+  bool chance(double p) {
+    std::uniform_real_distribution<double> d(0.0, 1.0);
+    return d(engine_) < p;
+  }
+
+  // Uniform double in [0, 1).
+  double real() {
+    std::uniform_real_distribution<double> d(0.0, 1.0);
+    return d(engine_);
+  }
+
+  // Index drawn from a discrete distribution given by non-negative weights.
+  // An all-zero weight vector yields index 0.
+  std::size_t weighted(const std::vector<double>& weights);
+
+  // Uniformly chosen element index of a non-empty container size.
+  std::size_t index(std::size_t size) {
+    return static_cast<std::size_t>(uniform(0, size - 1));
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+// Zipf-distributed index sampler over {0, ..., n-1}: P(i) ∝ 1/(i+1)^s.
+// Used to model skewed destination popularity (flows in real traffic are
+// heavy-tailed, which is what makes small clue caches effective — §3.5).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = acc;
+    }
+    for (double& v : cdf_) v /= acc;
+  }
+
+  std::size_t sample(Rng& rng) const {
+    const double x = rng.real();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), x);
+    return it == cdf_.end() ? cdf_.size() - 1
+                            : static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace cluert

@@ -1,0 +1,71 @@
+// Small sample-summary helper (mean / min / max / percentiles) used by the
+// benchmarks: the paper reports averages, but per-packet access counts are
+// skewed (most packets are 1-access, a few case-3 searches are not), so the
+// experiment reports also show the tail.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace cluert {
+
+class Summary {
+ public:
+  void add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+
+  double mean() const {
+    if (samples_.empty()) return 0.0;
+    double t = 0;
+    for (double v : samples_) t += v;
+    return t / static_cast<double>(samples_.size());
+  }
+
+  double min() const {
+    ensureSorted();
+    return samples_.empty() ? 0.0 : samples_.front();
+  }
+
+  double max() const {
+    ensureSorted();
+    return samples_.empty() ? 0.0 : samples_.back();
+  }
+
+  // Nearest-rank percentile, p in [0, 100].
+  double percentile(double p) const {
+    ensureSorted();
+    if (samples_.empty()) return 0.0;
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto idx = static_cast<std::size_t>(rank + 0.5);
+    return samples_[std::min(idx, samples_.size() - 1)];
+  }
+
+  // Fraction of samples <= threshold.
+  double fractionAtMost(double threshold) const {
+    if (samples_.empty()) return 0.0;
+    std::size_t n = 0;
+    for (double v : samples_) {
+      if (v <= threshold) ++n;
+    }
+    return static_cast<double>(n) / static_cast<double>(samples_.size());
+  }
+
+ private:
+  void ensureSorted() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace cluert

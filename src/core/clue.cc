@@ -1,0 +1,7 @@
+#include "core/clue.h"
+
+namespace cluert::core {
+
+// clue.h is header-only; this anchor keeps the build graph uniform.
+
+}  // namespace cluert::core

@@ -1,0 +1,70 @@
+// The clue as it rides in the packet header (§3).
+//
+// A clue is the best matching prefix the upstream router found. Being a
+// prefix of the destination address already in the header, it is fully
+// described by its *length*: "the five bits simply represent the number of
+// leading bits of the destination address that represent the prefix". The
+// paper uses 5 bits for IPv4 and 7 for IPv6 by encoding length-1 (a BMP is
+// never empty when a clue is present; absence of a clue is signalled
+// separately, e.g. by the option simply not being there).
+//
+// The optional 16-bit index implements the "indexing technique" of §3.3.1:
+// the sender enumerates the clues it may send to this neighbor and ships the
+// index, letting the receiver skip the hash function entirely.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ip/prefix.h"
+
+namespace cluert::core {
+
+// Number of header bits needed to encode a clue length for a W-bit address
+// (lengths 1..W stored as length-1): 5 for IPv4, 7 for IPv6.
+constexpr int clueHeaderBits(int address_bits) {
+  int bits = 0;
+  for (int v = address_bits - 1; v > 0; v >>= 1) ++bits;
+  return bits;
+}
+
+static_assert(clueHeaderBits(32) == 5, "IPv4 clue is 5 bits (paper, abstract)");
+static_assert(clueHeaderBits(128) == 7, "IPv6 clue is 7 bits");
+
+// Width of the optional clue index field (§3.3.1: "at most 64K clues from
+// R1 to R2").
+inline constexpr int kClueIndexBits = 16;
+inline constexpr std::uint32_t kMaxClueIndex = (1u << kClueIndexBits) - 1;
+
+// The clue fields of a packet header. `length` is meaningful iff `present`.
+struct ClueField {
+  bool present = false;
+  std::uint8_t length = 0;                // 1..W, encoded as length-1 on wire
+  std::optional<std::uint16_t> index;     // indexing technique only
+
+  static ClueField none() { return ClueField{}; }
+
+  static ClueField of(int length) {
+    ClueField f;
+    f.present = length > 0;
+    f.length = static_cast<std::uint8_t>(length);
+    return f;
+  }
+
+  static ClueField indexed(int length, std::uint16_t idx) {
+    ClueField f = of(length);
+    f.index = idx;
+    return f;
+  }
+};
+
+// Reconstructs the clue prefix from the destination address and the header
+// field: the first `length` bits of the destination.
+template <typename A>
+std::optional<ip::Prefix<A>> cluePrefix(const A& destination,
+                                        const ClueField& field) {
+  if (!field.present || field.length > A::kBits) return std::nullopt;
+  return ip::Prefix<A>(destination, field.length);
+}
+
+}  // namespace cluert::core

@@ -1,0 +1,8 @@
+#include "core/clue_analyzer.h"
+
+namespace cluert::core {
+
+template class ClueAnalyzer<ip::Ip4Addr>;
+template class ClueAnalyzer<ip::Ip6Addr>;
+
+}  // namespace cluert::core

@@ -1,0 +1,86 @@
+// §3.5: "parts of the clues hash table can be cached and placed into the
+// cache only if touched recently" — a small direct-mapped cache of clue
+// entries held in fast (on-chip) memory. A cache hit serves the entry
+// without touching DRAM at all, so the clue-table access itself disappears;
+// a miss costs the normal probe plus a (free, off-path) fill.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/clue_table.h"
+
+namespace cluert::core {
+
+template <typename A>
+class ClueCache {
+ public:
+  using PrefixT = ip::Prefix<A>;
+  using EntryT = ClueEntry<A>;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    double hitRate() const {
+      const auto total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+
+  // `capacity` is rounded up to a power of two; 0 disables the cache.
+  explicit ClueCache(std::size_t capacity) {
+    std::size_t n = 1;
+    while (n < capacity) n <<= 1;
+    if (capacity > 0) slots_.resize(n);
+  }
+
+  bool enabled() const { return !slots_.empty(); }
+  std::size_t capacity() const { return slots_.size(); }
+
+  // Fast-memory probe: charges nothing. Returns nullptr on miss.
+  const EntryT* lookup(const PrefixT& clue) {
+    if (slots_.empty()) return nullptr;
+    Slot& s = slots_[slotOf(clue)];
+    if (s.used && s.entry.valid && s.entry.clue == clue) {
+      ++stats_.hits;
+      return &s.entry;
+    }
+    ++stats_.misses;
+    return nullptr;
+  }
+
+  // Installs (a copy of) the entry after a backing-table hit.
+  void fill(const EntryT& entry) {
+    if (slots_.empty()) return;
+    Slot& s = slots_[slotOf(entry.clue)];
+    s.used = true;
+    s.entry = entry;
+  }
+
+  // Drops everything — called when the backing table is recomputed (route
+  // updates), the coarse but always-safe policy.
+  void clear() {
+    for (Slot& s : slots_) s.used = false;
+  }
+
+  const Stats& stats() const { return stats_; }
+  void resetStats() { stats_ = Stats{}; }
+
+ private:
+  struct Slot {
+    bool used = false;
+    EntryT entry;
+  };
+
+  std::size_t slotOf(const PrefixT& clue) const {
+    return std::hash<PrefixT>{}(clue) & (slots_.size() - 1);
+  }
+
+  std::vector<Slot> slots_;
+  Stats stats_;
+};
+
+}  // namespace cluert::core

@@ -1,0 +1,10 @@
+#include "core/clue_table.h"
+
+namespace cluert::core {
+
+template class HashClueTable<ip::Ip4Addr>;
+template class HashClueTable<ip::Ip6Addr>;
+template class IndexedClueTable<ip::Ip4Addr>;
+template class IndexedClueTable<ip::Ip6Addr>;
+
+}  // namespace cluert::core

@@ -1,0 +1,213 @@
+// The clues table (§3.1.1, §3.3): maps each clue a neighbor may send to its
+// precomputed {FD, Ptr} pair.
+//
+// Two data-plane organisations, matching §3.3.1:
+//  * HashClueTable    — "learning the hash table": open-addressed, the clue
+//                       value is stored in the entry so a probe verifies it
+//                       ("a check that can be done ... in one assembly
+//                       instruction"); each probe costs one memory access.
+//  * IndexedClueTable — "indexing technique": the sender enumerates its
+//                       clues and ships a 16-bit index; exactly one access,
+//                       no hash function, inherently robust to stale indices
+//                       because the stored clue is still verified.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/clue_analyzer.h"
+#include "ip/prefix.h"
+#include "lookup/engine.h"
+#include "mem/access_counter.h"
+
+namespace cluert::core {
+
+// One clue table entry: the stored clue (for verification), the FD and the
+// Ptr/continuation (§3.1.1 "Hash table fields"). `ptr_empty` true means the
+// FD is the final decision; false means a case-3 search continues via
+// `cont`. `valid=false` marks a never-used slot (or an inactivated clue,
+// §3.4 "a clue is never removed ... special marking for clues that are not
+// valid").
+template <typename A>
+struct ClueEntry {
+  ip::Prefix<A> clue;
+  bool valid = false;
+  // §3.4: "insisting that a clue is never removed from a clues table (this
+  // requires a special marking for clues that are not valid)". An inactive
+  // entry keeps its slot (hash probe chains stay intact) but is treated as
+  // a miss until recomputed.
+  bool active = true;
+  std::optional<trie::Match<A>> fd;
+  bool ptr_empty = true;
+  lookup::Continuation<A> cont;
+};
+
+// Approximate data-plane footprint of one entry (§3.5 sizes entries at three
+// 4-byte fields: clue value, FD, Ptr).
+inline constexpr std::size_t kClueEntryWireBytes = 12;
+
+// ---------------------------------------------------------------------------
+// HashClueTable
+// ---------------------------------------------------------------------------
+template <typename A>
+class HashClueTable {
+ public:
+  using PrefixT = ip::Prefix<A>;
+  using EntryT = ClueEntry<A>;
+
+  // `expected` sizes the bucket array; load factor is kept near 25% so the
+  // probe count stays close to the single access the paper assumes from a
+  // near-perfect hash ("a perfect and efficient hashing function is
+  // feasible" since the table changes rarely).
+  explicit HashClueTable(std::size_t expected)
+      : slots_(bucketCountFor(expected)) {}
+
+  // Probes for `clue`, charging one clue-table access per slot inspected.
+  // Returns nullptr on miss (the first invalid slot ends the probe chain).
+  const EntryT* find(const PrefixT& clue, mem::AccessCounter& acc) const {
+    std::size_t i = slotOf(clue);
+    for (std::size_t n = 0; n < slots_.size(); ++n) {
+      acc.add(mem::Region::kClueTable);
+      const EntryT& e = slots_[i];
+      if (!e.valid) return nullptr;
+      if (e.clue == clue) return &e;
+      i = (i + 1) % slots_.size();
+    }
+    return nullptr;
+  }
+
+  // Inserts or overwrites. Control-plane operation (learning §3.3.1 does the
+  // fill-in off the fast path); charges no accesses. Returns false when the
+  // table is full.
+  bool insert(EntryT entry) {
+    assert(entry.valid);
+    if (size_ * 2 >= slots_.size()) {
+      if (!grow()) return false;
+    }
+    std::size_t i = slotOf(entry.clue);
+    for (std::size_t n = 0; n < slots_.size(); ++n) {
+      EntryT& e = slots_[i];
+      if (!e.valid) {
+        e = std::move(entry);
+        ++size_;
+        return true;
+      }
+      if (e.clue == entry.clue) {
+        e = std::move(entry);
+        return true;
+      }
+      i = (i + 1) % slots_.size();
+    }
+    return false;
+  }
+
+  // Control-plane access to an entry (no accesses charged); nullptr on miss.
+  EntryT* findMutable(const PrefixT& clue) {
+    std::size_t i = slotOf(clue);
+    for (std::size_t n = 0; n < slots_.size(); ++n) {
+      EntryT& e = slots_[i];
+      if (!e.valid) return nullptr;
+      if (e.clue == clue) return &e;
+      i = (i + 1) % slots_.size();
+    }
+    return nullptr;
+  }
+
+  // §3.4 marking: deactivate/reactivate without disturbing probe chains.
+  bool setActive(const PrefixT& clue, bool active) {
+    EntryT* e = findMutable(clue);
+    if (e == nullptr) return false;
+    e->active = active;
+    return true;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t bucketCount() const { return slots_.size(); }
+
+  // Approximate memory footprint at the paper's §3.5 entry size.
+  std::size_t wireBytes() const { return slots_.size() * kClueEntryWireBytes; }
+
+  void forEach(const std::function<void(const EntryT&)>& fn) const {
+    for (const EntryT& e : slots_) {
+      if (e.valid) fn(e);
+    }
+  }
+
+  void forEachMutable(const std::function<void(EntryT&)>& fn) {
+    for (EntryT& e : slots_) {
+      if (e.valid) fn(e);
+    }
+  }
+
+ private:
+  static std::size_t bucketCountFor(std::size_t expected) {
+    std::size_t n = 16;
+    while (n < expected * 4) n <<= 1;
+    return n;
+  }
+
+  std::size_t slotOf(const PrefixT& clue) const {
+    return std::hash<PrefixT>{}(clue) & (slots_.size() - 1);
+  }
+
+  bool grow() {
+    std::vector<EntryT> old = std::move(slots_);
+    slots_.assign(old.size() * 2, EntryT{});
+    size_ = 0;
+    for (EntryT& e : old) {
+      if (e.valid && !insert(std::move(e))) return false;
+    }
+    return true;
+  }
+
+  std::vector<EntryT> slots_;
+  std::size_t size_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// IndexedClueTable
+// ---------------------------------------------------------------------------
+template <typename A>
+class IndexedClueTable {
+ public:
+  using PrefixT = ip::Prefix<A>;
+  using EntryT = ClueEntry<A>;
+
+  explicit IndexedClueTable(std::size_t capacity) : slots_(capacity) {}
+
+  // One access, always. Returns the slot; the caller must verify
+  // `entry->valid && entry->clue == clue` (the §3.3.1 robustness check) and
+  // treat a mismatch as a miss-and-relearn.
+  const EntryT* at(std::uint16_t index, mem::AccessCounter& acc) const {
+    acc.add(mem::Region::kClueTable);
+    if (index >= slots_.size()) return nullptr;
+    return &slots_[index];
+  }
+
+  // Overwrites slot `index` ("R2 updates this entry with s, the new clue,
+  // overwriting whatever was there before"). An out-of-range index — a
+  // corrupted or stale header — is ignored; the packet was already routed
+  // by the miss path. Returns whether the slot was written.
+  bool put(std::uint16_t index, EntryT entry) {
+    if (index >= slots_.size()) return false;
+    slots_[index] = std::move(entry);
+    return true;
+  }
+
+  void forEachMutable(const std::function<void(EntryT&)>& fn) {
+    for (EntryT& e : slots_) {
+      if (e.valid) fn(e);
+    }
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t wireBytes() const { return slots_.size() * kClueEntryWireBytes; }
+
+ private:
+  std::vector<EntryT> slots_;
+};
+
+}  // namespace cluert::core

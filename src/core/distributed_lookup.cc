@@ -1,0 +1,10 @@
+#include "core/distributed_lookup.h"
+
+namespace cluert::core {
+
+template class ClueIndexer<ip::Ip4Addr>;
+template class ClueIndexer<ip::Ip6Addr>;
+template class CluePort<ip::Ip4Addr>;
+template class CluePort<ip::Ip6Addr>;
+
+}  // namespace cluert::core

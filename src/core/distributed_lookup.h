@@ -1,0 +1,284 @@
+// CluePort: the receiving half of distributed IP lookup (§3) for one
+// incoming link — the clue table plus the decision logic of Figure 5,
+// parameterised by base method (§4) and clue mode (Simple / Advance).
+//
+// The sender half is trivial by design (attach the length of the BMP you
+// just found); ClueIndexer below implements the only stateful part of it,
+// the §3.3.1 clue enumeration for the indexing technique.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <span>
+#include <unordered_map>
+
+#include "core/clue.h"
+#include "core/clue_analyzer.h"
+#include "core/clue_cache.h"
+#include "core/clue_table.h"
+#include "lookup/factory.h"
+
+namespace cluert::core {
+
+// ---------------------------------------------------------------------------
+// Sender side: clue enumeration for the indexing technique (§3.3.1).
+// ---------------------------------------------------------------------------
+template <typename A>
+class ClueIndexer {
+ public:
+  using PrefixT = ip::Prefix<A>;
+
+  // Index for `clue`, assigning the next sequential index on first use.
+  // Returns nullopt once 64K clues have been enumerated (the paper's bound).
+  std::optional<std::uint16_t> indexOf(const PrefixT& clue) {
+    auto it = map_.find(clue);
+    if (it != map_.end()) return it->second;
+    if (next_ > kMaxClueIndex) return std::nullopt;
+    const auto idx = static_cast<std::uint16_t>(next_++);
+    map_.emplace(clue, idx);
+    return idx;
+  }
+
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<PrefixT, std::uint16_t> map_;
+  std::uint32_t next_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Receiver side.
+// ---------------------------------------------------------------------------
+template <typename A>
+class CluePort {
+ public:
+  using PrefixT = ip::Prefix<A>;
+  using MatchT = trie::Match<A>;
+
+  struct Options {
+    lookup::Method method = lookup::Method::kPatricia;
+    lookup::ClueMode mode = lookup::ClueMode::kAdvance;
+    bool indexed = false;  // §3.3.1 indexing technique instead of hashing
+    bool learn = true;     // learn entries on the fly (§3.3.1)
+    NeighborIndex neighbor_index = 0;
+    std::size_t expected_clues = 1 << 10;
+    std::size_t indexed_capacity = std::size_t{kMaxClueIndex} + 1;
+    // §3.5: entries of a fast-memory cache in front of the hash table
+    // (0 disables). A cache hit costs zero DRAM accesses.
+    std::size_t cache_entries = 0;
+  };
+
+  // Aggregate behaviour counters for the experiments.
+  struct Stats {
+    std::uint64_t packets = 0;
+    std::uint64_t no_clue = 0;       // packet carried no clue: common lookup
+    std::uint64_t table_hits = 0;
+    std::uint64_t table_misses = 0;  // learned (or not) via common lookup
+    std::uint64_t fd_direct = 0;     // answered by FD, Ptr empty
+    std::uint64_t searched = 0;      // case-3 continuation ran
+    std::uint64_t search_failed = 0; // continuation fell back to FD
+  };
+
+  // `mode` kSimple needs no neighbor table; kAdvance requires one (Claim 1
+  // consults the sender's prefixes — in deployment this knowledge rides on
+  // the routing protocol exchange, §5.3).
+  CluePort(lookup::LookupSuite<A>& local,
+           const trie::BinaryTrie<A>* neighbor_trie, const Options& options)
+      : options_(options),
+        suite_(local),
+        neighbor_trie_(neighbor_trie),
+        hash_(options.expected_clues),
+        indexed_(options.indexed ? options.indexed_capacity : 0),
+        cache_(options.cache_entries) {
+    assert(options.mode != lookup::ClueMode::kCommon &&
+           "CluePort models the clue-assisted modes; use the engine directly "
+           "for Common lookups");
+    if (options.mode == lookup::ClueMode::kAdvance) {
+      assert(neighbor_trie != nullptr &&
+             "Advance requires the neighbor's prefix view (Claim 1)");
+      local.annotateNeighbor(options.neighbor_index, *neighbor_trie);
+    }
+  }
+
+  // Pre-processing construction (§3.3.2): install entries for every clue the
+  // neighbor may send.
+  void precompute(std::span<const PrefixT> clues) {
+    for (const PrefixT& c : clues) {
+      hash_.insert(makeEntry(c));
+    }
+  }
+
+  // Indexed variant of precompute: the sender's enumeration fixes the slots.
+  void precomputeIndexed(std::span<const PrefixT> clues,
+                         ClueIndexer<A>& indexer) {
+    assert(options_.indexed);
+    for (const PrefixT& c : clues) {
+      if (auto idx = indexer.indexOf(c)) indexed_.put(*idx, makeEntry(c));
+    }
+  }
+
+  struct Result {
+    std::optional<MatchT> match;
+    bool table_hit = false;
+    bool used_fd = false;
+    bool searched = false;
+  };
+
+  // The per-packet fast path (Figure 5). `dest` is the destination address,
+  // `field` the clue bits from the header. All data-plane memory accesses
+  // are charged to `acc`.
+  Result process(const A& dest, const ClueField& field,
+                 mem::AccessCounter& acc) {
+    ++stats_.packets;
+    const auto& engine = suite_.engine(options_.method);
+    const auto clue = cluePrefix(dest, field);
+    if (!clue) {
+      ++stats_.no_clue;
+      return Result{engine.lookup(dest, acc), false, false, false};
+    }
+    const ClueEntry<A>* entry = nullptr;
+    if (options_.indexed && field.index) {
+      const ClueEntry<A>* slot = indexed_.at(*field.index, acc);
+      if (slot != nullptr && slot->valid && slot->clue == *clue) entry = slot;
+    } else {
+      // §3.5 cache: a fast-memory hit bypasses the DRAM probe entirely.
+      entry = cache_.lookup(*clue);
+      if (entry == nullptr) {
+        entry = hash_.find(*clue, acc);
+        if (entry != nullptr && entry->active) cache_.fill(*entry);
+      }
+    }
+    if (entry != nullptr && !entry->active) entry = nullptr;  // §3.4 marking
+
+    if (entry == nullptr) {
+      // "The Clue is not in the Table, never saw this clue": route by a full
+      // common lookup, then learn the entry off the fast path (§3.3.1).
+      ++stats_.table_misses;
+      Result r{engine.lookup(dest, acc), false, false, false};
+      if (options_.learn) learn(*clue, field);
+      return r;
+    }
+
+    ++stats_.table_hits;
+    if (entry->ptr_empty) {
+      ++stats_.fd_direct;
+      return Result{entry->fd, true, true, false};
+    }
+    ++stats_.searched;
+    const auto neighbor =
+        options_.mode == lookup::ClueMode::kAdvance
+            ? std::optional<NeighborIndex>(options_.neighbor_index)
+            : std::nullopt;
+    if (auto found = engine.continueLookup(entry->cont, dest, neighbor, acc)) {
+      return Result{found, true, false, true};
+    }
+    ++stats_.search_failed;
+    return Result{entry->fd, true, true, true};
+  }
+
+  // The clue-less path, for packets arriving without the option (§5.3
+  // heterogeneous networks) and for the Common baseline.
+  std::optional<MatchT> lookupNoClue(const A& dest,
+                                     mem::AccessCounter& acc) const {
+    return suite_.engine(options_.method).lookup(dest, acc);
+  }
+
+  // -- control plane: route updates and §3.4 marking ------------------------
+
+  // Call after a route for `changed` was inserted into or removed from the
+  // *receiver's* table (and LookupSuite::insertRoute/eraseRoute ran): every
+  // entry whose FD or candidate set can depend on `changed` — clues on its
+  // path and clues extending it — is recomputed in place.
+  void onLocalRouteChanged(const PrefixT& changed) {
+    refreshRelated(changed);
+  }
+
+  // Call after the *sender's* table changed (Claim 1 consults it): affected
+  // entries are those whose clue is on the changed prefix's path, and the
+  // per-vertex Claim-1 booleans must be recomputed against the new view.
+  void onNeighborRouteChanged(const PrefixT& changed) {
+    if (options_.mode == lookup::ClueMode::kAdvance) {
+      suite_.annotateNeighbor(options_.neighbor_index, *neighbor_trie_);
+    }
+    refreshRelated(changed);
+  }
+
+  // §3.4: mark a clue out-of-use / back in use without removing it (probe
+  // chains stay intact). An inactive entry behaves as a miss.
+  bool invalidateClue(const PrefixT& clue) {
+    cache_.clear();
+    return hash_.setActive(clue, false);
+  }
+  bool reactivateClue(const PrefixT& clue) {
+    if (ClueEntry<A>* e = hash_.findMutable(clue)) {
+      *e = makeEntry(clue);  // recompute: the tables may have moved on
+      cache_.clear();
+      return true;
+    }
+    return false;
+  }
+
+  const ClueCache<A>& cache() const { return cache_; }
+
+  const Stats& stats() const { return stats_; }
+  void resetStats() { stats_ = Stats{}; }
+
+  const HashClueTable<A>& hashTable() const { return hash_; }
+  const IndexedClueTable<A>& indexedTable() const { return indexed_; }
+  const Options& options() const { return options_; }
+
+  // Exposed for tests: the control-plane construction of one entry
+  // (procedure new-clue of Figure 5).
+  ClueEntry<A> makeEntry(const PrefixT& clue) const {
+    const ClueAnalyzer<A> analyzer(suite_.binaryTrie(), neighbor_trie_);
+    const ClueAnalysis<A> a = options_.mode == lookup::ClueMode::kAdvance
+                                  ? analyzer.analyzeAdvance(clue)
+                                  : analyzer.analyzeSimple(clue);
+    ClueEntry<A> e;
+    e.clue = clue;
+    e.valid = true;
+    e.fd = a.fd;
+    if (a.kase == ClueCase::kSearch) {
+      e.ptr_empty = false;
+      e.cont = suite_.engine(options_.method).makeContinuation(clue,
+                                                               a.candidates);
+    }
+    return e;
+  }
+
+ private:
+  void learn(const PrefixT& clue, const ClueField& field) {
+    ClueEntry<A> entry = makeEntry(clue);
+    if (options_.indexed && field.index) {
+      indexed_.put(*field.index, std::move(entry));
+    } else {
+      hash_.insert(std::move(entry));
+    }
+  }
+
+  // A clue entry depends on `changed` iff one is a prefix of the other (FDs
+  // look up the clue's path; candidate sets look down its subtree).
+  static bool related(const PrefixT& clue, const PrefixT& changed) {
+    return clue.isPrefixOf(changed) || changed.isPrefixOf(clue);
+  }
+
+  void refreshRelated(const PrefixT& changed) {
+    cache_.clear();  // coarse but always safe
+    hash_.forEachMutable([&](ClueEntry<A>& e) {
+      if (related(e.clue, changed)) e = makeEntry(e.clue);
+    });
+    indexed_.forEachMutable([&](ClueEntry<A>& e) {
+      if (related(e.clue, changed)) e = makeEntry(e.clue);
+    });
+  }
+
+  Options options_;
+  lookup::LookupSuite<A>& suite_;
+  const trie::BinaryTrie<A>* neighbor_trie_;
+  HashClueTable<A> hash_;
+  IndexedClueTable<A> indexed_;
+  ClueCache<A> cache_;
+  Stats stats_;
+};
+
+}  // namespace cluert::core

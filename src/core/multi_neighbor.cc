@@ -1,0 +1,10 @@
+#include "core/multi_neighbor.h"
+
+namespace cluert::core {
+
+template class BitmapClueTable<ip::Ip4Addr>;
+template class BitmapClueTable<ip::Ip6Addr>;
+template class SubTableClueTable<ip::Ip4Addr>;
+template class SubTableClueTable<ip::Ip6Addr>;
+
+}  // namespace cluert::core

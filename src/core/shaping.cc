@@ -1,0 +1,7 @@
+#include "core/shaping.h"
+
+namespace cluert::core {
+
+// shaping.h is header-only (templates); anchor TU.
+
+}  // namespace cluert::core

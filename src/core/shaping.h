@@ -1,0 +1,66 @@
+// Load balancing / work shaping (§5.4).
+//
+// The clue mechanism can be turned around: instead of merely speeding up the
+// receiver, the *sender's* table can be augmented ("reducing the
+// aggregation") so that every clue it sends satisfies Claim 1 at the
+// receiver — the receiver then forwards each packet in exactly one memory
+// reference, like TAG-switching but without label swapping. The work moves
+// to the routers that can afford it (peripheral/edge), unloading the
+// backbone.
+#pragma once
+
+#include <vector>
+
+#include "core/clue_analyzer.h"
+#include "trie/binary_trie.h"
+
+namespace cluert::core {
+
+// The prefixes router R1 (table t1) must import from its downstream neighbor
+// R2 (table t2) so that *every* clue R1 can send R2 satisfies Claim 1:
+// every t2 prefix that strictly extends some t1 prefix and is not already in
+// t1. After importing, any candidate a clue could have is itself a t1 prefix
+// and therefore blocks its branch. Next hops are inherited from the covering
+// t1 prefix (the imported routes point the same way the covering route did).
+//
+// §5.4 notes this only *reduces* aggregation at R1, so it cannot create
+// routing loops.
+template <typename A>
+std::vector<trie::Match<A>> zeroWorkImport(const trie::BinaryTrie<A>& t1,
+                                           const trie::BinaryTrie<A>& t2) {
+  std::vector<trie::Match<A>> imports;
+  t2.forEachPrefix([&](const ip::Prefix<A>& p, NextHop) {
+    if (t1.contains(p)) return;
+    const auto covering = t1.longestMarkedAtOrAbove(p);
+    if (!covering || covering->prefix.length() == p.length()) return;
+    imports.push_back(trie::Match<A>{p, covering->next_hop});
+  });
+  return imports;
+}
+
+// Convenience: applies the import to t1 in place and returns how many
+// prefixes were added.
+template <typename A>
+std::size_t applyZeroWorkImport(trie::BinaryTrie<A>& t1,
+                                const trie::BinaryTrie<A>& t2) {
+  const auto imports = zeroWorkImport(t1, t2);
+  for (const auto& m : imports) t1.insert(m.prefix, m.next_hop);
+  return imports.size();
+}
+
+// Counts the clues in `clues` that are problematic (case 3 — Claim 1 fails)
+// for a sender table t1 at receiver table t2. This is the paper's Table 2
+// statistic and the §5.4 before/after measure.
+template <typename A>
+std::size_t countProblematicClues(const trie::BinaryTrie<A>& t1,
+                                  const trie::BinaryTrie<A>& t2,
+                                  const std::vector<ip::Prefix<A>>& clues) {
+  ClueAnalyzer<A> analyzer(t2, &t1);
+  std::size_t n = 0;
+  for (const auto& c : clues) {
+    if (!analyzer.claim1Holds(c)) ++n;
+  }
+  return n;
+}
+
+}  // namespace cluert::core

@@ -1,0 +1,122 @@
+// §5.2 "BGP over OSPF": a BGP route's next hop is frequently the address of
+// a border router on the far side of the AS, not an attached interface. The
+// router then "goes twice through its forwarding table": the first lookup
+// finds the exterior BMP (whose next hop is the remote BGP router's
+// address), the second resolves that address through the interior (IGP)
+// routes to an actual port.
+//
+// The clue placed on the packet is still the *first* BMP — any successive
+// router starts by looking up the packet's destination. "In some cases it
+// might be beneficial to place both BMPs on the packet": the second clue
+// describes the interior BMP of the via address. Because the receiver
+// reconstructs the second clue from its *own* via address, it is only
+// guaranteed to be a prefix of that address — Simple semantics, which are
+// robust for exactly this situation, are applied to it.
+#pragma once
+
+#include "core/distributed_lookup.h"
+
+namespace cluert::core {
+
+// One exterior (BGP-learned) route: either directly attached, or recursive
+// through `via` (the remote border router's address).
+template <typename A>
+struct ExteriorRoute {
+  ip::Prefix<A> prefix;
+  bool recursive = false;
+  A via{};                      // meaningful iff recursive
+  NextHop direct = kNoNextHop;  // meaningful iff !recursive
+};
+
+template <typename A>
+class TwoStageRouter {
+ public:
+  using PrefixT = ip::Prefix<A>;
+  using MatchT = trie::Match<A>;
+
+  struct Options {
+    lookup::Method method = lookup::Method::kPatricia;
+    // Mode for the destination (first) clue. The via (second) clue always
+    // uses Simple — see the header comment.
+    lookup::ClueMode mode = lookup::ClueMode::kAdvance;
+  };
+
+  // `neighbor_exterior` / `neighbor_interior` are the upstream router's
+  // prefix views for the two tables (null disables Advance on stage one).
+  TwoStageRouter(std::vector<ExteriorRoute<A>> exterior,
+                 std::vector<MatchT> interior,
+                 const trie::BinaryTrie<A>* neighbor_exterior,
+                 const trie::BinaryTrie<A>* neighbor_interior,
+                 const Options& options)
+      : routes_(std::move(exterior)) {
+    // The exterior suite stores the route index as the "next hop".
+    std::vector<MatchT> ext_entries;
+    ext_entries.reserve(routes_.size());
+    for (std::size_t i = 0; i < routes_.size(); ++i) {
+      ext_entries.push_back(
+          MatchT{routes_[i].prefix, static_cast<NextHop>(i)});
+    }
+    exterior_suite_ = std::make_unique<lookup::LookupSuite<A>>(ext_entries);
+    interior_suite_ =
+        std::make_unique<lookup::LookupSuite<A>>(std::move(interior));
+
+    typename CluePort<A>::Options ext_opt;
+    ext_opt.method = options.method;
+    ext_opt.mode = neighbor_exterior != nullptr
+                       ? options.mode
+                       : lookup::ClueMode::kSimple;
+    exterior_port_ = std::make_unique<CluePort<A>>(
+        *exterior_suite_, neighbor_exterior, ext_opt);
+
+    typename CluePort<A>::Options int_opt;
+    int_opt.method = options.method;
+    int_opt.mode = lookup::ClueMode::kSimple;  // robust for relayed via clues
+    interior_port_ = std::make_unique<CluePort<A>>(
+        *interior_suite_, neighbor_interior, int_opt);
+  }
+
+  struct Result {
+    std::optional<MatchT> exterior;      // the first BMP
+    std::optional<MatchT> interior;      // second BMP (recursive routes)
+    NextHop port = kNoNextHop;           // the resolved outgoing interface
+    bool recursive = false;
+    ClueField out_clue1;                 // first BMP length (§5.2)
+    ClueField out_clue2;                 // via BMP length, when applicable
+  };
+
+  // `clue1` rides on the destination; `clue2` (optional) on the via
+  // address. Either may be absent.
+  Result process(const A& dest, const ClueField& clue1,
+                 const ClueField& clue2, mem::AccessCounter& acc) {
+    Result out;
+    const auto r1 = exterior_port_->process(dest, clue1, acc);
+    if (!r1.match) return out;
+    out.exterior = r1.match;
+    out.out_clue1 = ClueField::of(r1.match->prefix.length());
+    const ExteriorRoute<A>& route =
+        routes_[static_cast<std::size_t>(r1.match->next_hop)];
+    if (!route.recursive) {
+      out.port = route.direct;
+      return out;
+    }
+    out.recursive = true;
+    const auto r2 = interior_port_->process(route.via, clue2, acc);
+    if (!r2.match) return out;  // unresolved BGP next hop: no route
+    out.interior = r2.match;
+    out.port = r2.match->next_hop;
+    out.out_clue2 = ClueField::of(r2.match->prefix.length());
+    return out;
+  }
+
+  const CluePort<A>& exteriorPort() const { return *exterior_port_; }
+  const CluePort<A>& interiorPort() const { return *interior_port_; }
+
+ private:
+  std::vector<ExteriorRoute<A>> routes_;
+  std::unique_ptr<lookup::LookupSuite<A>> exterior_suite_;
+  std::unique_ptr<lookup::LookupSuite<A>> interior_suite_;
+  std::unique_ptr<CluePort<A>> exterior_port_;
+  std::unique_ptr<CluePort<A>> interior_port_;
+};
+
+}  // namespace cluert::core

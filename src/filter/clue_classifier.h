@@ -1,0 +1,110 @@
+// The §7 clue-assisted classifier.
+//
+// The clue carried on the packet is the *rule id* the upstream router R1
+// classified the packet by (its highest-priority matching rule F). The
+// receiving router R2 precomputes, per possible clue rule, the candidate
+// set it must still consider:
+//
+//   * only rules that intersect F can match the packet at all (the packet
+//     lies inside F);
+//   * "similarly to Claim 1": a rule G that *both* routers carry with
+//     priority above F's can be discarded — had the packet matched G, R1
+//     would have classified it by G, not F.
+//
+// Classification then probes the clue table (one access) and scans the tiny
+// candidate list in priority order (one access each). An empty candidate
+// list is the classification analogue of a Claim-1 clue: when F is also an
+// R2 rule, F itself is the answer in exactly one memory access.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "filter/classifier.h"
+
+namespace cluert::filter {
+
+template <typename A>
+class ClueClassifier {
+ public:
+  // `local` is R2's rule set, `neighbor` R1's. Rule ids shared between the
+  // two sets must denote identical rules (a distributed policy).
+  ClueClassifier(const std::vector<FilterRule<A>>& local,
+                 const std::vector<FilterRule<A>>& neighbor)
+      : full_(local) {
+    std::unordered_set<RuleId> neighbor_ids;
+    neighbor_ids.reserve(neighbor.size() * 2);
+    for (const FilterRule<A>& r : neighbor) neighbor_ids.insert(r.id);
+    std::unordered_map<RuleId, const FilterRule<A>*> local_by_id;
+    for (const FilterRule<A>& r : full_.rules()) local_by_id.emplace(r.id, &r);
+
+    for (const FilterRule<A>& f : neighbor) {
+      Entry entry;
+      if (const auto it = local_by_id.find(f.id); it != local_by_id.end()) {
+        entry.own = *it->second;  // F itself is a local rule: the fallback
+      }
+      for (const FilterRule<A>& g : full_.rules()) {  // priority-sorted
+        if (!g.intersects(f)) continue;
+        if (g.id == f.id) continue;  // the fallback, not a candidate
+        if (g.priority > f.priority && neighbor_ids.count(g.id) != 0) {
+          continue;  // the Claim-1 analogue: R1 would have matched it
+        }
+        entry.candidates.push_back(g);
+      }
+      table_.emplace(f.id, std::move(entry));
+    }
+  }
+
+  // Classifies with a genuine clue (R1's best match was rule `clue_id`).
+  // One clue-table access plus one per candidate examined; falls back to a
+  // full classification if the clue is unknown.
+  ClassifyResult<A> classify(RuleId clue_id, const A& src, const A& dst,
+                             mem::AccessCounter& acc) const {
+    acc.add(mem::Region::kClueTable);
+    const auto it = table_.find(clue_id);
+    if (it == table_.end()) return full_.classify(src, dst, acc);
+    const Entry& e = it->second;
+    // Candidates are priority-sorted (inherited from the classifier order);
+    // the first match above the fallback's priority wins.
+    for (const FilterRule<A>& g : e.candidates) {
+      if (e.own && e.own->priority > g.priority) break;
+      acc.add(mem::Region::kCandidateSet);
+      if (g.matches(src, dst)) return g;
+    }
+    return e.own;
+  }
+
+  // The clue-less path.
+  ClassifyResult<A> classifyNoClue(const A& src, const A& dst,
+                                   mem::AccessCounter& acc) const {
+    return full_.classify(src, dst, acc);
+  }
+
+  // Statistics for the §7 experiment: how many clue rules need no
+  // candidate scan at all, and the mean candidate-list length.
+  std::size_t clueCount() const { return table_.size(); }
+  std::size_t emptyCandidateClues() const {
+    std::size_t n = 0;
+    for (const auto& [id, e] : table_) {
+      if (e.candidates.empty()) ++n;
+    }
+    return n;
+  }
+  double meanCandidates() const {
+    if (table_.empty()) return 0.0;
+    std::size_t total = 0;
+    for (const auto& [id, e] : table_) total += e.candidates.size();
+    return static_cast<double>(total) / static_cast<double>(table_.size());
+  }
+
+ private:
+  struct Entry {
+    std::optional<FilterRule<A>> own;       // F at R2, if R2 carries it
+    std::vector<FilterRule<A>> candidates;  // priority-sorted survivors
+  };
+
+  LinearClassifier<A> full_;
+  std::unordered_map<RuleId, Entry> table_;
+};
+
+}  // namespace cluert::filter

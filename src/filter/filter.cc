@@ -1,0 +1,12 @@
+#include "filter/filter.h"
+
+#include "filter/classifier.h"
+#include "filter/clue_classifier.h"
+
+namespace cluert::filter {
+
+template class LinearClassifier<ip::Ip4Addr>;
+template class HierarchicalClassifier<ip::Ip4Addr>;
+template class ClueClassifier<ip::Ip4Addr>;
+
+}  // namespace cluert::filter

@@ -1,0 +1,60 @@
+// Packet classification with clues — the §7 generalization.
+//
+// "When a packet header is classified by several filters (in QoS, or
+//  firewall applications), the clue being added to the packet is the filter
+//  by which the packet is classified at a router. The receiving router
+//  starts its classification process at the restricted domain of the
+//  clue-filter. Moreover, similarly to Claim 1, any filter that both
+//  routers have and that intersects the clue-filter can be discarded by R2
+//  without any processing."
+//
+// Rules here are two-dimensional (source prefix x destination prefix) with
+// a globally consistent priority — the common model of a distributed
+// firewall / QoS policy, where a rule id identifies the same rule at every
+// router that carries it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ip/prefix.h"
+
+namespace cluert::filter {
+
+using RuleId = std::uint32_t;
+using Action = std::uint32_t;
+
+inline constexpr RuleId kNoRule = ~RuleId{0};
+
+template <typename A>
+struct FilterRule {
+  RuleId id = kNoRule;     // stable identity across routers (shared policy)
+  ip::Prefix<A> src;       // matches the packet's source address
+  ip::Prefix<A> dst;       // matches the packet's destination address
+  int priority = 0;        // higher wins; tied to the id across routers
+  Action action = 0;
+
+  bool matches(const A& src_addr, const A& dst_addr) const {
+    return src.matches(src_addr) && dst.matches(dst_addr);
+  }
+
+  // Two prefix rectangles intersect iff, in each dimension, one prefix is a
+  // (non-strict) prefix of the other.
+  bool intersects(const FilterRule& other) const {
+    const bool src_ok =
+        src.isPrefixOf(other.src) || other.src.isPrefixOf(src);
+    const bool dst_ok =
+        dst.isPrefixOf(other.dst) || other.dst.isPrefixOf(dst);
+    return src_ok && dst_ok;
+  }
+
+  friend bool operator==(const FilterRule&, const FilterRule&) = default;
+};
+
+using FilterRule4 = FilterRule<ip::Ip4Addr>;
+
+// The classification outcome: the highest-priority matching rule.
+template <typename A>
+using ClassifyResult = std::optional<FilterRule<A>>;
+
+}  // namespace cluert::filter

@@ -1,0 +1,114 @@
+#include "ip/ip_address.h"
+
+#include <bit>
+#include <charconv>
+#include <cstdio>
+#include <vector>
+
+namespace cluert::ip {
+
+int Ip4Addr::commonPrefixLen(const Ip4Addr& other) const {
+  const std::uint32_t diff = value_ ^ other.value_;
+  return diff == 0 ? kBits : std::countl_zero(diff);
+}
+
+std::string Ip4Addr::toString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+std::optional<Ip4Addr> Ip4Addr::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    if (octet > 0) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+    unsigned v = 0;
+    auto [next, ec] = std::from_chars(p, end, v);
+    if (ec != std::errc{} || next == p || v > 255) return std::nullopt;
+    value = (value << 8) | v;
+    p = next;
+  }
+  if (p != end) return std::nullopt;
+  return Ip4Addr(value);
+}
+
+int Ip6Addr::commonPrefixLen(const Ip6Addr& other) const {
+  const std::uint64_t dh = hi_ ^ other.hi_;
+  if (dh != 0) return std::countl_zero(dh);
+  const std::uint64_t dl = lo_ ^ other.lo_;
+  return dl == 0 ? kBits : 64 + std::countl_zero(dl);
+}
+
+std::string Ip6Addr::toString() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%llx:%llx:%llx:%llx:%llx:%llx:%llx:%llx",
+                static_cast<unsigned long long>((hi_ >> 48) & 0xffff),
+                static_cast<unsigned long long>((hi_ >> 32) & 0xffff),
+                static_cast<unsigned long long>((hi_ >> 16) & 0xffff),
+                static_cast<unsigned long long>(hi_ & 0xffff),
+                static_cast<unsigned long long>((lo_ >> 48) & 0xffff),
+                static_cast<unsigned long long>((lo_ >> 32) & 0xffff),
+                static_cast<unsigned long long>((lo_ >> 16) & 0xffff),
+                static_cast<unsigned long long>(lo_ & 0xffff));
+  return buf;
+}
+
+std::optional<Ip6Addr> Ip6Addr::parse(std::string_view text) {
+  // Split into the part before and after a single optional "::".
+  std::vector<std::uint16_t> head;
+  std::vector<std::uint16_t> tail;
+  bool seen_gap = false;
+
+  auto parse_groups = [](std::string_view part,
+                         std::vector<std::uint16_t>& out) -> bool {
+    if (part.empty()) return true;
+    const char* p = part.data();
+    const char* end = part.data() + part.size();
+    while (true) {
+      unsigned v = 0;
+      auto [next, ec] = std::from_chars(p, end, v, 16);
+      if (ec != std::errc{} || next == p || v > 0xffff) return false;
+      out.push_back(static_cast<std::uint16_t>(v));
+      p = next;
+      if (p == end) return true;
+      if (*p != ':') return false;
+      ++p;
+      if (p == end) return false;  // trailing single colon
+    }
+  };
+
+  const auto gap = text.find("::");
+  if (gap != std::string_view::npos) {
+    seen_gap = true;
+    if (text.find("::", gap + 1) != std::string_view::npos) {
+      return std::nullopt;  // more than one "::"
+    }
+    if (!parse_groups(text.substr(0, gap), head)) return std::nullopt;
+    if (!parse_groups(text.substr(gap + 2), tail)) return std::nullopt;
+  } else {
+    if (!parse_groups(text, head)) return std::nullopt;
+  }
+
+  const std::size_t total = head.size() + tail.size();
+  if (seen_gap ? total > 7 : total != 8) return std::nullopt;
+
+  std::uint16_t groups[8] = {};
+  for (std::size_t i = 0; i < head.size(); ++i) groups[i] = head[i];
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    groups[8 - tail.size() + i] = tail[i];
+  }
+
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (int i = 0; i < 4; ++i) hi = (hi << 16) | groups[i];
+  for (int i = 4; i < 8; ++i) lo = (lo << 16) | groups[i];
+  return Ip6Addr(hi, lo);
+}
+
+}  // namespace cluert::ip

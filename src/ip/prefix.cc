@@ -1,0 +1,11 @@
+#include "ip/prefix.h"
+
+namespace cluert::ip {
+
+// Anchor translation unit; Prefix<A> is header-only. The explicit
+// instantiations below catch template errors at library build time instead of
+// at first use.
+template class Prefix<Ip4Addr>;
+template class Prefix<Ip6Addr>;
+
+}  // namespace cluert::ip

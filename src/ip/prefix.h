@@ -1,0 +1,131 @@
+// Prefix<A>: an address prefix — the fundamental object of IP forwarding and
+// of the paper. A clue *is* a prefix of the packet's destination address, so
+// everything in src/core is phrased in terms of this type.
+#pragma once
+
+#include <cassert>
+#include <compare>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "ip/ip_address.h"
+
+namespace cluert::ip {
+
+// A prefix is a masked address plus a length in [0, A::kBits]. The stored
+// address is always canonical (bits past `len` are zero), so equality and
+// hashing are plain member-wise operations.
+template <typename A>
+class Prefix {
+ public:
+  static constexpr int kBits = A::kBits;
+
+  // The zero-length (default route) prefix.
+  constexpr Prefix() = default;
+
+  // Canonicalizes `addr` by masking to `len` bits.
+  constexpr Prefix(A addr, int len) : addr_(addr.masked(len)), len_(len) {
+    assert(len >= 0 && len <= kBits);
+  }
+
+  constexpr const A& addr() const { return addr_; }
+  constexpr int length() const { return len_; }
+  constexpr bool isRoot() const { return len_ == 0; }
+
+  // Bit at position `pos` (< length()).
+  constexpr unsigned bit(int pos) const { return addr_.bit(pos); }
+
+  // True iff this prefix covers `address` (the address starts with it).
+  constexpr bool matches(const A& address) const {
+    return address.masked(len_) == addr_;
+  }
+
+  // True iff this prefix is a (non-strict) prefix of `other`.
+  constexpr bool isPrefixOf(const Prefix& other) const {
+    return len_ <= other.len_ && other.addr_.masked(len_) == addr_;
+  }
+
+  // True iff this prefix is a strict (shorter) prefix of `other`.
+  constexpr bool isStrictPrefixOf(const Prefix& other) const {
+    return len_ < other.len_ && other.addr_.masked(len_) == addr_;
+  }
+
+  // The first `newLen` bits of this prefix. Requires newLen <= length().
+  constexpr Prefix truncated(int newLen) const {
+    assert(newLen <= len_);
+    return Prefix(addr_, newLen);
+  }
+
+  // This prefix extended by one bit `b`. Requires length() < kBits.
+  constexpr Prefix child(unsigned b) const {
+    assert(len_ < kBits);
+    return Prefix(addr_.withBit(len_, b), len_ + 1);
+  }
+
+  // The parent (one bit shorter). Requires length() > 0.
+  constexpr Prefix parent() const {
+    assert(len_ > 0);
+    return Prefix(addr_, len_ - 1);
+  }
+
+  // Smallest address covered by this prefix (== addr()).
+  constexpr A rangeLow() const { return addr_; }
+
+  // Largest address covered by this prefix (all free bits set to one).
+  A rangeHigh() const {
+    A a = addr_;
+    for (int i = len_; i < kBits; ++i) a = a.withBit(i, 1);
+    return a;
+  }
+
+  friend constexpr bool operator==(const Prefix&, const Prefix&) = default;
+
+  // Lexicographic order: by address, then shorter-first. This is the order
+  // the interval-based search structures rely on.
+  friend constexpr auto operator<=>(const Prefix& x, const Prefix& y) {
+    if (auto c = x.addr_ <=> y.addr_; c != 0) return c;
+    return x.len_ <=> y.len_;
+  }
+
+  // "a.b.c.d/len" (or the IPv6 analogue).
+  std::string toString() const {
+    return addr_.toString() + "/" + std::to_string(len_);
+  }
+
+  // Parses "address/len". Returns nullopt on malformed input.
+  static std::optional<Prefix> parse(std::string_view text) {
+    const auto slash = text.rfind('/');
+    if (slash == std::string_view::npos) return std::nullopt;
+    const auto addr = A::parse(text.substr(0, slash));
+    if (!addr) return std::nullopt;
+    int len = 0;
+    const auto tail = text.substr(slash + 1);
+    for (char c : tail) {
+      if (c < '0' || c > '9') return std::nullopt;
+      len = len * 10 + (c - '0');
+      if (len > kBits) return std::nullopt;
+    }
+    if (tail.empty()) return std::nullopt;
+    return Prefix(*addr, len);
+  }
+
+ private:
+  A addr_{};
+  int len_ = 0;
+};
+
+using Prefix4 = Prefix<Ip4Addr>;
+using Prefix6 = Prefix<Ip6Addr>;
+
+}  // namespace cluert::ip
+
+template <typename A>
+struct std::hash<cluert::ip::Prefix<A>> {
+  std::size_t operator()(const cluert::ip::Prefix<A>& p) const noexcept {
+    const std::uint64_t h = std::hash<A>{}(p.addr());
+    return static_cast<std::size_t>(
+        cluert::ip::mix64(h + static_cast<std::uint64_t>(p.length())));
+  }
+};

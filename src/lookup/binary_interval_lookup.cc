@@ -1,0 +1,8 @@
+#include "lookup/binary_interval_lookup.h"
+
+namespace cluert::lookup {
+
+template class BinaryIntervalLookup<ip::Ip4Addr>;
+template class BinaryIntervalLookup<ip::Ip6Addr>;
+
+}  // namespace cluert::lookup

@@ -1,0 +1,82 @@
+// "Binary" lookup ([19], §2 item (3), §4 "Adapting binary search"): binary
+// search over the space of prefix interval endpoints. The clue continuation
+// searches only the candidate set P(s, R1); when P is small enough to share
+// the clue entry's memory line it is scanned for free (§4).
+#pragma once
+
+#include <vector>
+
+#include "lookup/engine.h"
+
+namespace cluert::lookup {
+
+template <typename A>
+class IntervalLookupBase : public LookupEngine<A> {
+ public:
+  using PrefixT = ip::Prefix<A>;
+  using MatchT = trie::Match<A>;
+
+  // `inline_candidates`: candidate sets up to this size are assumed to live
+  // in the clue entry's cache line and cost zero extra accesses (§4). Zero
+  // disables the optimisation (the conservative default used by the main
+  // benchmarks; bench_space quantifies the effect).
+  IntervalLookupBase(const trie::BinaryTrie<A>& table, unsigned fanout,
+                     unsigned inline_candidates)
+      : fanout_(fanout), inline_candidates_(inline_candidates) {
+    std::vector<MatchT> entries;
+    entries.reserve(table.prefixCount());
+    table.forEachPrefix([&](const PrefixT& p, NextHop nh) {
+      entries.push_back(MatchT{p, nh});
+    });
+    segments_ = SegmentTable<A>::build(std::move(entries), A{});
+  }
+
+  std::optional<MatchT> lookup(const A& address,
+                               mem::AccessCounter& acc) const override {
+    return segments_.lookup(address, fanout_, mem::Region::kIntervalNode, acc);
+  }
+
+  Continuation<A> makeContinuation(
+      const PrefixT& clue, std::span<const MatchT> candidates) const override {
+    Continuation<A> c;
+    c.clue = clue;
+    c.candidate_count = static_cast<std::uint32_t>(candidates.size());
+    if (!candidates.empty()) {
+      std::vector<MatchT> cands(candidates.begin(), candidates.end());
+      c.candidates = std::make_shared<SegmentTable<A>>(
+          SegmentTable<A>::build(std::move(cands), clue.rangeLow()));
+    }
+    return c;
+  }
+
+  std::optional<MatchT> continueLookup(
+      const Continuation<A>& cont, const A& address,
+      std::optional<NeighborIndex> /*neighbor*/,
+      mem::AccessCounter& acc) const override {
+    if (!cont.candidates) return std::nullopt;
+    if (inline_candidates_ > 0 && cont.candidate_count <= inline_candidates_) {
+      return cont.candidates->scan(address);  // rides the entry's line: free
+    }
+    return cont.candidates->lookup(address, fanout_,
+                                   mem::Region::kCandidateSet, acc);
+  }
+
+  std::size_t segmentCount() const { return segments_.segmentCount(); }
+
+ private:
+  SegmentTable<A> segments_;
+  unsigned fanout_;
+  unsigned inline_candidates_;
+};
+
+template <typename A>
+class BinaryIntervalLookup final : public IntervalLookupBase<A> {
+ public:
+  explicit BinaryIntervalLookup(const trie::BinaryTrie<A>& table,
+                                unsigned inline_candidates = 0)
+      : IntervalLookupBase<A>(table, /*fanout=*/2, inline_candidates) {}
+
+  Method method() const override { return Method::kBinary; }
+};
+
+}  // namespace cluert::lookup

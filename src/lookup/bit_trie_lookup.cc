@@ -1,0 +1,8 @@
+#include "lookup/bit_trie_lookup.h"
+
+namespace cluert::lookup {
+
+template class BitTrieLookup<ip::Ip4Addr>;
+template class BitTrieLookup<ip::Ip6Addr>;
+
+}  // namespace cluert::lookup

@@ -1,0 +1,8 @@
+#include "lookup/factory.h"
+
+namespace cluert::lookup {
+
+template class LookupSuite<ip::Ip4Addr>;
+template class LookupSuite<ip::Ip6Addr>;
+
+}  // namespace cluert::lookup

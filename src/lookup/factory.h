@@ -1,0 +1,129 @@
+// LookupSuite: one router's complete set of lookup structures — the binary
+// trie (control plane + "Regular" data plane), the Patricia trie, and the
+// five LookupEngine implementations of §6, all built from one prefix table.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "lookup/binary_interval_lookup.h"
+#include "lookup/bit_trie_lookup.h"
+#include "lookup/engine.h"
+#include "lookup/logw_lookup.h"
+#include "lookup/multiway_lookup.h"
+#include "lookup/patricia_lookup.h"
+#include "lookup/stride_trie_lookup.h"
+
+namespace cluert::lookup {
+
+struct SuiteOptions {
+  unsigned multiway_fanout = MultiwayLookup<ip::Ip4Addr>::kDefaultFanout;
+  // See IntervalLookupBase: candidate sets up to this size are scanned for
+  // free ("same cache line as the clue entry", §4). 0 = disabled.
+  unsigned inline_candidates = 0;
+};
+
+template <typename A>
+class LookupSuite {
+ public:
+  using PrefixT = ip::Prefix<A>;
+  using MatchT = trie::Match<A>;
+
+  explicit LookupSuite(const std::vector<MatchT>& entries,
+                       SuiteOptions options = {})
+      : options_(options) {
+    for (const MatchT& e : entries) trie_.insert(e.prefix, e.next_hop);
+    patricia_ = trie::PatriciaTrie<A>::fromBinaryTrie(trie_);
+    buildEngines();
+  }
+
+  LookupSuite(const LookupSuite&) = delete;
+  LookupSuite& operator=(const LookupSuite&) = delete;
+
+  const trie::BinaryTrie<A>& binaryTrie() const { return trie_; }
+  const trie::PatriciaTrie<A>& patricia() const { return patricia_; }
+
+  const LookupEngine<A>& engine(Method m) const { return *engines_[idx(m)]; }
+
+  // Precomputes the per-vertex Claim-1 "continue" booleans for a neighbor
+  // (§4), on both walkable structures. Must be called before running any
+  // Advance lookup that names this neighbor index. The annotation is
+  // remembered and replayed after route updates.
+  void annotateNeighbor(NeighborIndex neighbor,
+                        const trie::BinaryTrie<A>& neighbor_trie) {
+    applyAnnotation(neighbor, neighbor_trie);
+    for (auto& [idx, trie_ptr] : annotations_) {
+      if (idx == neighbor) {
+        trie_ptr = &neighbor_trie;
+        return;
+      }
+    }
+    annotations_.emplace_back(neighbor, &neighbor_trie);
+  }
+
+  // -- route updates (the dynamics behind §3.4) -----------------------------
+  //
+  // The tries update incrementally; the snapshot-style engines (interval
+  // tables, length hashes) are rebuilt, and neighbor annotations are
+  // replayed. Engine *references* obtained via engine() before the update
+  // are invalidated — callers hold the suite and re-fetch (CluePort does).
+
+  void insertRoute(const PrefixT& prefix, NextHop next_hop) {
+    trie_.insert(prefix, next_hop);
+    patricia_.insert(prefix, next_hop);
+    refreshAfterChange();
+  }
+
+  bool eraseRoute(const PrefixT& prefix) {
+    const bool erased = trie_.erase(prefix);
+    patricia_.erase(prefix);
+    if (erased) refreshAfterChange();
+    return erased;
+  }
+
+ private:
+  static constexpr std::size_t idx(Method m) {
+    return static_cast<std::size_t>(m);
+  }
+
+  void buildEngines() {
+    engines_[idx(Method::kRegular)] =
+        std::make_unique<BitTrieLookup<A>>(trie_);
+    engines_[idx(Method::kPatricia)] =
+        std::make_unique<PatriciaLookup<A>>(patricia_);
+    engines_[idx(Method::kBinary)] = std::make_unique<BinaryIntervalLookup<A>>(
+        trie_, options_.inline_candidates);
+    engines_[idx(Method::kMultiway)] = std::make_unique<MultiwayLookup<A>>(
+        trie_, options_.multiway_fanout, options_.inline_candidates);
+    engines_[idx(Method::kLogW)] = std::make_unique<LogWLookup<A>>(trie_);
+    engines_[idx(Method::kStride)] =
+        std::make_unique<StrideTrieLookup<A>>(trie_);
+  }
+
+  void applyAnnotation(NeighborIndex neighbor,
+                       const trie::BinaryTrie<A>& neighbor_trie) {
+    trie_.computeContinueBits(neighbor, neighbor_trie);
+    patricia_.annotateContinueBits(neighbor, [&](const PrefixT& p) {
+      const auto* v = trie_.findVertex(p);
+      assert(v != nullptr);  // Patricia node strings are binary-trie vertices
+      return trie::BinaryTrie<A>::continueBit(v, neighbor);
+    });
+  }
+
+  void refreshAfterChange() {
+    buildEngines();
+    for (const auto& [neighbor, trie_ptr] : annotations_) {
+      applyAnnotation(neighbor, *trie_ptr);
+    }
+  }
+
+  SuiteOptions options_;
+  trie::BinaryTrie<A> trie_;
+  trie::PatriciaTrie<A> patricia_;
+  std::unique_ptr<LookupEngine<A>> engines_[kMethodCount];
+  std::vector<std::pair<NeighborIndex, const trie::BinaryTrie<A>*>>
+      annotations_;
+};
+
+}  // namespace cluert::lookup

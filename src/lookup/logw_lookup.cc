@@ -1,0 +1,8 @@
+#include "lookup/logw_lookup.h"
+
+namespace cluert::lookup {
+
+template class LogWLookup<ip::Ip4Addr>;
+template class LogWLookup<ip::Ip6Addr>;
+
+}  // namespace cluert::lookup

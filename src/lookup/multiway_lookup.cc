@@ -1,0 +1,8 @@
+#include "lookup/multiway_lookup.h"
+
+namespace cluert::lookup {
+
+template class MultiwayLookup<ip::Ip4Addr>;
+template class MultiwayLookup<ip::Ip6Addr>;
+
+}  // namespace cluert::lookup

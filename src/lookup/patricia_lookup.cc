@@ -1,0 +1,8 @@
+#include "lookup/patricia_lookup.h"
+
+namespace cluert::lookup {
+
+template class PatriciaLookup<ip::Ip4Addr>;
+template class PatriciaLookup<ip::Ip6Addr>;
+
+}  // namespace cluert::lookup

@@ -1,0 +1,49 @@
+// Patricia lookup ([22, 23], §4 "Adapting Patricia") — the paper's preferred
+// structure both as a baseline and for continuing a clue-restricted search
+// ("the combination of the Advance method with Patricia ... is better ...
+// the former searches more locally", §6).
+#pragma once
+
+#include "lookup/engine.h"
+
+namespace cluert::lookup {
+
+template <typename A>
+class PatriciaLookup final : public LookupEngine<A> {
+ public:
+  using PrefixT = ip::Prefix<A>;
+  using MatchT = trie::Match<A>;
+
+  // The engine is a view over the router's Patricia trie.
+  explicit PatriciaLookup(const trie::PatriciaTrie<A>& trie) : trie_(trie) {}
+
+  Method method() const override { return Method::kPatricia; }
+
+  std::optional<MatchT> lookup(const A& address,
+                               mem::AccessCounter& acc) const override {
+    return trie_.lookup(address, acc);
+  }
+
+  Continuation<A> makeContinuation(
+      const PrefixT& clue,
+      std::span<const MatchT> /*candidates*/) const override {
+    Continuation<A> c;
+    c.clue = clue;
+    c.patricia_anchor = trie_.descendAnchor(clue);
+    return c;
+  }
+
+  std::optional<MatchT> continueLookup(const Continuation<A>& cont,
+                                       const A& address,
+                                       std::optional<NeighborIndex> neighbor,
+                                       mem::AccessCounter& acc) const override {
+    if (cont.patricia_anchor == nullptr) return std::nullopt;
+    return trie_.lookupBelow(cont.patricia_anchor, cont.clue, address,
+                             neighbor, acc);
+  }
+
+ private:
+  const trie::PatriciaTrie<A>& trie_;
+};
+
+}  // namespace cluert::lookup

@@ -1,0 +1,8 @@
+#include "lookup/stride_trie_lookup.h"
+
+namespace cluert::lookup {
+
+template class StrideTrieLookup<ip::Ip4Addr>;
+template class StrideTrieLookup<ip::Ip6Addr>;
+
+}  // namespace cluert::lookup

@@ -1,0 +1,27 @@
+#include "mem/access_counter.h"
+
+namespace cluert::mem {
+
+std::string_view regionName(Region r) {
+  switch (r) {
+    case Region::kClueTable:
+      return "clue-table";
+    case Region::kTrieNode:
+      return "trie-node";
+    case Region::kIntervalNode:
+      return "interval-node";
+    case Region::kLengthHash:
+      return "length-hash";
+    case Region::kCandidateSet:
+      return "candidate-set";
+    case Region::kLabelTable:
+      return "label-table";
+    case Region::kFibEntry:
+      return "fib-entry";
+    case Region::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+}  // namespace cluert::mem

@@ -1,0 +1,119 @@
+// Memory-access accounting.
+//
+// The paper's §6 metric is "the number of memory accesses (to a table or the
+// trie)" per lookup, not wall time: in a 1999 router (and still today for
+// DRAM-resident FIBs) each dependent memory reference dominates the lookup
+// cost. Every data structure in this library charges one unit per node /
+// bucket / entry it touches, categorised so benchmarks can break costs down.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace cluert::mem {
+
+// Where an access landed. Kept coarse on purpose — the unit of accounting is
+// "a dependent memory reference", matching the paper.
+enum class Region : std::uint8_t {
+  kClueTable,     // probe of the clues hash / indexed table (§3.3)
+  kTrieNode,      // binary-trie or Patricia vertex visit
+  kIntervalNode,  // node of a binary/multiway interval search (§4)
+  kLengthHash,    // hash probe of the log-W scheme (§4)
+  kCandidateSet,  // per-clue restricted candidate structure (case 3)
+  kLabelTable,    // MPLS / Tag-switching label table (§5.1)
+  kFibEntry,      // final forwarding-table entry fetch
+  kCount,
+};
+
+std::string_view regionName(Region r);
+
+// Accumulates access counts. Cheap enough to pass by reference into every
+// lookup call; copyable for snapshot/delta arithmetic.
+class AccessCounter {
+ public:
+  static constexpr std::size_t kRegions =
+      static_cast<std::size_t>(Region::kCount);
+
+  void add(Region r, std::uint64_t n = 1) {
+    counts_[static_cast<std::size_t>(r)] += n;
+  }
+
+  std::uint64_t count(Region r) const {
+    return counts_[static_cast<std::size_t>(r)];
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (auto c : counts_) t += c;
+    return t;
+  }
+
+  void reset() { counts_.fill(0); }
+
+  // Element-wise difference (this - other); used to cost a single lookup by
+  // snapshotting around it.
+  AccessCounter operator-(const AccessCounter& other) const {
+    AccessCounter r;
+    for (std::size_t i = 0; i < kRegions; ++i) {
+      r.counts_[i] = counts_[i] - other.counts_[i];
+    }
+    return r;
+  }
+
+  AccessCounter& operator+=(const AccessCounter& other) {
+    for (std::size_t i = 0; i < kRegions; ++i) counts_[i] += other.counts_[i];
+    return *this;
+  }
+
+ private:
+  std::array<std::uint64_t, kRegions> counts_{};
+};
+
+// Measures the accesses performed between construction and elapsed()/dtor.
+class ScopedTally {
+ public:
+  explicit ScopedTally(const AccessCounter& counter)
+      : counter_(counter), start_(counter) {}
+
+  std::uint64_t elapsed() const { return counter_.total() - start_.total(); }
+  AccessCounter delta() const { return counter_ - start_; }
+
+ private:
+  const AccessCounter& counter_;
+  AccessCounter start_;
+};
+
+// Models the SDRAM cache-line packing discussed in §3.5 and §4: a 32-byte
+// line holds two 16-byte clue entries, or `lineBytes/entryBytes` candidate
+// prefixes, so a group of that many consecutive entries costs one access.
+class CacheLineModel {
+ public:
+  constexpr CacheLineModel(unsigned line_bytes, unsigned entry_bytes)
+      : line_bytes_(line_bytes), entry_bytes_(entry_bytes) {}
+
+  constexpr unsigned lineBytes() const { return line_bytes_; }
+  constexpr unsigned entryBytes() const { return entry_bytes_; }
+
+  // How many entries fit in one line (at least 1).
+  constexpr unsigned entriesPerLine() const {
+    const unsigned n = line_bytes_ / entry_bytes_;
+    return n == 0 ? 1 : n;
+  }
+
+  // Number of line fetches needed to scan `entries` consecutive entries.
+  constexpr std::uint64_t linesFor(std::uint64_t entries) const {
+    const unsigned per = entriesPerLine();
+    return (entries + per - 1) / per;
+  }
+
+ private:
+  unsigned line_bytes_;
+  unsigned entry_bytes_;
+};
+
+// The paper's running assumption: 32-byte SDRAM lines, 16-byte clue entries
+// (clue value + FD + Ptr + padding), hence two clue entries per line.
+inline constexpr CacheLineModel kSdramLine{32, 16};
+
+}  // namespace cluert::mem

@@ -1,0 +1,8 @@
+#include "mpls/label_table.h"
+
+namespace cluert::mpls {
+
+template class LabelTable<ip::Ip4Addr>;
+template class LabelTable<ip::Ip6Addr>;
+
+}  // namespace cluert::mpls

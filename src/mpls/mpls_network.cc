@@ -1,0 +1,7 @@
+#include "mpls/mpls_network.h"
+
+namespace cluert::mpls {
+
+template class MplsRouter<ip::Ip4Addr>;
+
+}  // namespace cluert::mpls

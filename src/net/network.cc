@@ -1,0 +1,23 @@
+#include "net/network.h"
+
+namespace cluert::net {
+
+template class Router<ip::Ip4Addr>;
+template class Router<ip::Ip6Addr>;
+template class Network<ip::Ip4Addr>;
+
+Network4 buildNetwork(const rib::SyntheticInternet& internet,
+                      const Network4::ConfigFn& config_of) {
+  Network4 net;
+  for (RouterId r = 0; r < internet.routerCount(); ++r) {
+    net.addRouter(r, internet.fib(r), config_of(r));
+  }
+  for (RouterId r = 0; r < internet.routerCount(); ++r) {
+    for (RouterId n : internet.neighbors(r)) {
+      if (n > r) net.link(r, n);  // each undirected link once
+    }
+  }
+  return net;
+}
+
+}  // namespace cluert::net

@@ -1,0 +1,34 @@
+// The simulated packet: destination address plus the clue option (§3) and an
+// optional MPLS label (§5.1). The per-hop trace records what each router did
+// — the raw material of Figure 1.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "core/clue.h"
+
+namespace cluert::net {
+
+// What one router did to a packet — one point of Figure 1's curves.
+struct HopRecord {
+  RouterId router = kNoRouter;
+  std::uint64_t accesses = 0;  // data-plane memory accesses at this router
+  int bmp_length = -1;         // length of the BMP found (-1: no route)
+  bool clue_used = false;      // a clue table answered or seeded the lookup
+  bool delivered = false;
+};
+
+template <typename A>
+struct Packet {
+  A dest{};
+  core::ClueField clue;
+  int ttl = 64;
+  std::vector<HopRecord> trace;
+};
+
+using Packet4 = Packet<ip::Ip4Addr>;
+
+}  // namespace cluert::net

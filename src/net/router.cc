@@ -1,0 +1,8 @@
+#include "net/router.h"
+
+namespace cluert::net {
+
+// Router<> is instantiated in network.cc together with Network<>; this
+// anchor keeps one TU per header.
+
+}  // namespace cluert::net

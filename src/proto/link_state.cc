@@ -1,0 +1,155 @@
+#include "proto/link_state.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <set>
+
+namespace cluert::proto {
+
+namespace {
+
+// True iff the database shows the link in both directions (two-way check).
+bool bidirectional(const LsaDatabase& db, RouterId a, RouterId b) {
+  const Lsa* la = db.find(a);
+  const Lsa* lb = db.find(b);
+  if (la == nullptr || lb == nullptr) return false;
+  const auto has = [](const Lsa& l, RouterId peer) {
+    return std::any_of(l.links.begin(), l.links.end(),
+                       [&](const auto& e) { return e.first == peer; });
+  };
+  return has(*la, b) && has(*lb, a);
+}
+
+}  // namespace
+
+std::map<RouterId, RouterId> LinkStateNode::firstHops() const {
+  // Dijkstra from id_ over the bidirectionally confirmed graph. Distances
+  // tie-break on (cost, first-hop id) so every node computes deterministic,
+  // loop-free routes.
+  using Dist = std::pair<unsigned, RouterId>;  // (cost, first hop)
+  std::map<RouterId, Dist> best;
+  using QueueEntry = std::pair<Dist, RouterId>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  best[id_] = {0, id_};
+  queue.push({{0, id_}, id_});
+  while (!queue.empty()) {
+    const auto [dist, at] = queue.top();
+    queue.pop();
+    const auto it = best.find(at);
+    if (it != best.end() && dist > it->second) continue;
+    const Lsa* lsa = db_.find(at);
+    if (lsa == nullptr) continue;
+    for (const auto& [peer, cost] : lsa->links) {
+      if (!bidirectional(db_, at, peer)) continue;
+      Dist candidate{dist.first + cost,
+                     at == id_ ? peer : dist.second};
+      const auto bit = best.find(peer);
+      if (bit == best.end() || candidate < bit->second) {
+        best[peer] = candidate;
+        queue.push({candidate, peer});
+      }
+    }
+  }
+  std::map<RouterId, RouterId> hops;
+  for (const auto& [router, dist] : best) hops[router] = dist.second;
+  return hops;
+}
+
+rib::Fib4 LinkStateNode::computeFib() const {
+  const auto hops = firstHops();
+  std::vector<rib::Fib4::EntryT> entries;
+  for (const auto& [origin, lsa] : db_.all()) {
+    const auto it = hops.find(origin);
+    if (it == hops.end()) continue;  // unreachable origin
+    for (const ip::Prefix4& p : lsa.prefixes) {
+      entries.push_back({p, it->second});
+    }
+  }
+  return rib::Fib4(std::move(entries));
+}
+
+RouterId LinkStateSimulation::addRouter() {
+  const auto id = static_cast<RouterId>(nodes_.size());
+  nodes_.emplace_back(id);
+  adjacency_.emplace_back();
+  originated_.emplace_back();
+  return id;
+}
+
+void LinkStateSimulation::link(RouterId a, RouterId b, unsigned cost) {
+  assert(a < nodes_.size() && b < nodes_.size() && a != b);
+  adjacency_[a].push_back(Adjacency{b, cost, true});
+  adjacency_[b].push_back(Adjacency{a, cost, true});
+}
+
+void LinkStateSimulation::failLink(RouterId a, RouterId b) {
+  for (Adjacency& adj : adjacency_[a]) {
+    if (adj.peer == b) adj.up = false;
+  }
+  for (Adjacency& adj : adjacency_[b]) {
+    if (adj.peer == a) adj.up = false;
+  }
+}
+
+void LinkStateSimulation::restoreLink(RouterId a, RouterId b) {
+  for (Adjacency& adj : adjacency_[a]) {
+    if (adj.peer == b) adj.up = true;
+  }
+  for (Adjacency& adj : adjacency_[b]) {
+    if (adj.peer == a) adj.up = true;
+  }
+}
+
+void LinkStateSimulation::originate(RouterId r, const ip::Prefix4& prefix) {
+  originated_[r].push_back(prefix);
+}
+
+std::vector<std::pair<RouterId, unsigned>> LinkStateSimulation::liveLinks(
+    RouterId r) const {
+  std::vector<std::pair<RouterId, unsigned>> out;
+  for (const Adjacency& adj : adjacency_[r]) {
+    if (adj.up) out.emplace_back(adj.peer, adj.cost);
+  }
+  return out;
+}
+
+std::vector<ip::Prefix4> LinkStateSimulation::prefixesOf(RouterId r) const {
+  return originated_[r];
+}
+
+void LinkStateSimulation::converge() {
+  ++stats_.rounds;
+  // Every router re-advertises its current local state, then LSAs flood
+  // until no router learns anything new. Failed links carry no messages.
+  struct InFlight {
+    RouterId from;
+    RouterId to;
+    Lsa lsa;
+  };
+  std::deque<InFlight> wire;
+  const auto floodFrom = [&](RouterId r, const Lsa& lsa, RouterId except) {
+    for (const Adjacency& adj : adjacency_[r]) {
+      if (!adj.up || adj.peer == except) continue;
+      wire.push_back(InFlight{r, adj.peer, lsa});
+      ++stats_.messages;
+    }
+  };
+  for (RouterId r = 0; r < nodes_.size(); ++r) {
+    const Lsa lsa = nodes_[r].advertise(liveLinks(r), prefixesOf(r));
+    floodFrom(r, lsa, kNoRouter);
+  }
+  while (!wire.empty()) {
+    const InFlight m = std::move(wire.front());
+    wire.pop_front();
+    if (nodes_[m.to].receive(m.lsa)) {
+      floodFrom(m.to, m.lsa, m.from);
+    }
+  }
+}
+
+}  // namespace cluert::proto

@@ -1,0 +1,144 @@
+// A small link-state interior routing protocol (OSPF-flavoured).
+//
+// §3.3.2 ("Pre-processing construction of the clues hash table") assumes
+// the clue machinery rides on the routing computation: "the routers will
+// use the information they exchange in the routing algorithm (that
+// constructs and updates the routing tables) to construct and update the
+// clues table". This module provides that substrate: routers originate
+// link-state advertisements (their links and their prefixes), flood them,
+// run Dijkstra over the converged database and derive their FIBs. Topology
+// changes (link failures/recoveries) re-flood and reconverge, producing
+// exactly the FIB deltas the route-update machinery in src/core consumes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "rib/fib.h"
+
+namespace cluert::proto {
+
+// One router's link-state advertisement: its live adjacencies and the
+// prefixes it originates. `seq` orders re-advertisements.
+struct Lsa {
+  RouterId origin = kNoRouter;
+  std::uint64_t seq = 0;
+  std::vector<std::pair<RouterId, unsigned>> links;  // (neighbor, cost)
+  std::vector<ip::Prefix4> prefixes;
+};
+
+// The flooded database: the newest LSA per origin.
+class LsaDatabase {
+ public:
+  // Installs the LSA if it is newer than what is stored. Returns true iff
+  // installed (the caller then floods it onward).
+  bool install(const Lsa& lsa) {
+    auto [it, inserted] = db_.try_emplace(lsa.origin, lsa);
+    if (inserted) return true;
+    if (lsa.seq <= it->second.seq) return false;
+    it->second = lsa;
+    return true;
+  }
+
+  const Lsa* find(RouterId origin) const {
+    const auto it = db_.find(origin);
+    return it == db_.end() ? nullptr : &it->second;
+  }
+
+  const std::map<RouterId, Lsa>& all() const { return db_; }
+  std::size_t size() const { return db_.size(); }
+
+ private:
+  std::map<RouterId, Lsa> db_;  // ordered: deterministic iteration
+};
+
+// One router's protocol instance: local state, database, SPF + FIB.
+class LinkStateNode {
+ public:
+  explicit LinkStateNode(RouterId id) : id_(id) {}
+
+  RouterId id() const { return id_; }
+  const LsaDatabase& database() const { return db_; }
+
+  // (Re)announces local links/prefixes; returns the LSA to flood.
+  Lsa advertise(std::vector<std::pair<RouterId, unsigned>> links,
+                std::vector<ip::Prefix4> prefixes) {
+    Lsa lsa;
+    lsa.origin = id_;
+    lsa.seq = ++seq_;
+    lsa.links = std::move(links);
+    lsa.prefixes = std::move(prefixes);
+    db_.install(lsa);
+    return lsa;
+  }
+
+  // Handles a flooded LSA; true iff it was new (flood it onward).
+  bool receive(const Lsa& lsa) { return db_.install(lsa); }
+
+  // Dijkstra over the database (only bidirectionally advertised links
+  // count, the standard two-way connectivity check) and FIB derivation:
+  // every prefix maps to the first hop toward its originator;
+  // self-originated prefixes map to this router's own id (the delivery
+  // convention of the net simulator).
+  rib::Fib4 computeFib() const;
+
+ private:
+  // Shortest-path first hops from this node over the current database.
+  std::map<RouterId, RouterId> firstHops() const;
+
+  RouterId id_;
+  std::uint64_t seq_ = 0;
+  LsaDatabase db_;
+};
+
+// Drives a set of nodes to convergence: synchronous flooding with message
+// accounting. The simulation owns the "wire"; nodes never see each other
+// directly.
+class LinkStateSimulation {
+ public:
+  struct Stats {
+    std::uint64_t messages = 0;  // LSA transmissions on links
+    std::uint64_t rounds = 0;    // converge() invocations of the pump
+  };
+
+  // Routers must be added densely from id 0.
+  RouterId addRouter();
+
+  // Declares a bidirectional adjacency with the given cost.
+  void link(RouterId a, RouterId b, unsigned cost = 1);
+
+  // Marks a link failed / restored; takes effect at the next converge().
+  void failLink(RouterId a, RouterId b);
+  void restoreLink(RouterId a, RouterId b);
+
+  // Adds an originated prefix.
+  void originate(RouterId r, const ip::Prefix4& prefix);
+
+  // Floods every pending advertisement until the network is quiescent.
+  void converge();
+
+  std::size_t routerCount() const { return nodes_.size(); }
+  const LinkStateNode& node(RouterId r) const { return nodes_[r]; }
+  rib::Fib4 fib(RouterId r) const { return nodes_[r].computeFib(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Adjacency {
+    RouterId peer;
+    unsigned cost;
+    bool up = true;
+  };
+
+  std::vector<std::pair<RouterId, unsigned>> liveLinks(RouterId r) const;
+  std::vector<ip::Prefix4> prefixesOf(RouterId r) const;
+
+  std::vector<LinkStateNode> nodes_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+  std::vector<std::vector<ip::Prefix4>> originated_;
+  Stats stats_;
+};
+
+}  // namespace cluert::proto

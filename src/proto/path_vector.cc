@@ -1,0 +1,163 @@
+#include "proto/path_vector.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cluert::proto {
+
+namespace {
+
+// Deterministic best-route order: shorter AS path, then lexicographically
+// smaller path, then lower learned_from.
+bool better(const PvRoute& x, const PvRoute& y) {
+  if (x.pathLength() != y.pathLength()) {
+    return x.pathLength() < y.pathLength();
+  }
+  if (x.as_path != y.as_path) return x.as_path < y.as_path;
+  return x.learned_from < y.learned_from;
+}
+
+}  // namespace
+
+bool PathVectorNode::receive(RouterId from, const PvRoute& route) {
+  // Loop prevention: reject paths we already appear on.
+  if (std::find(route.as_path.begin(), route.as_path.end(), id_) !=
+      route.as_path.end()) {
+    return false;
+  }
+  auto& rib = adj_in_[from];
+  const auto it = rib.find(route.prefix);
+  if (it != rib.end() && it->second.as_path == route.as_path) {
+    return false;  // unchanged
+  }
+  PvRoute stored = route;
+  stored.learned_from = from;
+  rib[route.prefix] = std::move(stored);
+  return true;
+}
+
+void PathVectorNode::resetPeer(RouterId from) { adj_in_.erase(from); }
+
+std::map<ip::Prefix4, PvRoute> PathVectorNode::locRib() const {
+  std::map<ip::Prefix4, PvRoute> best;
+  // Self-originated routes win unconditionally (path length 0).
+  for (const ip::Prefix4& p : originated_) {
+    PvRoute r;
+    r.prefix = p;
+    r.learned_from = kNoRouter;
+    best[p] = std::move(r);
+  }
+  for (const auto& [peer, rib] : adj_in_) {
+    for (const auto& [prefix, route] : rib) {
+      const auto it = best.find(prefix);
+      if (it == best.end()) {
+        best[prefix] = route;
+      } else if (it->second.learned_from != kNoRouter &&
+                 better(route, it->second)) {
+        it->second = route;
+      }
+    }
+  }
+  return best;
+}
+
+bool PathVectorNode::coveredByAggregate(const ip::Prefix4& p,
+                                        ip::Prefix4* block_out) const {
+  for (const ip::Prefix4& block : aggregates_) {
+    if (block.isStrictPrefixOf(p)) {
+      *block_out = block;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<PvRoute> PathVectorNode::exportsTo(RouterId to) const {
+  std::vector<PvRoute> out;
+  std::vector<ip::Prefix4> aggregates_sent;
+  for (const auto& [prefix, route] : locRib()) {
+    // Never send a route back to the peer it came from (split horizon; the
+    // AS-path check would reject it anyway).
+    if (route.learned_from == to) continue;
+    ip::Prefix4 exported = prefix;
+    const bool aggregatable =
+        route.learned_from == kNoRouter ||
+        std::find(internal_peers_.begin(), internal_peers_.end(),
+                  route.learned_from) != internal_peers_.end();
+    const bool to_internal =
+        std::find(internal_peers_.begin(), internal_peers_.end(), to) !=
+        internal_peers_.end();
+    if (aggregatable && !to_internal) {
+      // Border aggregation of the AS's address space (§3: "aggregation is
+      // done inside some domains, and at the borders of the ASs"); exports
+      // toward internal peers keep the specifics.
+      ip::Prefix4 block;
+      if (coveredByAggregate(prefix, &block)) {
+        if (std::find(aggregates_sent.begin(), aggregates_sent.end(),
+                      block) != aggregates_sent.end()) {
+          continue;  // the block was already announced
+        }
+        aggregates_sent.push_back(block);
+        exported = block;
+      }
+    }
+    if (filter_ && !filter_(exported, to)) continue;
+    PvRoute adv;
+    adv.prefix = exported;
+    adv.as_path.reserve(route.as_path.size() + 1);
+    adv.as_path.push_back(id_);
+    adv.as_path.insert(adv.as_path.end(), route.as_path.begin(),
+                       route.as_path.end());
+    out.push_back(std::move(adv));
+  }
+  return out;
+}
+
+rib::Fib4 PathVectorNode::fib() const {
+  std::vector<rib::Fib4::EntryT> entries;
+  for (const auto& [prefix, route] : locRib()) {
+    entries.push_back(
+        {prefix,
+         route.learned_from == kNoRouter ? id_ : route.learned_from});
+  }
+  return rib::Fib4(std::move(entries));
+}
+
+RouterId PathVectorSimulation::addRouter() {
+  const auto id = static_cast<RouterId>(nodes_.size());
+  nodes_.emplace_back(id);
+  peers_.emplace_back();
+  return id;
+}
+
+void PathVectorSimulation::peer(RouterId a, RouterId b) {
+  assert(a < nodes_.size() && b < nodes_.size() && a != b);
+  peers_[a].push_back(b);
+  peers_[b].push_back(a);
+}
+
+void PathVectorSimulation::converge(std::size_t max_rounds) {
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    ++stats_.rounds;
+    bool changed = false;
+    // Synchronous round: everyone exports, then everyone absorbs.
+    std::vector<std::vector<std::pair<RouterId, PvRoute>>> inbox(
+        nodes_.size());
+    for (RouterId r = 0; r < nodes_.size(); ++r) {
+      for (RouterId p : peers_[r]) {
+        for (PvRoute& adv : nodes_[r].exportsTo(p)) {
+          inbox[p].emplace_back(r, std::move(adv));
+          ++stats_.updates;
+        }
+      }
+    }
+    for (RouterId r = 0; r < nodes_.size(); ++r) {
+      for (auto& [from, adv] : inbox[r]) {
+        if (nodes_[r].receive(from, adv)) changed = true;
+      }
+    }
+    if (!changed) return;
+  }
+}
+
+}  // namespace cluert::proto

@@ -1,0 +1,127 @@
+// A small path-vector exterior routing protocol (BGP-flavoured).
+//
+// §3 grounds the clue mechanism in properties of BGP: "the computation of a
+// forwarding table at a router is based on the forwarding tables of its
+// neighbors" (similarity); "aggregation of prefixes is discouraged [under
+// BGP] ... aggregation is done inside some domains and at the borders of
+// the ASs" and "there are other policies carried out by BGP that may cause
+// dissimilarities ... policies by which a BGP router tries to hide
+// information from neighbors for policing reasons".
+//
+// This module reproduces those forces so they can be dialled and measured:
+// routers advertise (prefix, AS path) to peers, pick shortest-path routes
+// with deterministic tie-breaking, refuse paths containing themselves (loop
+// prevention), optionally *aggregate* their own address blocks at the
+// border, and optionally *filter* what they export per peer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "rib/fib.h"
+
+namespace cluert::proto {
+
+// One learned (or originated) route.
+struct PvRoute {
+  ip::Prefix4 prefix;
+  std::vector<RouterId> as_path;  // nearest speaker first; origin last
+  RouterId learned_from = kNoRouter;  // kNoRouter: originated here
+
+  std::size_t pathLength() const { return as_path.size(); }
+};
+
+// Decides whether `prefix` may be exported to peer `to`. Used to model the
+// §3 "hide information from neighbors" policies.
+using ExportFilter = std::function<bool(const ip::Prefix4& prefix,
+                                        RouterId to)>;
+
+class PathVectorNode {
+ public:
+  explicit PathVectorNode(RouterId id) : id_(id) {}
+
+  RouterId id() const { return id_; }
+
+  void originate(const ip::Prefix4& prefix) { originated_.push_back(prefix); }
+
+  // Border aggregation: when exporting a prefix covered by one of these
+  // blocks — self-originated, or learned from an *internal* peer (a router
+  // inside this AS / a customer) — the block is announced instead (once).
+  // The more-specifics stay in the local table, which is exactly the §3
+  // pattern: "aggregation is done inside some domains and at the borders of
+  // the ASs. Once the prefixes ... are sent by the routing algorithm
+  // outside of the AS, they are not aggregated anymore."
+  void addAggregate(const ip::Prefix4& block) { aggregates_.push_back(block); }
+
+  // Marks a peer as internal (routes learned from it are subject to border
+  // aggregation when re-exported).
+  void setInternalPeer(RouterId peer) { internal_peers_.push_back(peer); }
+
+  void setExportFilter(ExportFilter filter) { filter_ = std::move(filter); }
+
+  // Installs a route advertisement from `from`. Paths containing this
+  // router are rejected (loop prevention). Returns true if the Adj-RIB-In
+  // changed (the simulation then knows another round is needed).
+  bool receive(RouterId from, const PvRoute& route);
+
+  // Withdraws everything previously learned from `from` (session reset).
+  void resetPeer(RouterId from);
+
+  // Best route per prefix: shortest AS path, then lowest first AS, then
+  // lowest learned_from — deterministic.
+  std::map<ip::Prefix4, PvRoute> locRib() const;
+
+  // The advertisements this node currently exports to `to` (best routes,
+  // with this AS prepended, after aggregation and the export filter).
+  std::vector<PvRoute> exportsTo(RouterId to) const;
+
+  // The forwarding table: every Loc-RIB prefix mapped to the neighbor it
+  // was learned from (self-originated prefixes map to this router).
+  rib::Fib4 fib() const;
+
+  const std::vector<ip::Prefix4>& originated() const { return originated_; }
+
+ private:
+  bool coveredByAggregate(const ip::Prefix4& p,
+                          ip::Prefix4* block_out) const;
+
+  RouterId id_;
+  std::vector<ip::Prefix4> originated_;
+  std::vector<ip::Prefix4> aggregates_;
+  std::vector<RouterId> internal_peers_;
+  ExportFilter filter_;
+  // Adj-RIB-In: per peer, per prefix.
+  std::map<RouterId, std::map<ip::Prefix4, PvRoute>> adj_in_;
+};
+
+// Synchronous-round simulation: every round, each node exports its current
+// best routes to every peer; rounds repeat until no Adj-RIB-In changes.
+class PathVectorSimulation {
+ public:
+  RouterId addRouter();
+  void peer(RouterId a, RouterId b);
+  PathVectorNode& node(RouterId r) { return nodes_[r]; }
+  const PathVectorNode& node(RouterId r) const { return nodes_[r]; }
+  std::size_t routerCount() const { return nodes_.size(); }
+
+  struct Stats {
+    std::uint64_t updates = 0;  // route advertisements delivered
+    std::uint64_t rounds = 0;
+  };
+
+  void converge(std::size_t max_rounds = 64);
+
+  rib::Fib4 fib(RouterId r) const { return nodes_[r].fib(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::vector<PathVectorNode> nodes_;
+  std::vector<std::vector<RouterId>> peers_;
+  Stats stats_;
+};
+
+}  // namespace cluert::proto

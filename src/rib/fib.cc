@@ -1,0 +1,8 @@
+#include "rib/fib.h"
+
+namespace cluert::rib {
+
+template class Fib<ip::Ip4Addr>;
+template class Fib<ip::Ip6Addr>;
+
+}  // namespace cluert::rib

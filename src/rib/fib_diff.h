@@ -1,0 +1,88 @@
+// FIB delta computation: what changed between two versions of a table.
+// This is the unit of work a routing-protocol reconvergence hands to the
+// route-update machinery (LookupSuite::insertRoute/eraseRoute and
+// CluePort::onLocalRouteChanged / onNeighborRouteChanged).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "rib/fib.h"
+
+namespace cluert::rib {
+
+template <typename A>
+struct FibDelta {
+  using EntryT = typename Fib<A>::EntryT;
+
+  std::vector<EntryT> added;             // prefix new in `next`
+  std::vector<typename Fib<A>::PrefixT> removed;  // prefix gone from `prev`
+  std::vector<EntryT> rerouted;          // same prefix, new next hop
+
+  bool empty() const {
+    return added.empty() && removed.empty() && rerouted.empty();
+  }
+  std::size_t size() const {
+    return added.size() + removed.size() + rerouted.size();
+  }
+};
+
+template <typename A>
+FibDelta<A> diff(const Fib<A>& prev, const Fib<A>& next) {
+  FibDelta<A> d;
+  std::unordered_map<typename Fib<A>::PrefixT, NextHop> old_routes;
+  old_routes.reserve(prev.size() * 2);
+  for (const auto& e : prev.entries()) old_routes.emplace(e.prefix, e.next_hop);
+  for (const auto& e : next.entries()) {
+    const auto it = old_routes.find(e.prefix);
+    if (it == old_routes.end()) {
+      d.added.push_back(e);
+    } else {
+      if (it->second != e.next_hop) d.rerouted.push_back(e);
+      old_routes.erase(it);
+    }
+  }
+  d.removed.reserve(old_routes.size());
+  for (const auto& [prefix, nh] : old_routes) d.removed.push_back(prefix);
+  return d;
+}
+
+// Applies a delta to a lookup suite and notifies a clue port. `SuiteT` is
+// lookup::LookupSuite<A>; `PortT` is core::CluePort<A> (templates avoid a
+// dependency cycle between rib and core).
+template <typename A, typename SuiteT, typename PortT>
+void applyLocalDelta(const FibDelta<A>& d, SuiteT& suite, PortT& port) {
+  for (const auto& p : d.removed) {
+    suite.eraseRoute(p);
+    port.onLocalRouteChanged(p);
+  }
+  for (const auto& e : d.added) {
+    suite.insertRoute(e.prefix, e.next_hop);
+    port.onLocalRouteChanged(e.prefix);
+  }
+  for (const auto& e : d.rerouted) {
+    suite.insertRoute(e.prefix, e.next_hop);  // overwrite in place
+    port.onLocalRouteChanged(e.prefix);
+  }
+}
+
+// Neighbor-side counterpart: maintains the sender's prefix view `t1`
+// (shared with the port) and refreshes affected entries.
+template <typename A, typename PortT>
+void applyNeighborDelta(const FibDelta<A>& d, trie::BinaryTrie<A>& t1,
+                        PortT& port) {
+  for (const auto& p : d.removed) {
+    t1.erase(p);
+    port.onNeighborRouteChanged(p);
+  }
+  for (const auto& e : d.added) {
+    t1.insert(e.prefix, e.next_hop);
+    port.onNeighborRouteChanged(e.prefix);
+  }
+  for (const auto& e : d.rerouted) {
+    t1.insert(e.prefix, e.next_hop);
+    port.onNeighborRouteChanged(e.prefix);
+  }
+}
+
+}  // namespace cluert::rib

@@ -1,0 +1,240 @@
+#include "rib/internet_gen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <unordered_set>
+
+namespace cluert::rib {
+
+namespace {
+
+// Address layout: core c owns (10+c).0.0.0/8; mid j under c owns the /12
+// with bits 8..11 = j; edge k under that mid owns the /16 with bits
+// 12..15 = k. Keeps everything disjoint for up to 16 mids/core and 16
+// edges/mid.
+ip::Prefix4 coreBlock(std::size_t c) {
+  return ip::Prefix4(ip::Ip4Addr(static_cast<std::uint32_t>(10 + c) << 24), 8);
+}
+
+ip::Prefix4 midBlock(std::size_t c, std::size_t j) {
+  const std::uint32_t v = (static_cast<std::uint32_t>(10 + c) << 24) |
+                          (static_cast<std::uint32_t>(j) << 20);
+  return ip::Prefix4(ip::Ip4Addr(v), 12);
+}
+
+ip::Prefix4 edgeBlock(std::size_t c, std::size_t j, std::size_t k) {
+  const std::uint32_t v = (static_cast<std::uint32_t>(10 + c) << 24) |
+                          (static_cast<std::uint32_t>(j) << 20) |
+                          (static_cast<std::uint32_t>(k) << 16);
+  return ip::Prefix4(ip::Ip4Addr(v), 16);
+}
+
+}  // namespace
+
+SyntheticInternet::SyntheticInternet(const InternetOptions& options)
+    : options_(options) {
+  assert(options.cores >= 1 && options.cores <= 16);
+  assert(options.mids_per_core >= 1 && options.mids_per_core <= 16);
+  assert(options.edges_per_mid >= 1 && options.edges_per_mid <= 16);
+
+  const std::size_t cores = options.cores;
+  const std::size_t mids = cores * options.mids_per_core;
+  const std::size_t edges = mids * options.edges_per_mid;
+  const std::size_t total = cores + mids + edges;
+
+  tiers_.assign(total, Tier::kEdge);
+  adjacency_.assign(total, {});
+  owned_.assign(total, PrefixT{});
+  specifics_.assign(total, {});
+  fibs_.assign(total, Fib4{});
+
+  // Ids: cores first, then mids grouped by core, then edges grouped by mid.
+  const auto coreId = [&](std::size_t c) { return static_cast<RouterId>(c); };
+  const auto midId = [&](std::size_t c, std::size_t j) {
+    return static_cast<RouterId>(cores + c * options.mids_per_core + j);
+  };
+  const auto edgeId = [&](std::size_t c, std::size_t j, std::size_t k) {
+    return static_cast<RouterId>(
+        cores + mids +
+        (c * options.mids_per_core + j) * options.edges_per_mid + k);
+  };
+
+  Rng rng(options.seed);
+
+  // Topology: full core mesh; each mid dual-homed to its core and the next;
+  // each edge single-homed to its mid.
+  for (std::size_t a = 0; a < cores; ++a) {
+    tiers_[coreId(a)] = Tier::kCore;
+    owned_[coreId(a)] = coreBlock(a);
+    for (std::size_t b = a + 1; b < cores; ++b) link(coreId(a), coreId(b));
+  }
+  for (std::size_t c = 0; c < cores; ++c) {
+    for (std::size_t j = 0; j < options.mids_per_core; ++j) {
+      const RouterId m = midId(c, j);
+      tiers_[m] = Tier::kMid;
+      owned_[m] = midBlock(c, j);
+      link(m, coreId(c));
+      if (cores > 1) link(m, coreId((c + 1) % cores));
+      for (std::size_t k = 0; k < options.edges_per_mid; ++k) {
+        const RouterId e = edgeId(c, j, k);
+        tiers_[e] = Tier::kEdge;
+        owned_[e] = edgeBlock(c, j, k);
+        link(e, m);
+        // Originated specifics: distinct prefixes of length 17..26 inside
+        // the edge's /16.
+        std::unordered_set<PrefixT> seen;
+        while (specifics_[e].size() < options.specifics_per_edge) {
+          const int len = static_cast<int>(rng.uniform(17, 26));
+          ip::Ip4Addr a4 = owned_[e].addr();
+          for (int bit = 16; bit < len; ++bit) {
+            a4 = a4.withBit(bit, static_cast<unsigned>(rng.u32() & 1));
+          }
+          const PrefixT p(a4, len);
+          if (seen.insert(p).second) specifics_[e].push_back(p);
+        }
+      }
+    }
+  }
+
+  // Origin registry (for originOf / Figure 1 ground truth).
+  for (RouterId r = 0; r < total; ++r) {
+    origins_.push_back(Origin{owned_[r], r});
+    for (const PrefixT& p : specifics_[r]) origins_.push_back(Origin{p, r});
+  }
+
+  computeFibs();
+}
+
+void SyntheticInternet::link(RouterId a, RouterId b) {
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+}
+
+std::vector<RouterId> SyntheticInternet::byTier(Tier t) const {
+  std::vector<RouterId> out;
+  for (RouterId r = 0; r < tiers_.size(); ++r) {
+    if (tiers_[r] == t) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<RouterId> SyntheticInternet::path(RouterId from,
+                                              RouterId to) const {
+  // BFS from `to`; walk parents from `from`.
+  std::vector<RouterId> parent(tiers_.size(), kNoRouter);
+  std::vector<char> seen(tiers_.size(), 0);
+  std::deque<RouterId> queue{to};
+  seen[to] = 1;
+  while (!queue.empty()) {
+    const RouterId r = queue.front();
+    queue.pop_front();
+    for (RouterId n : adjacency_[r]) {
+      if (!seen[n]) {
+        seen[n] = 1;
+        parent[n] = r;
+        queue.push_back(n);
+      }
+    }
+  }
+  std::vector<RouterId> out;
+  if (!seen[from]) return out;
+  for (RouterId r = from; r != kNoRouter; r = parent[r]) {
+    out.push_back(r);
+    if (r == to) break;
+  }
+  return out;
+}
+
+void SyntheticInternet::computeFibs() {
+  const std::size_t total = tiers_.size();
+  // All-pairs next hop: BFS from every owner.
+  std::vector<std::vector<RouterId>> toward(total);  // toward[t][r]
+  for (RouterId t = 0; t < total; ++t) {
+    std::vector<RouterId> next(total, kNoRouter);
+    std::vector<int> dist(total, -1);
+    std::deque<RouterId> queue{t};
+    dist[t] = 0;
+    next[t] = t;
+    while (!queue.empty()) {
+      const RouterId r = queue.front();
+      queue.pop_front();
+      for (RouterId n : adjacency_[r]) {
+        if (dist[n] < 0) {
+          dist[n] = dist[r] + 1;
+          next[n] = r;  // first hop from n toward t goes via r
+          queue.push_back(n);
+        }
+      }
+    }
+    toward[t] = std::move(next);
+  }
+
+  const std::size_t cores = options_.cores;
+  const auto homeCoreOf = [&](RouterId r) -> std::size_t {
+    // Derived from the owned block's first octet.
+    return (owned_[r].addr().value() >> 24) - 10;
+  };
+
+  for (RouterId r = 0; r < total; ++r) {
+    std::vector<Fib4::EntryT> entries;
+    // Everyone knows every core aggregate (/8).
+    for (RouterId c = 0; c < cores; ++c) {
+      entries.push_back({owned_[c], toward[c][r]});
+    }
+    // Routers of region X also know X's /12 mid aggregates.
+    for (RouterId m = 0; m < total; ++m) {
+      if (tiers_[m] != Tier::kMid) continue;
+      if (homeCoreOf(m) != homeCoreOf(r)) continue;
+      entries.push_back({owned_[m], toward[m][r]});
+    }
+    // A mid and its edges know the /16 of every edge under that mid, plus
+    // those edges' specifics (the mid is where aggregation to /12 happens on
+    // the way up, so below it everything is specific).
+    for (RouterId e = 0; e < total; ++e) {
+      if (tiers_[e] != Tier::kEdge) continue;
+      const RouterId home_mid = adjacency_[e].front();
+      const bool in_subtree =
+          r == e || r == home_mid ||
+          (tiers_[r] == Tier::kEdge && adjacency_[r].front() == home_mid);
+      if (!in_subtree) continue;
+      entries.push_back({owned_[e], toward[e][r]});
+      for (const PrefixT& p : specifics_[e]) {
+        entries.push_back({p, toward[e][r]});
+      }
+    }
+    fibs_[r] = Fib4(std::move(entries));
+  }
+}
+
+RouterId SyntheticInternet::originOf(const Addr& a) const {
+  RouterId best = kNoRouter;
+  int best_len = -1;
+  for (const Origin& o : origins_) {
+    if (o.prefix.matches(a) && o.prefix.length() > best_len) {
+      best = o.router;
+      best_len = o.prefix.length();
+    }
+  }
+  return best;
+}
+
+ip::Ip4Addr SyntheticInternet::randomDestination(Rng& rng) const {
+  const auto edges = edgeRouters();
+  return randomDestinationAt(edges[rng.index(edges.size())], rng);
+}
+
+ip::Ip4Addr SyntheticInternet::randomDestinationAt(RouterId edge,
+                                                   Rng& rng) const {
+  assert(tiers_[edge] == Tier::kEdge);
+  const auto& specs = specifics_[edge];
+  const PrefixT& p = specs.empty() ? owned_[edge]
+                                   : specs[rng.index(specs.size())];
+  ip::Ip4Addr a = p.addr();
+  for (int bit = p.length(); bit < 32; ++bit) {
+    a = a.withBit(bit, static_cast<unsigned>(rng.u32() & 1));
+  }
+  return a;
+}
+
+}  // namespace cluert::rib

@@ -1,0 +1,86 @@
+// Synthetic internet: a three-tier router topology (core / mid / edge) with
+// hierarchical address allocation, shortest-path route computation and
+// scope-limited aggregation.
+//
+// This is the substrate behind Figure 1 ("Best matching prefix of a packet
+// along its way to the destination") and behind the end-to-end network
+// simulations: because aggregates are announced widely while the
+// more-specifics stay near their origin, the BMP a packet matches grows as
+// it approaches the destination — backbone routers match short aggregates
+// (little clue-continuation work), edge routers match long specifics.
+// Neighboring routers' tables are similar by construction, exactly the
+// property §3 argues real tables have.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "rib/fib.h"
+
+namespace cluert::rib {
+
+struct InternetOptions {
+  std::size_t cores = 4;             // backbone routers, fully meshed
+  std::size_t mids_per_core = 3;     // regional routers per core
+  std::size_t edges_per_mid = 4;     // access routers per regional
+  std::size_t specifics_per_edge = 24;  // more-specific prefixes per edge
+  std::uint64_t seed = 1;
+};
+
+class SyntheticInternet {
+ public:
+  using PrefixT = ip::Prefix4;
+  using Addr = ip::Ip4Addr;
+
+  explicit SyntheticInternet(const InternetOptions& options);
+
+  enum class Tier { kCore, kMid, kEdge };
+
+  std::size_t routerCount() const { return fibs_.size(); }
+  Tier tierOf(RouterId r) const { return tiers_[r]; }
+  const Fib4& fib(RouterId r) const { return fibs_[r]; }
+  const std::vector<RouterId>& neighbors(RouterId r) const {
+    return adjacency_[r];
+  }
+
+  std::vector<RouterId> coreRouters() const { return byTier(Tier::kCore); }
+  std::vector<RouterId> edgeRouters() const { return byTier(Tier::kEdge); }
+
+  // Shortest router path (BFS over the link graph), endpoints included.
+  std::vector<RouterId> path(RouterId from, RouterId to) const;
+
+  // The edge router originating the longest prefix covering `a` (kNoRouter
+  // if `a` is outside every allocated block).
+  RouterId originOf(const Addr& a) const;
+
+  // A destination address drawn uniformly from the specifics of a uniformly
+  // chosen edge router.
+  Addr randomDestination(Rng& rng) const;
+
+  // An address inside the given edge router's block.
+  Addr randomDestinationAt(RouterId edge, Rng& rng) const;
+
+ private:
+  struct Origin {
+    PrefixT prefix;
+    RouterId router;
+  };
+
+  std::vector<RouterId> byTier(Tier t) const;
+  void link(RouterId a, RouterId b);
+  void computeFibs();
+
+  InternetOptions options_;
+  std::vector<Tier> tiers_;
+  std::vector<std::vector<RouterId>> adjacency_;
+  std::vector<Fib4> fibs_;
+  // Per-router "owned" aggregate (cores own /8s, mids /12s, edges /16s) and
+  // the specifics each edge originates.
+  std::vector<PrefixT> owned_;
+  std::vector<std::vector<PrefixT>> specifics_;  // indexed by router id
+  std::vector<Origin> origins_;                  // all originated prefixes
+};
+
+}  // namespace cluert::rib

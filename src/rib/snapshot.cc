@@ -1,0 +1,278 @@
+#include "rib/snapshot.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace cluert::rib {
+
+namespace {
+
+using Prefix4 = ip::Prefix4;
+using Entry = Fib4::EntryT;
+
+constexpr NextHop kNextHopFanout = 16;
+
+NextHop randomNextHop(Rng& rng) {
+  return static_cast<NextHop>(rng.uniform(0, kNextHopFanout - 1));
+}
+
+// A uniformly sampled `count`-subset of `pool` (fresh next hops: the two
+// routers forward through different ports).
+std::vector<Entry> sampleFrom(const std::vector<Prefix4>& pool, Rng& rng,
+                              std::size_t count) {
+  std::vector<std::size_t> order(pool.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  count = std::min(count, pool.size());
+  std::vector<Entry> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(Entry{pool[order[i]], randomNextHop(rng)});
+  }
+  return out;
+}
+
+Prefix4 extendPrefix(Rng& rng, const Prefix4& parent, int max_extra) {
+  const int room = 32 - parent.length();
+  const int extra = static_cast<int>(
+      rng.uniform(1, static_cast<std::uint64_t>(std::min(max_extra, room))));
+  ip::Ip4Addr a = parent.addr();
+  for (int i = 0; i < extra; ++i) {
+    a = a.withBit(parent.length() + i, static_cast<unsigned>(rng.u32() & 1));
+  }
+  return Prefix4(a, parent.length() + extra);
+}
+
+// True iff some strict ancestor of `p` is in `set`.
+bool hasAncestorIn(const Prefix4& p, const std::unordered_set<Prefix4>& set) {
+  for (int len = p.length() - 1; len > 0; --len) {
+    if (set.count(p.truncated(len)) != 0) return true;
+  }
+  return false;
+}
+
+// `count` prefixes absent from `avoid`: a fraction `ext_fraction` strictly
+// extend a member of `parents` (these are what makes clues problematic at
+// the router that owns the result), the rest are drawn independently.
+// When `no_ancestors_in` is given, the independent draws additionally avoid
+// nesting under that prefix set — this pins the problematic-clue count of
+// Table 2 to the extension fraction alone (a random /24 would otherwise
+// land under some sender /8 half the time and inflate the count).
+std::vector<Entry> freshPrefixes(
+    Rng& rng, std::size_t count, double ext_fraction,
+    const std::vector<Prefix4>& parents, std::unordered_set<Prefix4>& avoid,
+    const std::unordered_set<Prefix4>* no_ancestors_in = nullptr) {
+  const auto hist = internetLengths1999();
+  const std::vector<double> weights(hist.weight.begin(), hist.weight.end());
+  const std::size_t want_ext = static_cast<std::size_t>(
+      std::llround(static_cast<double>(count) * ext_fraction));
+  std::vector<Entry> out;
+  out.reserve(count);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = count * 200 + 10'000;
+  while (out.size() < count && ++attempts < max_attempts) {
+    Prefix4 p;
+    if (out.size() < want_ext && !parents.empty()) {
+      const Prefix4& parent = parents[rng.index(parents.size())];
+      if (parent.length() >= 30) continue;
+      p = extendPrefix(rng, parent, 4);
+    } else {
+      const int len = static_cast<int>(rng.weighted(weights));
+      if (len == 0) continue;
+      p = Prefix4(ip::Ip4Addr(rng.u32()), len);
+      if (no_ancestors_in != nullptr && hasAncestorIn(p, *no_ancestors_in)) {
+        continue;
+      }
+    }
+    if (!avoid.insert(p).second) continue;
+    out.push_back(Entry{p, randomNextHop(rng)});
+  }
+  if (out.size() < count) {
+    throw std::runtime_error("snapshot generation: address pool exhausted");
+  }
+  return out;
+}
+
+std::vector<Prefix4> prefixesOf(const std::vector<Entry>& entries) {
+  std::vector<Prefix4> out;
+  out.reserve(entries.size());
+  for (const Entry& e : entries) out.push_back(e.prefix);
+  return out;
+}
+
+std::vector<Entry> concat(std::vector<Entry> a, const std::vector<Entry>& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  return a;
+}
+
+std::size_t scaled(std::size_t n, double scale) {
+  const auto v = static_cast<std::size_t>(std::llround(n * scale));
+  return std::max<std::size_t>(v, 1);
+}
+
+}  // namespace
+
+const Fib4& SnapshotSet::byName(std::string_view name) const {
+  for (const Snapshot& s : routers) {
+    if (s.name == name) return s.fib;
+  }
+  throw std::out_of_range("no such snapshot: " + std::string(name));
+}
+
+std::vector<SnapshotPair> paperPairs() {
+  return {
+      {"MAE-East", "MAE-West"}, {"MAE-East", "Paix"},
+      {"Paix", "MAE-East"},     {"AT&T-1", "AT&T-2"},
+      {"AT&T-2", "AT&T-1"},     {"ISP-B-1", "ISP-B-2"},
+      {"ISP-B-2", "ISP-B-1"},
+  };
+}
+
+std::vector<SnapshotPair> intersectionPairs() {
+  return {
+      {"MAE-East", "MAE-West"},
+      {"MAE-East", "Paix"},
+      {"MAE-West", "Paix"},
+      {"AT&T-1", "AT&T-2"},
+      {"ISP-B-1", "ISP-B-2"},
+  };
+}
+
+SnapshotSet makePaperSnapshots(std::uint64_t seed, double scale) {
+  assert(scale > 0.0 && scale <= 1.0);
+  Rng rng(seed);
+
+  // --- MAE-East: the big route-server table. Low subprefix fraction keeps
+  // the Paix->MAE-East problematic count in the paper's regime (hundreds).
+  GenOptions<ip::Ip4Addr> east_opt;
+  east_opt.size = scaled(42'123, scale);
+  east_opt.histogram = internetLengths1999();
+  east_opt.subprefix_fraction = 0.05;
+  east_opt.next_hop_count = kNextHopFanout;
+  Fib4 east = TableGen<ip::Ip4Addr>::generate(rng, east_opt);
+
+  std::unordered_set<Prefix4> east_set;
+  for (const Entry& e : east.entries()) east_set.insert(e.prefix);
+
+  // --- MAE-West: shares 23,382 prefixes with East (Table 3) plus extras of
+  // its own; the extras extending East prefixes drive Table 2's 288.
+  const auto east_prefixes = east.prefixes();
+  std::vector<Entry> west_shared =
+      sampleFrom(east_prefixes, rng, scaled(23'382, scale));
+  const auto west_shared_prefixes = prefixesOf(west_shared);
+  std::unordered_set<Prefix4> avoid_west = east_set;
+  std::vector<Entry> west_fresh =
+      freshPrefixes(rng, scaled(1'118, scale), 0.26, west_shared_prefixes,
+                    avoid_west, &east_set);
+  Fib4 west(concat(west_shared, west_fresh));
+
+  // --- Paix: small; almost entirely inside East, and inside West's shared
+  // part (so West∩Paix comes out at its Table 3 value). The paper's Table 2
+  // reports 411 problematic clues for Paix -> MAE-East — a Paix prefix is
+  // problematic there exactly when East holds a more-specific under it, so
+  // the sample takes ~411 East "parents" (prefixes with descendants) and
+  // fills the rest with East leaves.
+  std::unordered_set<Prefix4> west_shared_set(west_shared_prefixes.begin(),
+                                              west_shared_prefixes.end());
+  std::vector<Prefix4> east_only;
+  for (const Prefix4& p : east_prefixes) {
+    if (west_shared_set.count(p) == 0) east_only.push_back(p);
+  }
+  const auto east_trie = east.buildTrie();
+  const auto is_parent = [&](const Prefix4& p) {
+    const auto* v = east_trie.findVertex(p);
+    return v != nullptr && !v->isLeaf();
+  };
+  std::vector<Prefix4> shared_parents;
+  std::vector<Prefix4> shared_leaves;
+  for (const Prefix4& p : west_shared_prefixes) {
+    (is_parent(p) ? shared_parents : shared_leaves).push_back(p);
+  }
+  std::vector<Prefix4> east_only_leaves;
+  for (const Prefix4& p : east_only) {
+    if (!is_parent(p)) east_only_leaves.push_back(p);
+  }
+  const std::size_t paix_parents = scaled(455, scale);
+  std::vector<Entry> paix_entries =
+      sampleFrom(shared_parents, rng, paix_parents);
+  paix_entries = concat(
+      std::move(paix_entries),
+      sampleFrom(shared_leaves, rng, scaled(5'814, scale) - paix_parents));
+  paix_entries =
+      concat(std::move(paix_entries), sampleFrom(east_only_leaves, rng,
+                                                 scaled(85, scale)));
+  std::unordered_set<Prefix4> avoid_paix = avoid_west;  // east ∪ west
+  std::vector<Entry> paix_fresh =
+      freshPrefixes(rng, scaled(75, scale), 0.5, prefixesOf(paix_entries),
+                    avoid_paix, &east_set);
+  Fib4 paix(concat(std::move(paix_entries), paix_fresh));
+
+  // --- AT&T pair: two actual neighbors; AT&T-1 is (nearly) contained in the
+  // much larger AT&T-2. The shared core comes first, then each side's
+  // extras.
+  GenOptions<ip::Ip4Addr> att_opt;
+  att_opt.size = scaled(23'381, scale);
+  att_opt.histogram = internetLengths1999();
+  att_opt.subprefix_fraction = 0.05;
+  att_opt.next_hop_count = kNextHopFanout;
+  Fib4 att_core = TableGen<ip::Ip4Addr>::generate(rng, att_opt);
+  const auto att_core_prefixes = att_core.prefixes();
+  std::unordered_set<Prefix4> att_core_set(att_core_prefixes.begin(),
+                                           att_core_prefixes.end());
+  std::unordered_set<Prefix4> avoid_att = att_core_set;
+  // AT&T-2 extras: a small extension fraction of a large extra count yields
+  // Table 2's ~547 problematic clues for AT&T-1 -> AT&T-2.
+  std::vector<Entry> att2_extras =
+      freshPrefixes(rng, scaled(37'094, scale), 0.016, att_core_prefixes,
+                    avoid_att, &att_core_set);
+  Fib4 att2(concat(std::vector<Entry>(att_core.entries().begin(),
+                                      att_core.entries().end()),
+                   att2_extras));
+  // AT&T-1's 33 own prefixes (absent from AT&T-2).
+  std::vector<Entry> att1_extras =
+      freshPrefixes(rng, scaled(33, scale), 1.0, att_core_prefixes,
+                    avoid_att, &att_core_set);
+  Fib4 att1(concat(std::vector<Entry>(att_core.entries().begin(),
+                                      att_core.entries().end()),
+                   att1_extras));
+
+  // --- ISP-B pair: near-identical twins (intersection 55,540 out of
+  // ~56,000 each).
+  GenOptions<ip::Ip4Addr> isp_opt;
+  isp_opt.size = scaled(55'540, scale);
+  isp_opt.histogram = internetLengths1999();
+  isp_opt.subprefix_fraction = 0.05;
+  isp_opt.next_hop_count = kNextHopFanout;
+  Fib4 isp_core = TableGen<ip::Ip4Addr>::generate(rng, isp_opt);
+  const auto isp_core_prefixes = isp_core.prefixes();
+  std::unordered_set<Prefix4> isp_core_set(isp_core_prefixes.begin(),
+                                           isp_core_prefixes.end());
+  std::unordered_set<Prefix4> avoid_isp = isp_core_set;
+  std::vector<Entry> isp2_extras =
+      freshPrefixes(rng, scaled(419, scale), 0.17, isp_core_prefixes,
+                    avoid_isp, &isp_core_set);
+  Fib4 ispb2(concat(std::vector<Entry>(isp_core.entries().begin(),
+                                       isp_core.entries().end()),
+                    isp2_extras));
+  std::vector<Entry> isp1_extras =
+      freshPrefixes(rng, scaled(494, scale), 0.08, isp_core_prefixes,
+                    avoid_isp, &isp_core_set);
+  Fib4 ispb1(concat(std::vector<Entry>(isp_core.entries().begin(),
+                                       isp_core.entries().end()),
+                    isp1_extras));
+
+  SnapshotSet set;
+  set.routers.push_back(Snapshot{"MAE-East", std::move(east)});
+  set.routers.push_back(Snapshot{"MAE-West", std::move(west)});
+  set.routers.push_back(Snapshot{"Paix", std::move(paix)});
+  set.routers.push_back(Snapshot{"AT&T-1", std::move(att1)});
+  set.routers.push_back(Snapshot{"AT&T-2", std::move(att2)});
+  set.routers.push_back(Snapshot{"ISP-B-1", std::move(ispb1)});
+  set.routers.push_back(Snapshot{"ISP-B-2", std::move(ispb2)});
+  return set;
+}
+
+}  // namespace cluert::rib

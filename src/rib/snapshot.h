@@ -1,0 +1,53 @@
+// The seven synthetic router tables standing in for the paper's §6
+// snapshots, calibrated to the published statistics:
+//
+//   Table 1 (total prefixes):  MAE-East 42,123 | MAE-West 24,500 |
+//     Paix 5,974 | AT&T-1 23,414 | AT&T-2 60,475 | ISP-B-1 56,034 |
+//     ISP-B-2 55,959
+//   Table 3 (intersections):   East∩West 23,382 | East∩Paix 5,899 |
+//     West∩Paix 5,814 | AT&T-1∩AT&T-2 23,381 | ISP-B-1∩ISP-B-2 55,540
+//   Table 2 (problematic clues): a few tens to a few hundreds per pair —
+//     0.1%-2.5% of the clue universe (the paper reports 95%-99.5% of clues
+//     satisfy Claim 1).
+//
+// See DESIGN.md "Substitutions" for why matching these three statistics
+// preserves the paper's access-count behaviour.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "rib/table_gen.h"
+
+namespace cluert::rib {
+
+struct Snapshot {
+  std::string_view name;
+  Fib4 fib;
+};
+
+struct SnapshotSet {
+  std::vector<Snapshot> routers;
+
+  const Fib4& byName(std::string_view name) const;
+};
+
+// The sender -> receiver pairs evaluated in §6 Tables 2 and 4-9.
+struct SnapshotPair {
+  std::string_view sender;
+  std::string_view receiver;
+};
+
+// The seven pairs of Table 2, in paper order.
+std::vector<SnapshotPair> paperPairs();
+
+// The five intersection pairs of Table 3.
+std::vector<SnapshotPair> intersectionPairs();
+
+// Builds the seven calibrated tables. Deterministic for a given seed.
+// `scale` in (0, 1] shrinks every table proportionally (the unit tests use
+// small scales; the benchmarks use 1.0).
+SnapshotSet makePaperSnapshots(std::uint64_t seed, double scale = 1.0);
+
+}  // namespace cluert::rib

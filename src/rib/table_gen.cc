@@ -1,0 +1,190 @@
+#include "rib/table_gen.h"
+
+#include <algorithm>
+
+namespace cluert::rib {
+
+LengthHistogram<32> internetLengths1999() {
+  LengthHistogram<32> h;
+  h.weight[8] = 0.6;
+  h.weight[12] = 0.4;
+  h.weight[13] = 0.6;
+  h.weight[14] = 1.2;
+  h.weight[15] = 1.4;
+  h.weight[16] = 12.0;
+  h.weight[17] = 2.5;
+  h.weight[18] = 4.0;
+  h.weight[19] = 6.0;
+  h.weight[20] = 4.0;
+  h.weight[21] = 4.0;
+  h.weight[22] = 5.0;
+  h.weight[23] = 7.0;
+  h.weight[24] = 48.0;
+  h.weight[25] = 1.2;
+  h.weight[26] = 1.0;
+  h.weight[27] = 0.6;
+  h.weight[28] = 0.3;
+  h.weight[29] = 0.15;
+  h.weight[30] = 0.05;
+  return h;
+}
+
+LengthHistogram<128> internetLengths6() {
+  LengthHistogram<128> h;
+  h.weight[16] = 0.3;
+  h.weight[24] = 0.7;
+  h.weight[32] = 8.0;
+  h.weight[36] = 2.0;
+  h.weight[40] = 4.0;
+  h.weight[44] = 3.0;
+  h.weight[48] = 45.0;
+  h.weight[52] = 3.0;
+  h.weight[56] = 8.0;
+  h.weight[60] = 4.0;
+  h.weight[64] = 20.0;
+  return h;
+}
+
+namespace {
+
+template <typename A>
+A drawAddress(Rng& rng);
+
+template <>
+ip::Ip4Addr drawAddress<ip::Ip4Addr>(Rng& rng) {
+  return ip::Ip4Addr(rng.u32());
+}
+
+template <>
+ip::Ip6Addr drawAddress<ip::Ip6Addr>(Rng& rng) {
+  return ip::Ip6Addr(rng.u64(), rng.u64());
+}
+
+template <int W>
+std::vector<double> weightsOf(const LengthHistogram<W>& h) {
+  return std::vector<double>(h.weight.begin(), h.weight.end());
+}
+
+template <typename A>
+LengthHistogram<A::kBits> defaultHistogram();
+
+template <>
+LengthHistogram<32> defaultHistogram<ip::Ip4Addr>() {
+  return internetLengths1999();
+}
+
+template <>
+LengthHistogram<128> defaultHistogram<ip::Ip6Addr>() {
+  return internetLengths6();
+}
+
+}  // namespace
+
+template <typename A>
+typename TableGen<A>::PrefixT TableGen<A>::randomPrefix(
+    Rng& rng, const LengthHistogram<A::kBits>& hist) {
+  const auto weights = weightsOf(hist);
+  const int len = static_cast<int>(rng.weighted(weights));
+  return PrefixT(randomAddress(rng), len);
+}
+
+template <typename A>
+A TableGen<A>::randomAddress(Rng& rng) {
+  return drawAddress<A>(rng);
+}
+
+template <typename A>
+typename TableGen<A>::PrefixT TableGen<A>::extend(Rng& rng, const PrefixT& p,
+                                                  int max_extra) {
+  const int room = A::kBits - p.length();
+  const int extra =
+      static_cast<int>(rng.uniform(1, static_cast<std::uint64_t>(
+                                          std::min(max_extra, room))));
+  A addr = p.addr();
+  for (int i = 0; i < extra; ++i) {
+    addr = addr.withBit(p.length() + i, static_cast<unsigned>(rng.u32() & 1));
+  }
+  return PrefixT(addr, p.length() + extra);
+}
+
+template <typename A>
+Fib<A> TableGen<A>::generate(Rng& rng, const GenOptions<A>& opt) {
+  std::unordered_set<PrefixT> seen;
+  std::vector<EntryT> entries;
+  entries.reserve(opt.size);
+  seen.reserve(opt.size * 2);
+  // Guard against degenerate option sets that cannot reach `size`.
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = opt.size * 50 + 1000;
+  while (entries.size() < opt.size && ++attempts < max_attempts) {
+    PrefixT p;
+    if (!entries.empty() && rng.chance(opt.subprefix_fraction)) {
+      const PrefixT& parent = entries[rng.index(entries.size())].prefix;
+      if (parent.length() >= A::kBits) continue;
+      p = extend(rng, parent, 8);
+    } else {
+      p = randomPrefix(rng, opt.histogram);
+      if (p.length() == 0) continue;
+    }
+    if (!seen.insert(p).second) continue;
+    entries.push_back(
+        EntryT{p, static_cast<NextHop>(rng.uniform(0, opt.next_hop_count - 1))});
+  }
+  return Fib<A>(std::move(entries));
+}
+
+template <typename A>
+Fib<A> TableGen<A>::deriveNeighbor(const Fib<A>& base, Rng& rng,
+                                   const NeighborOptions<A>& opt) {
+  const auto base_entries = base.entries();
+  std::unordered_set<PrefixT> base_set;
+  base_set.reserve(base_entries.size() * 2);
+  for (const EntryT& e : base_entries) base_set.insert(e.prefix);
+
+  // Sample `shared` distinct base prefixes.
+  std::vector<std::size_t> order(base_entries.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  const std::size_t shared = std::min(opt.shared, order.size());
+
+  std::unordered_set<PrefixT> seen;
+  std::vector<EntryT> entries;
+  entries.reserve(shared + opt.fresh);
+  for (std::size_t i = 0; i < shared; ++i) {
+    const PrefixT& p = base_entries[order[i]].prefix;
+    seen.insert(p);
+    entries.push_back(EntryT{
+        p, static_cast<NextHop>(rng.uniform(0, opt.next_hop_count - 1))});
+  }
+
+  // Fresh prefixes: extensions of shared ones (problematic-clue sources) and
+  // independent ones.
+  const std::size_t want_ext = static_cast<std::size_t>(
+      static_cast<double>(opt.fresh) * opt.fresh_extension_fraction);
+  std::size_t fresh_added = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = opt.fresh * 100 + 1000;
+  const auto hist = defaultHistogram<A>();
+  while (fresh_added < opt.fresh && ++attempts < max_attempts) {
+    PrefixT p;
+    if (fresh_added < want_ext && shared > 0) {
+      const PrefixT& parent = entries[rng.index(shared)].prefix;
+      if (parent.length() >= A::kBits) continue;
+      p = extend(rng, parent, 6);
+    } else {
+      p = randomPrefix(rng, hist);
+      if (p.length() == 0) continue;
+    }
+    if (base_set.count(p) != 0) continue;  // must be genuinely fresh
+    if (!seen.insert(p).second) continue;
+    entries.push_back(EntryT{
+        p, static_cast<NextHop>(rng.uniform(0, opt.next_hop_count - 1))});
+    ++fresh_added;
+  }
+  return Fib<A>(std::move(entries));
+}
+
+template class TableGen<ip::Ip4Addr>;
+template class TableGen<ip::Ip6Addr>;
+
+}  // namespace cluert::rib

@@ -1,0 +1,84 @@
+// Synthetic forwarding-table generation.
+//
+// Substitute for the paper's 1999 router snapshots (MAE-East, MAE-West,
+// Paix, AT&T, ISP-B), which are not available. The generator controls the
+// two properties the clue mechanism actually depends on:
+//   * a realistic prefix-length distribution (mass at /24, secondary mass
+//     around /16-/19, nesting of more-specifics inside aggregates);
+//   * tunable *similarity between neighboring tables* — shared prefixes,
+//     fresh independent prefixes, and fresh prefixes that strictly extend
+//     shared ones (the latter are exactly what creates "problematic" clues
+//     for which Claim 1 fails).
+#pragma once
+
+#include <array>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "rib/fib.h"
+
+namespace cluert::rib {
+
+// Weight per prefix length; lengths with zero weight are never drawn.
+template <int W>
+struct LengthHistogram {
+  std::array<double, W + 1> weight{};
+
+  double total() const {
+    double t = 0;
+    for (double w : weight) t += w;
+    return t;
+  }
+};
+
+// The shape of 1999 BGP tables (cf. the measurement literature of the time):
+// a dominant spike at /24, a broad shelf at /16-/23, thin classful tails.
+LengthHistogram<32> internetLengths1999();
+
+// A plausible IPv6 shape for the paper's "assuming IPv6 uses aggregation in
+// a way similar to IPv4" (§6): mass between /32 and /64, spike at /48.
+LengthHistogram<128> internetLengths6();
+
+template <typename A>
+struct GenOptions {
+  std::size_t size = 10'000;
+  LengthHistogram<A::kBits> histogram;
+  NextHop next_hop_count = 16;
+  // Fraction of prefixes created by extending an already generated prefix by
+  // 1..8 bits — produces the nested more-specifics real tables have.
+  double subprefix_fraction = 0.30;
+};
+
+template <typename A>
+struct NeighborOptions {
+  std::size_t shared = 0;  // prefixes sampled from the base table
+  std::size_t fresh = 0;   // prefixes absent from the base table
+  // Of the fresh ones, the fraction that strictly extends a shared prefix.
+  // These are the receiver-side more-specifics the sender does not know —
+  // each is a condition-C1 candidate, i.e. a source of problematic clues.
+  double fresh_extension_fraction = 0.5;
+  NextHop next_hop_count = 16;
+};
+
+template <typename A>
+class TableGen {
+ public:
+  using PrefixT = ip::Prefix<A>;
+  using EntryT = trie::Match<A>;
+
+  static Fib<A> generate(Rng& rng, const GenOptions<A>& opt);
+
+  // Derives a table resembling a neighbor of `base`: |result ∩ base| ==
+  // shared, |result \ base| == fresh (up to exhaustion of the address pool).
+  static Fib<A> deriveNeighbor(const Fib<A>& base, Rng& rng,
+                               const NeighborOptions<A>& opt);
+
+ private:
+  static PrefixT randomPrefix(Rng& rng,
+                              const LengthHistogram<A::kBits>& hist);
+  static A randomAddress(Rng& rng);
+  static PrefixT extend(Rng& rng, const PrefixT& p, int max_extra);
+};
+
+}  // namespace cluert::rib

@@ -1,0 +1,10 @@
+#include "trie/binary_trie.h"
+
+namespace cluert::trie {
+
+// Header-only template; these instantiations force a full type-check of both
+// address widths when the library is built.
+template class BinaryTrie<ip::Ip4Addr>;
+template class BinaryTrie<ip::Ip6Addr>;
+
+}  // namespace cluert::trie

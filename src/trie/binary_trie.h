@@ -1,0 +1,284 @@
+// Binary (1-bit-per-level) trie over prefixes — the reference longest-prefix
+// match structure of §3.1.
+//
+// Vertices correspond to binary strings; a vertex is *marked* iff the string
+// is a prefix in the forwarding table. As in the paper, the trie is kept
+// pruned: every vertex either is marked or has a marked descendant, so all
+// leaves are marked. This pruning is what gives the clue table its "vertex
+// does not exist => no longer match possible" semantics (case 1 of §3.1.2).
+//
+// Besides lookups, the trie supports the per-vertex, per-neighbor Claim-1
+// "continue" booleans of §4 (see ContinueBits below) that let an Advance
+// search stop as early as possible.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "ip/prefix.h"
+#include "mem/access_counter.h"
+
+namespace cluert::trie {
+
+// A successful longest-prefix match.
+template <typename A>
+struct Match {
+  ip::Prefix<A> prefix;
+  NextHop next_hop = kNoNextHop;
+
+  friend bool operator==(const Match&, const Match&) = default;
+};
+
+template <typename A>
+class BinaryTrie {
+ public:
+  using PrefixT = ip::Prefix<A>;
+  using MatchT = Match<A>;
+
+  struct Node {
+    PrefixT prefix;                   // the string this vertex represents
+    Node* parent = nullptr;
+    std::unique_ptr<Node> child[2];   // child[b] extends prefix with bit b
+    bool marked = false;              // is `prefix` in the forwarding table?
+    NextHop next_hop = kNoNextHop;    // valid iff marked
+    // Per-neighbor "search may find a longer match below here" booleans
+    // (Claim 1 applied to this vertex; §4 "Adapting Patricia"). Bit j set
+    // means: continuing below this vertex can still discover a C1 candidate
+    // with respect to neighbor j.
+    std::uint64_t continue_bits = 0;
+
+    bool isLeaf() const { return !child[0] && !child[1]; }
+  };
+
+  BinaryTrie() : root_(std::make_unique<Node>()) {}
+
+  BinaryTrie(const BinaryTrie&) = delete;
+  BinaryTrie& operator=(const BinaryTrie&) = delete;
+  BinaryTrie(BinaryTrie&&) = default;
+  BinaryTrie& operator=(BinaryTrie&&) = default;
+
+  // -- construction ---------------------------------------------------------
+
+  // Inserts (or overwrites) a prefix with its next hop.
+  void insert(const PrefixT& prefix, NextHop next_hop) {
+    Node* node = root_.get();
+    for (int d = 0; d < prefix.length(); ++d) {
+      const unsigned b = prefix.bit(d);
+      if (!node->child[b]) {
+        auto fresh = std::make_unique<Node>();
+        fresh->prefix = prefix.truncated(d + 1);
+        fresh->parent = node;
+        node->child[b] = std::move(fresh);
+        ++node_count_;
+      }
+      node = node->child[b].get();
+    }
+    if (!node->marked) ++prefix_count_;
+    node->marked = true;
+    node->next_hop = next_hop;
+  }
+
+  // Removes a prefix if present; prunes now-useless unmarked vertices so the
+  // "pruned trie" invariant holds. Returns true iff the prefix was present.
+  bool erase(const PrefixT& prefix) {
+    Node* node = findNode(prefix);
+    if (node == nullptr || !node->marked) return false;
+    node->marked = false;
+    node->next_hop = kNoNextHop;
+    --prefix_count_;
+    prune(node);
+    return true;
+  }
+
+  // -- queries --------------------------------------------------------------
+
+  // The vertex for `prefix`, or nullptr if it does not exist in the (pruned)
+  // trie. A missing vertex certifies that no table prefix extends `prefix`.
+  const Node* findVertex(const PrefixT& prefix) const {
+    return findNode(prefix);
+  }
+
+  const Node* root() const { return root_.get(); }
+
+  // Longest-prefix match by the classic bit-by-bit walk ("Regular" in §6).
+  // Charges one trie-node access per vertex visited.
+  std::optional<MatchT> lookup(const A& address,
+                               mem::AccessCounter& acc) const {
+    const Node* node = root_.get();
+    const Node* best = nullptr;
+    int depth = 0;
+    while (node != nullptr) {
+      acc.add(mem::Region::kTrieNode);
+      if (node->marked) best = node;
+      if (depth == A::kBits) break;
+      node = node->child[address.bit(depth)].get();
+      ++depth;
+    }
+    if (best == nullptr) return std::nullopt;
+    return MatchT{best->prefix, best->next_hop};
+  }
+
+  // Continues a bit-by-bit walk *below* `start` (exclusive), following
+  // `address` (which must match start->prefix). Returns the longest marked
+  // match strictly below `start`, or nullopt if none — the caller then falls
+  // back to the clue entry's FD. When `neighbor` is set, the walk stops as
+  // soon as the vertex's Claim-1 boolean says no candidate can lie below
+  // (Advance method, §4 "Adapting Patricia" applied to the plain trie).
+  std::optional<MatchT> lookupBelow(const Node* start, const A& address,
+                                    std::optional<NeighborIndex> neighbor,
+                                    mem::AccessCounter& acc) const {
+    assert(start != nullptr);
+    const Node* best = nullptr;
+    const Node* node = start;
+    int depth = start->prefix.length();
+    while (true) {
+      if (neighbor && !continueBit(node, *neighbor)) break;
+      if (depth == A::kBits) break;
+      const Node* next = node->child[address.bit(depth)].get();
+      if (next == nullptr) break;
+      node = next;
+      ++depth;
+      acc.add(mem::Region::kTrieNode);
+      if (node->marked) best = node;
+    }
+    if (best == nullptr) return std::nullopt;
+    return MatchT{best->prefix, best->next_hop};
+  }
+
+  // Longest marked ancestor-or-self of `prefix` — the "least ancestor of s
+  // in the trie which is also a prefix" used for the FD fields (§3.1.1).
+  // Pure control-plane query; charges no accesses.
+  std::optional<MatchT> longestMarkedAtOrAbove(const PrefixT& prefix) const {
+    const Node* node = root_.get();
+    const Node* best = node->marked ? node : nullptr;
+    for (int d = 0; d < prefix.length() && node != nullptr; ++d) {
+      node = node->child[prefix.bit(d)].get();
+      if (node != nullptr && node->marked) best = node;
+    }
+    return best ? std::optional<MatchT>(MatchT{best->prefix, best->next_hop})
+                : std::nullopt;
+  }
+
+  // True iff `prefix` itself is marked.
+  bool contains(const PrefixT& prefix) const {
+    const Node* node = findNode(prefix);
+    return node != nullptr && node->marked;
+  }
+
+  NextHop nextHopOf(const PrefixT& prefix) const {
+    const Node* node = findNode(prefix);
+    return node != nullptr && node->marked ? node->next_hop : kNoNextHop;
+  }
+
+  std::size_t prefixCount() const { return prefix_count_; }
+  std::size_t nodeCount() const { return node_count_ + 1; }  // + root
+  bool empty() const { return prefix_count_ == 0; }
+
+  // Calls fn(prefix, next_hop) for every marked vertex, in preorder.
+  void forEachPrefix(
+      const std::function<void(const PrefixT&, NextHop)>& fn) const {
+    forEachPrefixImpl(root_.get(), fn);
+  }
+
+  // Calls fn(node) for every vertex in the subtree of `start` (inclusive),
+  // preorder. fn returns false to prune the branch below the node.
+  void visitSubtree(const Node* start,
+                    const std::function<bool(const Node&)>& fn) const {
+    if (start == nullptr) return;
+    if (!fn(*start)) return;
+    for (unsigned b = 0; b < 2; ++b) {
+      visitSubtree(start->child[b].get(), fn);
+    }
+  }
+
+  // -- Claim-1 continue bits (§4) ------------------------------------------
+
+  // Computes, for every vertex v of this trie, whether a search entered at v
+  // with respect to neighbor trie t1 may still find a condition-C1 candidate
+  // strictly below v: exists a marked descendant p of v such that no vertex q
+  // with v < q <= p is marked in t1. Claim 1 for a clue s is exactly
+  // "!continueBit(vertex(s))".
+  template <typename Neighbor>
+  void computeContinueBits(NeighborIndex neighbor, const Neighbor& t1) {
+    assert(neighbor < kMaxAnnotatedNeighbors);
+    computeContinueBitsImpl(root_.get(), neighbor, t1);
+  }
+
+  static bool continueBit(const Node* node, NeighborIndex neighbor) {
+    return (node->continue_bits >> neighbor) & 1u;
+  }
+
+  // The Claim-1 condition for a clue vertex (paper Claim 1): true iff no
+  // prefix of this trie longer than `node`'s string can ever be the BMP,
+  // given that the clue came from `neighbor`.
+  static bool claim1Holds(const Node* node, NeighborIndex neighbor) {
+    return !continueBit(node, neighbor);
+  }
+
+ private:
+  Node* findNode(const PrefixT& prefix) const {
+    Node* node = root_.get();
+    for (int d = 0; d < prefix.length(); ++d) {
+      node = node->child[prefix.bit(d)].get();
+      if (node == nullptr) return nullptr;
+    }
+    return node;
+  }
+
+  void prune(Node* node) {
+    while (node != nullptr && node != root_.get() && !node->marked &&
+           node->isLeaf()) {
+      Node* parent = node->parent;
+      const unsigned b = node->prefix.bit(node->prefix.length() - 1);
+      parent->child[b].reset();
+      --node_count_;
+      node = parent;
+    }
+  }
+
+  void forEachPrefixImpl(
+      const Node* node,
+      const std::function<void(const PrefixT&, NextHop)>& fn) const {
+    if (node == nullptr) return;
+    if (node->marked) fn(node->prefix, node->next_hop);
+    forEachPrefixImpl(node->child[0].get(), fn);
+    forEachPrefixImpl(node->child[1].get(), fn);
+  }
+
+  // Bottom-up: continue(v) = OR over children c of
+  //   !t1.contains(c.prefix) && (c.marked || continue(c)).
+  // A child whose string is marked in t1 blocks its whole branch (any p
+  // below it has q = that child), which is precisely Claim 1.
+  template <typename Neighbor>
+  bool computeContinueBitsImpl(Node* node, NeighborIndex neighbor,
+                               const Neighbor& t1) {
+    bool cont = false;
+    for (unsigned b = 0; b < 2; ++b) {
+      Node* c = node->child[b].get();
+      if (c == nullptr) continue;
+      const bool below = computeContinueBitsImpl(c, neighbor, t1);
+      if (!t1.contains(c->prefix) && (c->marked || below)) cont = true;
+    }
+    const std::uint64_t bit = std::uint64_t{1} << neighbor;
+    if (cont) {
+      node->continue_bits |= bit;
+    } else {
+      node->continue_bits &= ~bit;
+    }
+    return cont;
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t prefix_count_ = 0;
+  std::size_t node_count_ = 0;  // excluding root
+};
+
+using BinaryTrie4 = BinaryTrie<ip::Ip4Addr>;
+using BinaryTrie6 = BinaryTrie<ip::Ip6Addr>;
+
+}  // namespace cluert::trie

@@ -1,0 +1,8 @@
+#include "trie/patricia_trie.h"
+
+namespace cluert::trie {
+
+template class PatriciaTrie<ip::Ip4Addr>;
+template class PatriciaTrie<ip::Ip6Addr>;
+
+}  // namespace cluert::trie

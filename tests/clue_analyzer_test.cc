@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "core/clue_analyzer.h"
+#include "test_util.h"
+
+namespace cluert::core {
+namespace {
+
+using testutil::a4;
+using testutil::p4;
+using BT = trie::BinaryTrie4;
+using Analyzer = ClueAnalyzer<ip::Ip4Addr>;
+
+BT makeTrie(std::initializer_list<std::pair<const char*, NextHop>> es) {
+  BT t;
+  for (const auto& [text, nh] : es) t.insert(p4(text), nh);
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// The three cases of §3.1.2
+// ---------------------------------------------------------------------------
+
+TEST(ClueAnalyzer, Case1ClueVertexAbsent) {
+  const BT t1 = makeTrie({{"10.1.0.0/16", 1}});
+  const BT t2 = makeTrie({{"10.0.0.0/8", 5}, {"192.0.0.0/8", 6}});
+  const Analyzer an(t2, &t1);
+  const auto a = an.analyzeAdvance(p4("10.1.0.0/16"));
+  EXPECT_EQ(a.kase, ClueCase::kAbsent);
+  // FD = least marked ancestor: the /8.
+  ASSERT_TRUE(a.fd.has_value());
+  EXPECT_EQ(a.fd->prefix, p4("10.0.0.0/8"));
+  EXPECT_TRUE(a.candidates.empty());
+}
+
+TEST(ClueAnalyzer, Case1NoAncestorMeansNoRoute) {
+  const BT t1 = makeTrie({{"10.1.0.0/16", 1}});
+  const BT t2 = makeTrie({{"192.0.0.0/8", 6}});
+  const Analyzer an(t2, &t1);
+  const auto a = an.analyzeAdvance(p4("10.1.0.0/16"));
+  EXPECT_EQ(a.kase, ClueCase::kAbsent);
+  EXPECT_FALSE(a.fd.has_value());
+}
+
+TEST(ClueAnalyzer, Case2Claim1HoldsFigure4) {
+  // Figure 4's condition: every path from the clue down to a t2 prefix runs
+  // through a t1 prefix first. t1 knows 10.1/16; t2's deeper prefixes are
+  // all under it.
+  const BT t1 = makeTrie({{"10.0.0.0/8", 1}, {"10.1.0.0/16", 1}});
+  const BT t2 = makeTrie(
+      {{"10.0.0.0/8", 5}, {"10.1.2.0/24", 6}, {"10.1.3.0/24", 7}});
+  const Analyzer an(t2, &t1);
+  const auto a = an.analyzeAdvance(p4("10.0.0.0/8"));
+  EXPECT_EQ(a.kase, ClueCase::kFinal);
+  ASSERT_TRUE(a.fd.has_value());
+  EXPECT_EQ(a.fd->prefix, p4("10.0.0.0/8"));
+  EXPECT_TRUE(an.claim1Holds(p4("10.0.0.0/8")));
+}
+
+TEST(ClueAnalyzer, Case2ClueItselfPrefixInT2) {
+  // The clue exists in t2 as a leaf: FD is the clue itself.
+  const BT t1 = makeTrie({{"10.1.0.0/16", 1}});
+  const BT t2 = makeTrie({{"10.1.0.0/16", 5}});
+  const Analyzer an(t2, &t1);
+  const auto a = an.analyzeAdvance(p4("10.1.0.0/16"));
+  EXPECT_EQ(a.kase, ClueCase::kFinal);
+  EXPECT_EQ(a.fd->prefix, p4("10.1.0.0/16"));
+  EXPECT_EQ(a.fd->next_hop, 5u);
+}
+
+TEST(ClueAnalyzer, Case3InverseOfClaim1Figure6) {
+  // t2 has a prefix extending the clue with no t1 prefix on the way: the
+  // search must continue (Figure 6).
+  const BT t1 = makeTrie({{"10.0.0.0/8", 1}});
+  const BT t2 = makeTrie({{"10.0.0.0/8", 5}, {"10.1.0.0/16", 6}});
+  const Analyzer an(t2, &t1);
+  const auto a = an.analyzeAdvance(p4("10.0.0.0/8"));
+  EXPECT_EQ(a.kase, ClueCase::kSearch);
+  ASSERT_EQ(a.candidates.size(), 1u);
+  EXPECT_EQ(a.candidates[0].prefix, p4("10.1.0.0/16"));
+  EXPECT_FALSE(an.claim1Holds(p4("10.0.0.0/8")));
+}
+
+TEST(ClueAnalyzer, CandidateBlockedByT1PrefixOnPath) {
+  // 10.1/16 is in t1, so 10.1.2/24 is not a candidate; 10.2/16 has no t1
+  // prefix above it (below the clue) and is one.
+  const BT t1 = makeTrie({{"10.0.0.0/8", 1}, {"10.1.0.0/16", 1}});
+  const BT t2 = makeTrie({{"10.0.0.0/8", 5},
+                          {"10.1.2.0/24", 6},
+                          {"10.2.0.0/16", 7}});
+  const Analyzer an(t2, &t1);
+  const auto cands = an.candidates(p4("10.0.0.0/8"));
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(cands[0].prefix, p4("10.2.0.0/16"));
+}
+
+TEST(ClueAnalyzer, CandidateItselfInT1IsBlocked) {
+  // A t2 prefix that is also in t1 can never be the continued answer: had
+  // the destination matched it, the sender would have sent it as the clue.
+  const BT t1 = makeTrie({{"10.0.0.0/8", 1}, {"10.1.0.0/16", 1}});
+  const BT t2 = makeTrie({{"10.0.0.0/8", 5}, {"10.1.0.0/16", 6}});
+  const Analyzer an(t2, &t1);
+  EXPECT_TRUE(an.candidates(p4("10.0.0.0/8")).empty());
+  EXPECT_TRUE(an.claim1Holds(p4("10.0.0.0/8")));
+}
+
+TEST(ClueAnalyzer, CandidatesBelowBlockerNeverReappear) {
+  // Blocked is blocked for the whole branch, even deeper than the blocker.
+  const BT t1 = makeTrie({{"10.0.0.0/8", 1}, {"10.1.0.0/16", 1}});
+  const BT t2 = makeTrie({{"10.0.0.0/8", 5}, {"10.1.2.0/24", 6},
+                          {"10.1.2.128/25", 7}});
+  const Analyzer an(t2, &t1);
+  EXPECT_TRUE(an.candidates(p4("10.0.0.0/8")).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Simple analysis (§3.1.1)
+// ---------------------------------------------------------------------------
+
+TEST(ClueAnalyzer, SimpleLeafIsFinal) {
+  const BT t2 = makeTrie({{"10.1.0.0/16", 5}});
+  const Analyzer an(t2, nullptr);
+  const auto a = an.analyzeSimple(p4("10.1.0.0/16"));
+  EXPECT_EQ(a.kase, ClueCase::kFinal);
+  EXPECT_EQ(a.fd->prefix, p4("10.1.0.0/16"));
+}
+
+TEST(ClueAnalyzer, SimpleAbsentVertexIsFinalViaAncestor) {
+  const BT t2 = makeTrie({{"10.0.0.0/8", 5}});
+  const Analyzer an(t2, nullptr);
+  const auto a = an.analyzeSimple(p4("10.1.0.0/16"));
+  EXPECT_EQ(a.kase, ClueCase::kAbsent);
+  EXPECT_EQ(a.fd->prefix, p4("10.0.0.0/8"));
+}
+
+TEST(ClueAnalyzer, SimpleDescendantsForceSearchEvenWhenAdvanceWouldNot) {
+  // The decisive difference between the two methods: t1 knows 10.1/16, so
+  // Advance can conclude "final", but Simple (which ignores t1) must search.
+  const BT t1 = makeTrie({{"10.0.0.0/8", 1}, {"10.1.0.0/16", 1}});
+  const BT t2 = makeTrie({{"10.0.0.0/8", 5}, {"10.1.2.0/24", 6}});
+  const Analyzer an(t2, &t1);
+  EXPECT_EQ(an.analyzeSimple(p4("10.0.0.0/8")).kase, ClueCase::kSearch);
+  EXPECT_EQ(an.analyzeAdvance(p4("10.0.0.0/8")).kase, ClueCase::kFinal);
+}
+
+TEST(ClueAnalyzer, SimpleCandidatesAreAllStrictDescendants) {
+  const BT t2 = makeTrie({{"10.0.0.0/8", 5}, {"10.1.0.0/16", 6},
+                          {"10.1.2.0/24", 7}, {"11.0.0.0/8", 8}});
+  const Analyzer an(t2, nullptr);
+  const auto a = an.analyzeSimple(p4("10.0.0.0/8"));
+  EXPECT_EQ(a.kase, ClueCase::kSearch);
+  EXPECT_EQ(a.candidates.size(), 2u);  // the /16 and the /24, not 11/8
+}
+
+// ---------------------------------------------------------------------------
+// Claim 1 soundness (the paper's proof, checked by brute force)
+// ---------------------------------------------------------------------------
+
+TEST(ClueAnalyzer, Claim1SoundnessOnRandomTables) {
+  Rng rng(404);
+  for (int round = 0; round < 3; ++round) {
+    const auto base = testutil::randomTable4(rng, 150);
+    const auto other = testutil::neighborOf(base, rng, 0.75, 40, 0.5);
+    BT t1;
+    for (const auto& e : base) t1.insert(e.prefix, e.next_hop);
+    BT t2;
+    for (const auto& e : other) t2.insert(e.prefix, e.next_hop);
+    const Analyzer an(t2, &t1);
+    mem::AccessCounter scratch;
+    std::size_t verified = 0;
+    for (const auto& e : base) {
+      if (!an.claim1Holds(e.prefix)) continue;
+      const auto fd = t2.longestMarkedAtOrAbove(e.prefix);
+      // For destinations whose genuine t1 BMP is this clue, the t2 BMP must
+      // equal the FD. Sample destinations under the clue.
+      for (int i = 0; i < 10; ++i) {
+        ip::Ip4Addr dest = e.prefix.addr();
+        for (int b = e.prefix.length(); b < 32; ++b) {
+          dest = dest.withBit(b, static_cast<unsigned>(rng.u32() & 1));
+        }
+        const auto t1_bmp = t1.lookup(dest, scratch);
+        if (!t1_bmp || t1_bmp->prefix != e.prefix) continue;  // not genuine
+        const auto t2_bmp = t2.lookup(dest, scratch);
+        ASSERT_EQ(t2_bmp.has_value(), fd.has_value());
+        if (t2_bmp) EXPECT_EQ(t2_bmp->prefix, fd->prefix);
+        ++verified;
+      }
+    }
+    EXPECT_GT(verified, 0u);
+  }
+}
+
+TEST(ClueAnalyzer, CandidatesAreExactlyConditionC1) {
+  // Definition 1 checked literally on random tables.
+  Rng rng(505);
+  const auto base = testutil::randomTable4(rng, 120);
+  const auto other = testutil::neighborOf(base, rng, 0.7, 40, 0.6);
+  BT t1;
+  for (const auto& e : base) t1.insert(e.prefix, e.next_hop);
+  BT t2;
+  for (const auto& e : other) t2.insert(e.prefix, e.next_hop);
+  const Analyzer an(t2, &t1);
+  for (const auto& e : base) {
+    const auto cands = an.candidates(e.prefix);
+    std::unordered_set<ip::Prefix4> cand_set;
+    for (const auto& c : cands) cand_set.insert(c.prefix);
+    // Every t2 prefix strictly extending the clue is a candidate iff no t1
+    // prefix q with clue < q <= p exists.
+    for (const auto& f : other) {
+      if (!e.prefix.isStrictPrefixOf(f.prefix)) {
+        EXPECT_EQ(cand_set.count(f.prefix), 0u);
+        continue;
+      }
+      bool blocked = false;
+      for (int len = e.prefix.length() + 1; len <= f.prefix.length(); ++len) {
+        if (t1.contains(f.prefix.truncated(len))) {
+          blocked = true;
+          break;
+        }
+      }
+      EXPECT_EQ(cand_set.count(f.prefix), blocked ? 0u : 1u)
+          << "clue " << e.prefix.toString() << " p " << f.prefix.toString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cluert::core

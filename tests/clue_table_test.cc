@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "core/clue.h"
+#include "core/clue_table.h"
+#include "test_util.h"
+
+namespace cluert::core {
+namespace {
+
+using testutil::p4;
+using A = ip::Ip4Addr;
+using Table = HashClueTable<A>;
+using Indexed = IndexedClueTable<A>;
+using Entry = ClueEntry<A>;
+
+Entry entryFor(const ip::Prefix4& clue, NextHop nh) {
+  Entry e;
+  e.clue = clue;
+  e.valid = true;
+  e.fd = trie::Match<A>{clue, nh};
+  e.ptr_empty = true;
+  return e;
+}
+
+TEST(HashClueTable, FindMissOnEmpty) {
+  Table t(64);
+  mem::AccessCounter acc;
+  EXPECT_EQ(t.find(p4("10.0.0.0/8"), acc), nullptr);
+  EXPECT_GE(acc.count(mem::Region::kClueTable), 1u);
+}
+
+TEST(HashClueTable, InsertThenFind) {
+  Table t(64);
+  ASSERT_TRUE(t.insert(entryFor(p4("10.0.0.0/8"), 3)));
+  mem::AccessCounter acc;
+  const Entry* e = t.find(p4("10.0.0.0/8"), acc);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->fd->next_hop, 3u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(HashClueTable, SameAddressDifferentLengthAreDistinctClues) {
+  Table t(64);
+  t.insert(entryFor(p4("10.0.0.0/8"), 1));
+  t.insert(entryFor(p4("10.0.0.0/16"), 2));
+  mem::AccessCounter acc;
+  EXPECT_EQ(t.find(p4("10.0.0.0/8"), acc)->fd->next_hop, 1u);
+  EXPECT_EQ(t.find(p4("10.0.0.0/16"), acc)->fd->next_hop, 2u);
+}
+
+TEST(HashClueTable, OverwriteKeepsSize) {
+  Table t(64);
+  t.insert(entryFor(p4("10.0.0.0/8"), 1));
+  t.insert(entryFor(p4("10.0.0.0/8"), 9));
+  EXPECT_EQ(t.size(), 1u);
+  mem::AccessCounter acc;
+  EXPECT_EQ(t.find(p4("10.0.0.0/8"), acc)->fd->next_hop, 9u);
+}
+
+TEST(HashClueTable, GrowsBeyondInitialCapacity) {
+  Table t(4);
+  Rng rng(1);
+  std::vector<ip::Prefix4> clues;
+  for (int i = 0; i < 500; ++i) {
+    const ip::Prefix4 p(A(rng.u32()), 24);
+    if (std::find(clues.begin(), clues.end(), p) != clues.end()) continue;
+    clues.push_back(p);
+    ASSERT_TRUE(t.insert(entryFor(p, static_cast<NextHop>(i))));
+  }
+  EXPECT_EQ(t.size(), clues.size());
+  mem::AccessCounter acc;
+  for (const auto& c : clues) {
+    ASSERT_NE(t.find(c, acc), nullptr) << c.toString();
+  }
+}
+
+TEST(HashClueTable, ProbeCountStaysNearOne) {
+  // §6: "the average number of memory references in our scheme is close to
+  // 1" — the hash table's load factor keeps probes short.
+  Table t(4096);
+  Rng rng(2);
+  std::vector<ip::Prefix4> clues;
+  for (int i = 0; i < 4096; ++i) {
+    const ip::Prefix4 p(A(rng.u32()), static_cast<int>(rng.uniform(8, 28)));
+    clues.push_back(p);
+    t.insert(entryFor(p, 1));
+  }
+  mem::AccessCounter acc;
+  for (const auto& c : clues) t.find(c, acc);
+  const double avg = static_cast<double>(acc.total()) /
+                     static_cast<double>(clues.size());
+  EXPECT_LT(avg, 1.4);
+  EXPECT_GE(avg, 1.0);
+}
+
+TEST(HashClueTable, ForEachVisitsAllValid) {
+  Table t(64);
+  t.insert(entryFor(p4("10.0.0.0/8"), 1));
+  t.insert(entryFor(p4("11.0.0.0/8"), 2));
+  std::size_t n = 0;
+  t.forEach([&](const Entry&) { ++n; });
+  EXPECT_EQ(n, 2u);
+}
+
+TEST(HashClueTable, WireBytesTracksBuckets) {
+  Table t(100);
+  EXPECT_EQ(t.wireBytes(), t.bucketCount() * kClueEntryWireBytes);
+}
+
+// ---------------------------------------------------------------------------
+// IndexedClueTable (§3.3.1 indexing technique)
+// ---------------------------------------------------------------------------
+
+TEST(IndexedClueTable, ExactlyOneAccessPerProbe) {
+  Indexed t(256);
+  t.put(7, entryFor(p4("10.0.0.0/8"), 1));
+  mem::AccessCounter acc;
+  const Entry* e = t.at(7, acc);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->valid);
+  EXPECT_EQ(acc.total(), 1u);
+}
+
+TEST(IndexedClueTable, UnusedSlotIsInvalid) {
+  Indexed t(256);
+  mem::AccessCounter acc;
+  const Entry* e = t.at(9, acc);
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(e->valid);
+}
+
+TEST(IndexedClueTable, OutOfRangeIndexIsNull) {
+  Indexed t(16);
+  mem::AccessCounter acc;
+  EXPECT_EQ(t.at(16, acc), nullptr);
+  EXPECT_EQ(acc.total(), 1u);  // the probe still cost an access
+}
+
+TEST(IndexedClueTable, RobustnessCheckDetectsStaleIndex) {
+  // The sender renumbered; the receiver's slot holds a different clue. The
+  // stored-clue comparison (§3.3.1) catches it.
+  Indexed t(256);
+  t.put(3, entryFor(p4("10.0.0.0/8"), 1));
+  mem::AccessCounter acc;
+  const Entry* e = t.at(3, acc);
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(e->clue == p4("99.0.0.0/8"));  // mismatch -> treat as miss
+  // Overwrite with the new clue, as the paper prescribes.
+  t.put(3, entryFor(p4("99.0.0.0/8"), 2));
+  const Entry* e2 = t.at(3, acc);
+  EXPECT_TRUE(e2->clue == p4("99.0.0.0/8"));
+}
+
+TEST(ClueIndexerLike, ClueFieldEncoding) {
+  // 5 bits suffice for IPv4 lengths, 7 for IPv6 (paper, abstract).
+  EXPECT_EQ(clueHeaderBits(32), 5);
+  EXPECT_EQ(clueHeaderBits(128), 7);
+  const auto f = ClueField::of(16);
+  EXPECT_TRUE(f.present);
+  const auto p = cluePrefix(*A::parse("192.114.0.5"), f);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->toString(), "192.114.0.0/16");
+  EXPECT_FALSE(cluePrefix(*A::parse("1.2.3.4"), ClueField::none()));
+}
+
+TEST(ClueIndexerLike, IndexedFieldCarriesIndex) {
+  const auto f = ClueField::indexed(24, 77);
+  EXPECT_TRUE(f.present);
+  ASSERT_TRUE(f.index.has_value());
+  EXPECT_EQ(*f.index, 77);
+}
+
+}  // namespace
+}  // namespace cluert::core

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "rib/internet_gen.h"
+#include "test_util.h"
+
+namespace cluert::rib {
+namespace {
+
+InternetOptions smallOptions() {
+  InternetOptions opt;
+  opt.cores = 3;
+  opt.mids_per_core = 2;
+  opt.edges_per_mid = 3;
+  opt.specifics_per_edge = 10;
+  opt.seed = 5;
+  return opt;
+}
+
+TEST(SyntheticInternet, TopologySizes) {
+  const SyntheticInternet net(smallOptions());
+  EXPECT_EQ(net.routerCount(), 3u + 6u + 18u);
+  EXPECT_EQ(net.coreRouters().size(), 3u);
+  EXPECT_EQ(net.edgeRouters().size(), 18u);
+}
+
+TEST(SyntheticInternet, CoreMeshIsComplete) {
+  const SyntheticInternet net(smallOptions());
+  for (RouterId c : net.coreRouters()) {
+    std::size_t core_neighbors = 0;
+    for (RouterId n : net.neighbors(c)) {
+      if (net.tierOf(n) == SyntheticInternet::Tier::kCore) ++core_neighbors;
+    }
+    EXPECT_EQ(core_neighbors, net.coreRouters().size() - 1);
+  }
+}
+
+TEST(SyntheticInternet, EdgesAreSingleHomed) {
+  const SyntheticInternet net(smallOptions());
+  for (RouterId e : net.edgeRouters()) {
+    ASSERT_EQ(net.neighbors(e).size(), 1u);
+    EXPECT_EQ(net.tierOf(net.neighbors(e)[0]),
+              SyntheticInternet::Tier::kMid);
+  }
+}
+
+TEST(SyntheticInternet, PathsConnectEveryPair) {
+  const SyntheticInternet net(smallOptions());
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const RouterId a = static_cast<RouterId>(rng.index(net.routerCount()));
+    const RouterId b = static_cast<RouterId>(rng.index(net.routerCount()));
+    const auto path = net.path(a, b);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), a);
+    EXPECT_EQ(path.back(), b);
+    // Consecutive routers are linked.
+    for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+      const auto& ns = net.neighbors(path[k]);
+      EXPECT_NE(std::find(ns.begin(), ns.end(), path[k + 1]), ns.end());
+    }
+  }
+}
+
+TEST(SyntheticInternet, EveryRouterKnowsEveryCoreAggregate) {
+  const SyntheticInternet net(smallOptions());
+  for (RouterId r = 0; r < net.routerCount(); ++r) {
+    const auto trie = net.fib(r).buildTrie();
+    mem::AccessCounter acc;
+    for (std::size_t c = 0; c < 3; ++c) {
+      const auto probe =
+          ip::Ip4Addr(static_cast<std::uint32_t>(10 + c) << 24 | 0x00010101u);
+      EXPECT_TRUE(trie.lookup(probe, acc).has_value())
+          << "router " << r << " core " << c;
+    }
+  }
+}
+
+TEST(SyntheticInternet, HopByHopForwardingDelivers) {
+  const SyntheticInternet net(smallOptions());
+  Rng rng(2);
+  mem::AccessCounter acc;
+  for (int i = 0; i < 100; ++i) {
+    const auto edges = net.edgeRouters();
+    const RouterId src = edges[rng.index(edges.size())];
+    const auto dest = net.randomDestination(rng);
+    const RouterId origin = net.originOf(dest);
+    ASSERT_NE(origin, kNoRouter);
+    RouterId at = src;
+    int hops = 0;
+    while (hops++ < 32) {
+      const auto m = net.fib(at).buildTrie().lookup(dest, acc);
+      ASSERT_TRUE(m.has_value()) << "router " << at;
+      if (m->next_hop == at) break;  // delivered
+      at = static_cast<RouterId>(m->next_hop);
+    }
+    EXPECT_EQ(at, origin);
+    EXPECT_LT(hops, 32);
+  }
+}
+
+TEST(SyntheticInternet, BmpLengthGrowsTowardDestination) {
+  // The Figure 1 property: along a forwarding path the matched prefix never
+  // gets shorter, and strictly lengthens from backbone to edge.
+  const SyntheticInternet net(smallOptions());
+  Rng rng(3);
+  mem::AccessCounter acc;
+  std::size_t strict_growth_paths = 0;
+  for (int i = 0; i < 60; ++i) {
+    const auto edges = net.edgeRouters();
+    const RouterId src = edges[rng.index(edges.size())];
+    const auto dest = net.randomDestination(rng);
+    const RouterId origin = net.originOf(dest);
+    if (origin == src) continue;
+    RouterId at = src;
+    int prev_len = -1;
+    bool monotone = true;
+    int first_len = -1;
+    int last_len = -1;
+    for (int hop = 0; hop < 32; ++hop) {
+      const auto m = net.fib(at).buildTrie().lookup(dest, acc);
+      ASSERT_TRUE(m.has_value());
+      const int len = m->prefix.length();
+      if (first_len < 0) first_len = len;
+      last_len = len;
+      if (len < prev_len) monotone = false;
+      prev_len = len;
+      if (m->next_hop == at) break;
+      at = static_cast<RouterId>(m->next_hop);
+    }
+    EXPECT_TRUE(monotone);
+    if (last_len > first_len) ++strict_growth_paths;
+  }
+  EXPECT_GT(strict_growth_paths, 30u);
+}
+
+TEST(SyntheticInternet, NeighborTablesAreSimilar) {
+  // The premise of §3: adjacent routers share most of their tables.
+  const SyntheticInternet net(smallOptions());
+  std::size_t compared = 0;
+  for (RouterId r = 0; r < net.routerCount(); ++r) {
+    for (RouterId n : net.neighbors(r)) {
+      if (n < r) continue;
+      const auto& fa = net.fib(r);
+      const auto& fb = net.fib(n);
+      const double overlap =
+          static_cast<double>(fa.intersectionSize(fb)) /
+          static_cast<double>(std::min(fa.size(), fb.size()));
+      EXPECT_GT(overlap, 0.5) << "routers " << r << "," << n;
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 0u);
+}
+
+TEST(SyntheticInternet, OriginOfRespectsLongestPrefix) {
+  const SyntheticInternet net(smallOptions());
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const auto edges = net.edgeRouters();
+    const RouterId e = edges[rng.index(edges.size())];
+    const auto dest = net.randomDestinationAt(e, rng);
+    EXPECT_EQ(net.originOf(dest), e);
+  }
+}
+
+TEST(SyntheticInternet, DeterministicForSeed) {
+  const SyntheticInternet a(smallOptions());
+  const SyntheticInternet b(smallOptions());
+  for (RouterId r = 0; r < a.routerCount(); ++r) {
+    EXPECT_EQ(a.fib(r).serialize(), b.fib(r).serialize());
+  }
+}
+
+}  // namespace
+}  // namespace cluert::rib

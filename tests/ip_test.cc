@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "ip/ip_address.h"
+#include "ip/prefix.h"
+
+namespace cluert::ip {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Ip4Addr
+// ---------------------------------------------------------------------------
+
+TEST(Ip4Addr, BitPositionsAreMsbFirst) {
+  const Ip4Addr a(0x80000001u);
+  EXPECT_EQ(a.bit(0), 1u);
+  EXPECT_EQ(a.bit(1), 0u);
+  EXPECT_EQ(a.bit(30), 0u);
+  EXPECT_EQ(a.bit(31), 1u);
+}
+
+TEST(Ip4Addr, WithBitSetsAndClears) {
+  const Ip4Addr zero(0);
+  EXPECT_EQ(zero.withBit(0, 1).value(), 0x80000000u);
+  EXPECT_EQ(zero.withBit(31, 1).value(), 1u);
+  const Ip4Addr ones(~0u);
+  EXPECT_EQ(ones.withBit(0, 0).value(), 0x7fffffffu);
+  EXPECT_EQ(ones.withBit(0, 1).value(), ~0u);  // idempotent set
+}
+
+TEST(Ip4Addr, MaskedKeepsLeadingBits) {
+  const Ip4Addr a(0xC0A80164u);  // 192.168.1.100
+  EXPECT_EQ(a.masked(0).value(), 0u);
+  EXPECT_EQ(a.masked(8).value(), 0xC0000000u);
+  EXPECT_EQ(a.masked(24).value(), 0xC0A80100u);
+  EXPECT_EQ(a.masked(32).value(), 0xC0A80164u);
+}
+
+TEST(Ip4Addr, CommonPrefixLen) {
+  EXPECT_EQ(Ip4Addr(0).commonPrefixLen(Ip4Addr(0)), 32);
+  EXPECT_EQ(Ip4Addr(0).commonPrefixLen(Ip4Addr(0x80000000u)), 0);
+  EXPECT_EQ(Ip4Addr(0xC0A80000u).commonPrefixLen(Ip4Addr(0xC0A80001u)), 31);
+  EXPECT_EQ(Ip4Addr(0xC0A80000u).commonPrefixLen(Ip4Addr(0xC0A90000u)), 15);
+}
+
+TEST(Ip4Addr, FormatAndParseRoundTrip) {
+  const char* cases[] = {"0.0.0.0", "255.255.255.255", "192.168.1.100",
+                         "10.0.0.1", "1.2.3.4"};
+  for (const char* text : cases) {
+    const auto a = Ip4Addr::parse(text);
+    ASSERT_TRUE(a.has_value()) << text;
+    EXPECT_EQ(a->toString(), text);
+  }
+}
+
+TEST(Ip4Addr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ip4Addr::parse(""));
+  EXPECT_FALSE(Ip4Addr::parse("1.2.3"));
+  EXPECT_FALSE(Ip4Addr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ip4Addr::parse("256.0.0.1"));
+  EXPECT_FALSE(Ip4Addr::parse("1.2.3.x"));
+  EXPECT_FALSE(Ip4Addr::parse("1..2.3"));
+  EXPECT_FALSE(Ip4Addr::parse("1.2.3.4 "));
+}
+
+TEST(Ip4Addr, SuccessorAndOverflow) {
+  EXPECT_EQ(successor(Ip4Addr(0))->value(), 1u);
+  EXPECT_EQ(successor(Ip4Addr(0xFFFFFFFEu))->value(), 0xFFFFFFFFu);
+  EXPECT_FALSE(successor(Ip4Addr(0xFFFFFFFFu)).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Ip6Addr
+// ---------------------------------------------------------------------------
+
+TEST(Ip6Addr, BitAcrossHalves) {
+  const Ip6Addr a(0x8000000000000000ULL, 1ULL);
+  EXPECT_EQ(a.bit(0), 1u);
+  EXPECT_EQ(a.bit(63), 0u);
+  EXPECT_EQ(a.bit(64), 0u);
+  EXPECT_EQ(a.bit(127), 1u);
+}
+
+TEST(Ip6Addr, WithBitAcrossHalves) {
+  const Ip6Addr zero(0, 0);
+  EXPECT_EQ(zero.withBit(0, 1).hi(), 0x8000000000000000ULL);
+  EXPECT_EQ(zero.withBit(64, 1).lo(), 0x8000000000000000ULL);
+  EXPECT_EQ(zero.withBit(127, 1).lo(), 1ULL);
+}
+
+TEST(Ip6Addr, MaskedAcrossHalves) {
+  const Ip6Addr a(0x20010DB8AAAAAAAAULL, 0xBBBBBBBBCCCCCCCCULL);
+  EXPECT_EQ(a.masked(0), Ip6Addr(0, 0));
+  EXPECT_EQ(a.masked(32), Ip6Addr(0x20010DB800000000ULL, 0));
+  EXPECT_EQ(a.masked(64), Ip6Addr(0x20010DB8AAAAAAAAULL, 0));
+  EXPECT_EQ(a.masked(96), Ip6Addr(0x20010DB8AAAAAAAAULL,
+                                  0xBBBBBBBB00000000ULL));
+  EXPECT_EQ(a.masked(128), a);
+}
+
+TEST(Ip6Addr, CommonPrefixLenAcrossHalves) {
+  const Ip6Addr x(5, 0);
+  const Ip6Addr y(5, 0x8000000000000000ULL);
+  EXPECT_EQ(x.commonPrefixLen(y), 64);
+  EXPECT_EQ(x.commonPrefixLen(x), 128);
+  EXPECT_EQ(Ip6Addr(0, 0).commonPrefixLen(Ip6Addr(0, 1)), 127);
+}
+
+TEST(Ip6Addr, ParseFullForm) {
+  const auto a = Ip6Addr::parse("2001:db8:0:0:0:0:0:1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->hi(), 0x20010DB800000000ULL);
+  EXPECT_EQ(a->lo(), 1ULL);
+  EXPECT_EQ(a->toString(), "2001:db8:0:0:0:0:0:1");
+}
+
+TEST(Ip6Addr, ParseDoubleColon) {
+  const auto a = Ip6Addr::parse("2001:db8::1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->hi(), 0x20010DB800000000ULL);
+  EXPECT_EQ(a->lo(), 1ULL);
+  EXPECT_EQ(Ip6Addr::parse("::")->hi(), 0ULL);
+  EXPECT_EQ(Ip6Addr::parse("::1")->lo(), 1ULL);
+  EXPECT_EQ(Ip6Addr::parse("ff00::")->hi(), 0xFF00000000000000ULL);
+}
+
+TEST(Ip6Addr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ip6Addr::parse(""));
+  EXPECT_FALSE(Ip6Addr::parse("1:2:3"));
+  EXPECT_FALSE(Ip6Addr::parse("1:2:3:4:5:6:7:8:9"));
+  EXPECT_FALSE(Ip6Addr::parse("::1::2"));
+  EXPECT_FALSE(Ip6Addr::parse("fffff::"));
+  EXPECT_FALSE(Ip6Addr::parse("1:2:3:4:5:6:7:"));
+}
+
+TEST(Ip6Addr, SuccessorCarries) {
+  EXPECT_EQ(*successor(Ip6Addr(0, ~0ULL)), Ip6Addr(1, 0));
+  EXPECT_EQ(*successor(Ip6Addr(3, 7)), Ip6Addr(3, 8));
+  EXPECT_FALSE(successor(Ip6Addr(~0ULL, ~0ULL)).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Prefix
+// ---------------------------------------------------------------------------
+
+TEST(Prefix, CanonicalizesOnConstruction) {
+  const Prefix4 p(Ip4Addr(0xC0A80164u), 24);
+  EXPECT_EQ(p.addr().value(), 0xC0A80100u);
+  EXPECT_EQ(p.length(), 24);
+}
+
+TEST(Prefix, Matches) {
+  const Prefix4 p(Ip4Addr(0x0A000000u), 8);  // 10.0.0.0/8
+  EXPECT_TRUE(p.matches(Ip4Addr(0x0A123456u)));
+  EXPECT_FALSE(p.matches(Ip4Addr(0x0B000000u)));
+  EXPECT_TRUE(Prefix4().matches(Ip4Addr(0x12345678u)));  // /0 matches all
+}
+
+TEST(Prefix, IsPrefixOfRelations) {
+  const Prefix4 a(Ip4Addr(0x0A000000u), 8);
+  const Prefix4 b(Ip4Addr(0x0A0A0000u), 16);
+  EXPECT_TRUE(a.isPrefixOf(b));
+  EXPECT_TRUE(a.isStrictPrefixOf(b));
+  EXPECT_TRUE(a.isPrefixOf(a));
+  EXPECT_FALSE(a.isStrictPrefixOf(a));
+  EXPECT_FALSE(b.isPrefixOf(a));
+  const Prefix4 c(Ip4Addr(0x0B000000u), 8);
+  EXPECT_FALSE(a.isPrefixOf(c));
+}
+
+TEST(Prefix, ChildParentTruncated) {
+  const Prefix4 p(Ip4Addr(0x80000000u), 1);
+  const Prefix4 c0 = p.child(0);
+  const Prefix4 c1 = p.child(1);
+  EXPECT_EQ(c0.length(), 2);
+  EXPECT_EQ(c0.addr().value(), 0x80000000u);
+  EXPECT_EQ(c1.addr().value(), 0xC0000000u);
+  EXPECT_EQ(c1.parent(), p);
+  EXPECT_EQ(c1.truncated(1), p);
+  EXPECT_EQ(c1.truncated(0), Prefix4());
+}
+
+TEST(Prefix, RangeEndpoints) {
+  const Prefix4 p(Ip4Addr(0xC0A80100u), 24);
+  EXPECT_EQ(p.rangeLow().value(), 0xC0A80100u);
+  EXPECT_EQ(p.rangeHigh().value(), 0xC0A801FFu);
+  EXPECT_EQ(Prefix4().rangeLow().value(), 0u);
+  EXPECT_EQ(Prefix4().rangeHigh().value(), 0xFFFFFFFFu);
+}
+
+TEST(Prefix, OrderingByAddressThenLength) {
+  const Prefix4 a(Ip4Addr(0x0A000000u), 8);
+  const Prefix4 b(Ip4Addr(0x0A000000u), 16);
+  const Prefix4 c(Ip4Addr(0x0B000000u), 8);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(a, c);
+}
+
+TEST(Prefix, ParseAndFormat) {
+  const auto p = Prefix4::parse("10.1.2.0/24");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->toString(), "10.1.2.0/24");
+  EXPECT_EQ(p->length(), 24);
+  // Non-canonical input is masked.
+  EXPECT_EQ(Prefix4::parse("10.1.2.3/24")->toString(), "10.1.2.0/24");
+  EXPECT_FALSE(Prefix4::parse("10.1.2.0"));
+  EXPECT_FALSE(Prefix4::parse("10.1.2.0/33"));
+  EXPECT_FALSE(Prefix4::parse("10.1.2.0/"));
+  EXPECT_FALSE(Prefix4::parse("banana/8"));
+}
+
+TEST(Prefix, HashDistinguishesLengths) {
+  const std::hash<Prefix4> h;
+  const Prefix4 a(Ip4Addr(0x0A000000u), 8);
+  const Prefix4 b(Ip4Addr(0x0A000000u), 9);
+  EXPECT_NE(h(a), h(b));  // same canonical address, different length
+}
+
+TEST(Prefix, Ipv6ParseFormat) {
+  const auto p = Prefix6::parse("2001:db8::/32");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 32);
+  EXPECT_TRUE(p->matches(*Ip6Addr::parse("2001:db8::42")));
+  EXPECT_FALSE(p->matches(*Ip6Addr::parse("2001:db9::42")));
+}
+
+}  // namespace
+}  // namespace cluert::ip

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "mem/access_counter.h"
+
+namespace cluert::mem {
+namespace {
+
+TEST(AccessCounter, StartsAtZero) {
+  AccessCounter c;
+  EXPECT_EQ(c.total(), 0u);
+  EXPECT_EQ(c.count(Region::kTrieNode), 0u);
+}
+
+TEST(AccessCounter, AccumulatesPerRegion) {
+  AccessCounter c;
+  c.add(Region::kTrieNode);
+  c.add(Region::kTrieNode, 4);
+  c.add(Region::kClueTable);
+  EXPECT_EQ(c.count(Region::kTrieNode), 5u);
+  EXPECT_EQ(c.count(Region::kClueTable), 1u);
+  EXPECT_EQ(c.total(), 6u);
+}
+
+TEST(AccessCounter, ResetClears) {
+  AccessCounter c;
+  c.add(Region::kLengthHash, 3);
+  c.reset();
+  EXPECT_EQ(c.total(), 0u);
+}
+
+TEST(AccessCounter, DeltaArithmetic) {
+  AccessCounter a;
+  a.add(Region::kTrieNode, 10);
+  AccessCounter snapshot = a;
+  a.add(Region::kTrieNode, 2);
+  a.add(Region::kClueTable, 1);
+  const AccessCounter d = a - snapshot;
+  EXPECT_EQ(d.count(Region::kTrieNode), 2u);
+  EXPECT_EQ(d.count(Region::kClueTable), 1u);
+  EXPECT_EQ(d.total(), 3u);
+}
+
+TEST(AccessCounter, PlusEqualsMerges) {
+  AccessCounter a;
+  AccessCounter b;
+  a.add(Region::kTrieNode, 2);
+  b.add(Region::kTrieNode, 3);
+  b.add(Region::kFibEntry, 1);
+  a += b;
+  EXPECT_EQ(a.count(Region::kTrieNode), 5u);
+  EXPECT_EQ(a.count(Region::kFibEntry), 1u);
+}
+
+TEST(ScopedTally, MeasuresElapsed) {
+  AccessCounter c;
+  c.add(Region::kTrieNode, 7);
+  ScopedTally tally(c);
+  c.add(Region::kTrieNode, 3);
+  c.add(Region::kLabelTable, 2);
+  EXPECT_EQ(tally.elapsed(), 5u);
+  EXPECT_EQ(tally.delta().count(Region::kLabelTable), 2u);
+}
+
+TEST(RegionNames, AllDistinctAndNamed) {
+  for (std::size_t i = 0; i < AccessCounter::kRegions; ++i) {
+    const auto name = regionName(static_cast<Region>(i));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "unknown");
+  }
+}
+
+TEST(CacheLineModel, EntriesPerLine) {
+  EXPECT_EQ(kSdramLine.entriesPerLine(), 2u);  // §3.5: two clue entries/line
+  EXPECT_EQ(CacheLineModel(32, 8).entriesPerLine(), 4u);
+  EXPECT_EQ(CacheLineModel(32, 40).entriesPerLine(), 1u);  // never zero
+}
+
+TEST(CacheLineModel, LinesForRoundsUp) {
+  const CacheLineModel m(32, 16);
+  EXPECT_EQ(m.linesFor(0), 0u);
+  EXPECT_EQ(m.linesFor(1), 1u);
+  EXPECT_EQ(m.linesFor(2), 1u);
+  EXPECT_EQ(m.linesFor(3), 2u);
+  EXPECT_EQ(m.linesFor(7), 4u);
+}
+
+}  // namespace
+}  // namespace cluert::mem

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "mpls/mpls_network.h"
+#include "test_util.h"
+
+namespace cluert::mpls {
+namespace {
+
+using testutil::a4;
+using testutil::p4;
+using A = ip::Ip4Addr;
+using MatchT = trie::Match<A>;
+
+rib::Fib4 figure8ReceiverFib() {
+  // Router R4 of Figure 8: holds 10.0.0.0/24 plus longer prefixes under it.
+  return rib::Fib4({MatchT{p4("10.0.0.0/24"), 1},
+                    MatchT{p4("10.0.0.0/25"), 2},
+                    MatchT{p4("10.0.0.128/26"), 3},
+                    MatchT{p4("20.0.0.0/8"), 4}});
+}
+
+rib::Fib4 figure8SenderFib() {
+  // Upstream router R3: knows only the aggregate /24 (the label's FEC).
+  return rib::Fib4({MatchT{p4("10.0.0.0/24"), 1}, MatchT{p4("20.0.0.0/8"), 2}});
+}
+
+TEST(MplsRouter, BindsOneLabelPerFec) {
+  MplsRouter4 r(0, figure8ReceiverFib(), {});
+  EXPECT_NE(r.labelFor(p4("10.0.0.0/24")), kNoLabel);
+  EXPECT_NE(r.labelFor(p4("20.0.0.0/8")), kNoLabel);
+  EXPECT_EQ(r.labelFor(p4("99.0.0.0/8")), kNoLabel);
+}
+
+TEST(MplsRouter, NonAggregationPointSwitchesInOneAccess) {
+  MplsRouter4 r(0, figure8ReceiverFib(), {});
+  const Label l = r.labelFor(p4("20.0.0.0/8"));  // leaf FEC: no extensions
+  mem::AccessCounter acc;
+  const auto d = r.forward(l, a4("20.1.2.3"), acc);
+  ASSERT_TRUE(d.match.has_value());
+  EXPECT_EQ(d.match->next_hop, 4u);
+  EXPECT_FALSE(d.did_full_lookup);
+  EXPECT_EQ(acc.total(), 1u);  // exactly the label-table reference
+}
+
+TEST(MplsRouter, AggregationPointNeedsFullLookup) {
+  // Figure 8: packets labelled with the /24 FEC hit longer prefixes at R4,
+  // forcing a complete IP lookup in plain MPLS.
+  MplsRouter4 r(0, figure8ReceiverFib(), {});
+  const Label l = r.labelFor(p4("10.0.0.0/24"));
+  mem::AccessCounter acc;
+  const auto d = r.forward(l, a4("10.0.0.42"), acc);  // inside the /25
+  ASSERT_TRUE(d.match.has_value());
+  EXPECT_EQ(d.match->next_hop, 2u);
+  EXPECT_TRUE(d.did_full_lookup);
+  EXPECT_GT(acc.total(), 1u);
+}
+
+TEST(MplsRouter, ClueIntegrationAvoidsTheFullLookup) {
+  // §5.1: the label implies the clue; the aggregation-point lookup becomes a
+  // clue continuation instead of a full lookup.
+  MplsRouter4::Options opt;
+  opt.clue_integrated = true;
+  MplsRouter4 r(0, figure8ReceiverFib(), opt);
+  const auto upstream = figure8SenderFib().buildTrie();
+  r.integrateClues(upstream);
+  const Label l = r.labelFor(p4("10.0.0.0/24"));
+
+  mem::AccessCounter acc;
+  const auto d = r.forward(l, a4("10.0.0.42"), acc);
+  ASSERT_TRUE(d.match.has_value());
+  EXPECT_EQ(d.match->next_hop, 2u);  // same answer as the full lookup
+  EXPECT_TRUE(d.used_clue);
+  EXPECT_FALSE(d.did_full_lookup);
+
+  mem::AccessCounter full_acc;
+  MplsRouter4 plain(1, figure8ReceiverFib(), {});
+  plain.forward(plain.labelFor(p4("10.0.0.0/24")), a4("10.0.0.42"), full_acc);
+  EXPECT_LT(acc.total(), full_acc.total());
+}
+
+TEST(MplsRouter, ClueIntegrationAgreesWithPlainOnRandomTables) {
+  Rng rng(606);
+  const auto upstream_entries = testutil::randomTable4(rng, 150);
+  const auto local_entries =
+      testutil::neighborOf(upstream_entries, rng, 0.8, 30, 0.6);
+  trie::BinaryTrie<A> upstream;
+  for (const auto& e : upstream_entries) {
+    upstream.insert(e.prefix, e.next_hop);
+  }
+  MplsRouter4 plain(0, rib::Fib4{std::vector<MatchT>(local_entries)}, {});
+  MplsRouter4::Options opt;
+  opt.clue_integrated = true;
+  MplsRouter4 clued(1, rib::Fib4{std::vector<MatchT>(local_entries)}, opt);
+  clued.integrateClues(upstream);
+
+  mem::AccessCounter scratch;
+  std::size_t checked = 0;
+  for (int i = 0; i < 400; ++i) {
+    const auto dest = testutil::coveredAddress<A>(upstream_entries, rng,
+                                                  testutil::randomAddr4);
+    // Topology-based labelling: the packet carries the label bound to the
+    // upstream BMP — the FEC *is* the genuine clue.
+    const auto fec = upstream.lookup(dest, scratch);
+    if (!fec) continue;
+    const Label lp = plain.labelFor(fec->prefix);
+    const Label lc = clued.labelFor(fec->prefix);
+    if (lp == kNoLabel || lc == kNoLabel) continue;  // FEC unknown locally
+    mem::AccessCounter acc_p, acc_c;
+    const auto dp = plain.forward(lp, dest, acc_p);
+    const auto dc = clued.forward(lc, dest, acc_c);
+    ASSERT_EQ(dp.match.has_value(), dc.match.has_value());
+    if (dp.match) EXPECT_EQ(dp.match->prefix, dc.match->prefix);
+    EXPECT_LE(acc_c.total(), acc_p.total());
+    ++checked;
+  }
+  EXPECT_GT(checked, 50u);
+}
+
+TEST(MplsRouter, PeerDownstreamResolvesOutLabels) {
+  MplsRouter4 a(0, figure8SenderFib(), {});
+  MplsRouter4 b(1, figure8SenderFib(), {});
+  a.peerDownstream(b);
+  mem::AccessCounter acc;
+  const auto d = a.forward(a.labelFor(p4("20.0.0.0/8")), a4("20.1.1.1"), acc);
+  EXPECT_EQ(d.out_label, b.labelFor(p4("20.0.0.0/8")));
+}
+
+}  // namespace
+}  // namespace cluert::mpls

@@ -1,0 +1,216 @@
+// The path-vector (BGP-flavoured) protocol and the §3 similarity story.
+#include <gtest/gtest.h>
+
+#include "core/shaping.h"
+#include "proto/path_vector.h"
+#include "test_util.h"
+
+namespace cluert::proto {
+namespace {
+
+using testutil::a4;
+using testutil::p4;
+
+TEST(PathVector, OriginatedRoutesPropagate) {
+  PathVectorSimulation sim;
+  const auto r0 = sim.addRouter();
+  const auto r1 = sim.addRouter();
+  const auto r2 = sim.addRouter();
+  sim.peer(r0, r1);
+  sim.peer(r1, r2);
+  sim.node(r0).originate(p4("10.0.0.0/8"));
+  sim.converge();
+
+  mem::AccessCounter acc;
+  // r2 learns 10/8 via r1 (two AS hops).
+  const auto m = sim.fib(r2).buildTrie().lookup(a4("10.1.1.1"), acc);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->next_hop, r1);
+  // r0 keeps its own route pointing at itself.
+  EXPECT_EQ(sim.fib(r0).buildTrie().lookup(a4("10.1.1.1"), acc)->next_hop,
+            r0);
+}
+
+TEST(PathVector, ShortestAsPathWins) {
+  // Square: 0-1-3 and 0-2-3; plus direct 0-3.
+  PathVectorSimulation sim;
+  for (int i = 0; i < 4; ++i) sim.addRouter();
+  sim.peer(0, 1);
+  sim.peer(1, 3);
+  sim.peer(0, 2);
+  sim.peer(2, 3);
+  sim.peer(0, 3);
+  sim.node(3).originate(p4("30.0.0.0/8"));
+  sim.converge();
+  mem::AccessCounter acc;
+  EXPECT_EQ(sim.fib(0).buildTrie().lookup(a4("30.1.1.1"), acc)->next_hop,
+            3u);  // the one-hop path beats both two-hop paths
+}
+
+TEST(PathVector, LoopPreventionRejectsOwnAs) {
+  PathVectorNode n(5);
+  PvRoute r;
+  r.prefix = p4("10.0.0.0/8");
+  r.as_path = {7, 5, 9};  // contains AS 5
+  EXPECT_FALSE(n.receive(7, r));
+  r.as_path = {7, 9};
+  EXPECT_TRUE(n.receive(7, r));
+  EXPECT_FALSE(n.receive(7, r));  // unchanged re-advertisement
+}
+
+TEST(PathVector, ConvergesOnRingWithoutCountingToInfinity) {
+  PathVectorSimulation sim;
+  constexpr int kN = 6;
+  for (int i = 0; i < kN; ++i) sim.addRouter();
+  for (int i = 0; i < kN; ++i) {
+    sim.peer(static_cast<RouterId>(i), static_cast<RouterId>((i + 1) % kN));
+  }
+  sim.node(0).originate(p4("10.0.0.0/8"));
+  sim.converge();
+  EXPECT_LT(sim.stats().rounds, 10u);
+  mem::AccessCounter acc;
+  for (RouterId r = 0; r < sim.routerCount(); ++r) {
+    EXPECT_TRUE(sim.fib(r).buildTrie().lookup(a4("10.1.1.1"), acc))
+        << "router " << r;
+  }
+}
+
+TEST(PathVector, ExportFilterHidesRoutes) {
+  // §3: "policies by which a BGP router tries to hide information from
+  // neighbors for policing reasons" — r1 exports 10/8 to r2 but not 20/8.
+  PathVectorSimulation sim;
+  const auto r0 = sim.addRouter();
+  const auto r1 = sim.addRouter();
+  const auto r2 = sim.addRouter();
+  sim.peer(r0, r1);
+  sim.peer(r1, r2);
+  sim.node(r0).originate(p4("10.0.0.0/8"));
+  sim.node(r0).originate(p4("20.0.0.0/8"));
+  sim.node(r1).setExportFilter([&](const ip::Prefix4& p, RouterId to) {
+    return !(to == r2 && p == p4("20.0.0.0/8"));
+  });
+  sim.converge();
+  mem::AccessCounter acc;
+  const auto trie = sim.fib(r2).buildTrie();
+  EXPECT_TRUE(trie.lookup(a4("10.1.1.1"), acc).has_value());
+  EXPECT_FALSE(trie.lookup(a4("20.1.1.1"), acc).has_value());
+}
+
+TEST(PathVector, BorderAggregationCoarsensTheView) {
+  // r0 originates two /16s inside its 10.0/12 block and aggregates at the
+  // border: peers see only the /12; r0's own table keeps the specifics.
+  PathVectorSimulation sim;
+  const auto r0 = sim.addRouter();
+  const auto r1 = sim.addRouter();
+  sim.peer(r0, r1);
+  sim.node(r0).originate(p4("10.1.0.0/16"));
+  sim.node(r0).originate(p4("10.2.0.0/16"));
+  sim.node(r0).addAggregate(p4("10.0.0.0/12"));
+  sim.converge();
+
+  const auto f0 = sim.fib(r0);
+  const auto f1 = sim.fib(r1);
+  EXPECT_TRUE(f0.contains(p4("10.1.0.0/16")));
+  EXPECT_FALSE(f1.contains(p4("10.1.0.0/16")));
+  EXPECT_TRUE(f1.contains(p4("10.0.0.0/12")));
+  // This is precisely the §3 asymmetry: the receiver of a clue from r1 may
+  // hold more-specifics r1 never saw — a problematic clue at r0.
+  const auto t1 = f1.buildTrie();
+  const auto t0 = f0.buildTrie();
+  EXPECT_EQ(core::countProblematicClues(t1, t0, f1.prefixes()), 1u);
+}
+
+TEST(PathVector, InternalPeerAggregationAtTheBorder) {
+  // A border router aggregates its customer's routes toward the outside but
+  // keeps the specifics — §3's "aggregation ... at the borders of the ASs".
+  PathVectorSimulation sim;
+  const auto outside = sim.addRouter();
+  const auto border = sim.addRouter();
+  const auto customer = sim.addRouter();
+  sim.peer(outside, border);
+  sim.peer(border, customer);
+  sim.node(customer).originate(p4("10.1.0.0/16"));
+  sim.node(customer).originate(p4("10.2.0.0/16"));
+  sim.node(border).setInternalPeer(customer);
+  sim.node(border).addAggregate(p4("10.0.0.0/12"));
+  sim.converge();
+
+  const auto border_fib = sim.fib(border);
+  const auto outside_fib = sim.fib(outside);
+  EXPECT_TRUE(border_fib.contains(p4("10.1.0.0/16")));   // specifics inside
+  EXPECT_FALSE(outside_fib.contains(p4("10.1.0.0/16")));
+  EXPECT_TRUE(outside_fib.contains(p4("10.0.0.0/12")));  // aggregate outside
+  // The outside router's clue (/12) is problematic at the border router —
+  // the Figure 8 aggregation-point situation, emergent from the protocol.
+  EXPECT_EQ(core::countProblematicClues(outside_fib.buildTrie(),
+                                        border_fib.buildTrie(),
+                                        outside_fib.prefixes()),
+            1u);
+  // Exports toward the customer keep the specifics of others... and the
+  // customer's own routes are not echoed back.
+  const auto customer_fib = sim.fib(customer);
+  EXPECT_TRUE(customer_fib.contains(p4("10.1.0.0/16")));
+}
+
+TEST(PathVector, NeighborsEndUpWithSimilarTables) {
+  // The §3 premise, emergent from the protocol: adjacent routers' tables
+  // overlap almost entirely.
+  PathVectorSimulation sim;
+  constexpr int kN = 8;
+  Rng rng(21);
+  for (int i = 0; i < kN; ++i) sim.addRouter();
+  for (int i = 0; i + 1 < kN; ++i) {
+    sim.peer(static_cast<RouterId>(i), static_cast<RouterId>(i + 1));
+  }
+  sim.peer(0, kN - 1);
+  for (int i = 0; i < kN; ++i) {
+    for (int k = 0; k < 10; ++k) {
+      sim.node(static_cast<RouterId>(i))
+          .originate(ip::Prefix4(ip::Ip4Addr(rng.u32()),
+                                 static_cast<int>(rng.uniform(12, 24))));
+    }
+  }
+  sim.converge();
+  for (int i = 0; i + 1 < kN; ++i) {
+    const auto fa = sim.fib(static_cast<RouterId>(i));
+    const auto fb = sim.fib(static_cast<RouterId>(i + 1));
+    const double overlap =
+        static_cast<double>(fa.intersectionSize(fb)) /
+        static_cast<double>(std::min(fa.size(), fb.size()));
+    EXPECT_GT(overlap, 0.95) << "routers " << i << "," << i + 1;
+  }
+}
+
+TEST(PathVector, SessionResetForgetsRoutes) {
+  PathVectorSimulation sim;
+  const auto r0 = sim.addRouter();
+  const auto r1 = sim.addRouter();
+  sim.peer(r0, r1);
+  sim.node(r0).originate(p4("10.0.0.0/8"));
+  sim.converge();
+  EXPECT_TRUE(sim.fib(r1).contains(p4("10.0.0.0/8")));
+  sim.node(r1).resetPeer(r0);
+  EXPECT_FALSE(sim.fib(r1).contains(p4("10.0.0.0/8")));
+  // Re-convergence re-learns.
+  sim.converge();
+  EXPECT_TRUE(sim.fib(r1).contains(p4("10.0.0.0/8")));
+}
+
+TEST(PathVector, DeterministicTieBreaking) {
+  const auto build = [] {
+    PathVectorSimulation sim;
+    for (int i = 0; i < 5; ++i) sim.addRouter();
+    sim.peer(0, 1);
+    sim.peer(0, 2);
+    sim.peer(1, 3);
+    sim.peer(2, 3);
+    sim.peer(3, 4);
+    sim.node(4).originate(*ip::Prefix4::parse("40.0.0.0/8"));
+    sim.converge();
+    return sim.fib(0).serialize();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+}  // namespace
+}  // namespace cluert::proto

@@ -1,0 +1,191 @@
+// Repository-wide randomized invariants (DESIGN.md "Key invariants"),
+// swept over methods, clue modes and seeds with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include "core/distributed_lookup.h"
+#include "test_util.h"
+
+namespace cluert {
+namespace {
+
+using A = ip::Ip4Addr;
+using MatchT = trie::Match<A>;
+using core::ClueField;
+using core::CluePort;
+using lookup::ClueMode;
+using lookup::LookupSuite;
+using lookup::Method;
+
+struct PropertyCase {
+  Method method;
+  ClueMode mode;
+  std::uint64_t seed;
+};
+
+std::vector<PropertyCase> makeCases() {
+  std::vector<PropertyCase> cases;
+  for (const Method m : lookup::kAllMethods) {
+    for (const ClueMode mode : {ClueMode::kSimple, ClueMode::kAdvance}) {
+      for (const std::uint64_t seed : {11ull, 222ull, 3333ull}) {
+        cases.push_back({m, mode, seed});
+      }
+    }
+  }
+  return cases;
+}
+
+class InvariantTest : public ::testing::TestWithParam<PropertyCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InvariantTest, ::testing::ValuesIn(makeCases()),
+    [](const auto& info) {
+      std::string m(methodName(info.param.method));
+      if (m == "6-way") m = "Multiway";
+      return m + std::string(clueModeName(info.param.mode)) + "Seed" +
+             std::to_string(info.param.seed);
+    });
+
+// Invariant 2 (clue transparency) + invariant 5 (>=1 access) + Advance vs
+// Simple result agreement, on a sender/receiver pair with heavy nesting.
+TEST_P(InvariantTest, ClueNeverChangesRoutingOnlyCost) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  const auto sender = testutil::randomTable4(rng, 300);
+  const auto receiver = testutil::neighborOf(sender, rng, 0.75, 50, 0.6);
+  trie::BinaryTrie<A> t1;
+  for (const auto& e : sender) t1.insert(e.prefix, e.next_hop);
+  LookupSuite<A> suite(receiver);
+  typename CluePort<A>::Options opt;
+  opt.method = param.method;
+  opt.mode = param.mode;
+  CluePort<A> port(suite, &t1, opt);
+
+  mem::AccessCounter scratch;
+  std::size_t clued_packets = 0;
+  for (int i = 0; i < 600; ++i) {
+    const auto dest =
+        testutil::coveredAddress<A>(sender, rng, testutil::randomAddr4);
+    const auto bmp1 = t1.lookup(dest, scratch);
+    const auto field =
+        bmp1 ? ClueField::of(bmp1->prefix.length()) : ClueField::none();
+    if (bmp1) ++clued_packets;
+    mem::AccessCounter acc;
+    const auto r = port.process(dest, field, acc);
+    const auto expect = testutil::bruteForceBmp(receiver, dest);
+    ASSERT_EQ(expect.has_value(), r.match.has_value())
+        << "dest " << dest.toString();
+    if (expect) {
+      ASSERT_EQ(expect->prefix, r.match->prefix)
+          << "dest " << dest.toString() << " clue "
+          << (bmp1 ? bmp1->prefix.toString() : "-");
+    }
+    EXPECT_GE(acc.total(), 1u);
+  }
+  EXPECT_GT(clued_packets, 300u);
+}
+
+// Invariant: a warm clue table makes the receiver cheaper than the common
+// (clue-less) method — the whole point of the paper.
+TEST_P(InvariantTest, WarmCluePortBeatsCommonLookup) {
+  const auto param = GetParam();
+  Rng rng(param.seed + 1);
+  const auto sender = testutil::randomTable4(rng, 400);
+  const auto receiver = testutil::neighborOf(sender, rng, 0.85, 30, 0.4);
+  trie::BinaryTrie<A> t1;
+  for (const auto& e : sender) t1.insert(e.prefix, e.next_hop);
+  LookupSuite<A> suite(receiver);
+  typename CluePort<A>::Options opt;
+  opt.method = param.method;
+  opt.mode = param.mode;
+  CluePort<A> port(suite, &t1, opt);
+
+  // Warm up, then measure the same flow.
+  mem::AccessCounter scratch;
+  std::vector<std::pair<A, ClueField>> flow;
+  for (int i = 0; i < 400; ++i) {
+    const auto dest =
+        testutil::coveredAddress<A>(sender, rng, testutil::randomAddr4);
+    const auto bmp1 = t1.lookup(dest, scratch);
+    if (!bmp1) continue;
+    flow.emplace_back(dest, ClueField::of(bmp1->prefix.length()));
+  }
+  for (const auto& [dest, field] : flow) port.process(dest, field, scratch);
+
+  mem::AccessCounter clue_acc;
+  mem::AccessCounter common_acc;
+  for (const auto& [dest, field] : flow) {
+    port.process(dest, field, clue_acc);
+    suite.engine(param.method).lookup(dest, common_acc);
+  }
+  EXPECT_LT(clue_acc.total(), common_acc.total())
+      << methodName(param.method) << "/" << clueModeName(param.mode);
+}
+
+// Invariant 4, per-mode: whenever the port answers from the FD without a
+// search, brute force agrees no longer match existed.
+TEST_P(InvariantTest, FdAnswersAreNeverWrong) {
+  const auto param = GetParam();
+  Rng rng(param.seed + 2);
+  const auto sender = testutil::randomTable4(rng, 250);
+  const auto receiver = testutil::neighborOf(sender, rng, 0.7, 60, 0.7);
+  trie::BinaryTrie<A> t1;
+  for (const auto& e : sender) t1.insert(e.prefix, e.next_hop);
+  LookupSuite<A> suite(receiver);
+  typename CluePort<A>::Options opt;
+  opt.method = param.method;
+  opt.mode = param.mode;
+  CluePort<A> port(suite, &t1, opt);
+
+  mem::AccessCounter scratch;
+  std::size_t fd_answers = 0;
+  for (int i = 0; i < 600; ++i) {
+    const auto dest =
+        testutil::coveredAddress<A>(sender, rng, testutil::randomAddr4);
+    const auto bmp1 = t1.lookup(dest, scratch);
+    if (!bmp1) continue;
+    mem::AccessCounter acc;
+    const auto r =
+        port.process(dest, ClueField::of(bmp1->prefix.length()), acc);
+    if (!r.table_hit || !r.used_fd || r.searched) continue;
+    ++fd_answers;
+    const auto expect = testutil::bruteForceBmp(receiver, dest);
+    ASSERT_EQ(expect.has_value(), r.match.has_value());
+    if (expect) ASSERT_EQ(expect->prefix, r.match->prefix);
+  }
+  EXPECT_GT(fd_answers, 0u);
+}
+
+// IPv6 instantiation of the transparency invariant (invariant 2 at W=128).
+TEST(InvariantIpv6, ClueTransparencyHolds) {
+  using A6 = ip::Ip6Addr;
+  Rng rng(99);
+  const auto sender = testutil::randomTable6(rng, 200);
+  const auto receiver = testutil::neighborOf(sender, rng, 0.8, 30, 0.5);
+  trie::BinaryTrie<A6> t1;
+  for (const auto& e : sender) t1.insert(e.prefix, e.next_hop);
+  for (const Method m : lookup::kAllMethods) {
+    for (const ClueMode mode : {ClueMode::kSimple, ClueMode::kAdvance}) {
+      LookupSuite<A6> fresh(receiver);
+      typename CluePort<A6>::Options opt;
+      opt.method = m;
+      opt.mode = mode;
+      CluePort<A6> port(fresh, &t1, opt);
+      mem::AccessCounter scratch;
+      for (int i = 0; i < 150; ++i) {
+        const auto dest = testutil::coveredAddress<A6>(
+            sender, rng, testutil::randomAddr6);
+        const auto bmp1 = t1.lookup(dest, scratch);
+        const auto field =
+            bmp1 ? ClueField::of(bmp1->prefix.length()) : ClueField::none();
+        mem::AccessCounter acc;
+        const auto r = port.process(dest, field, acc);
+        const auto expect = testutil::bruteForceBmp(receiver, dest);
+        ASSERT_EQ(expect.has_value(), r.match.has_value());
+        if (expect) ASSERT_EQ(expect->prefix, r.match->prefix);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cluert

@@ -1,0 +1,335 @@
+// Route-update dynamics: incremental trie maintenance, suite refresh, clue
+// table recomputation and the §3.4 inactive-entry marking.
+#include <gtest/gtest.h>
+
+#include "core/distributed_lookup.h"
+#include "test_util.h"
+
+namespace cluert {
+namespace {
+
+using testutil::a4;
+using testutil::p4;
+using A = ip::Ip4Addr;
+using MatchT = trie::Match<A>;
+using core::ClueField;
+using core::CluePort;
+using lookup::ClueMode;
+using lookup::LookupSuite;
+using lookup::Method;
+
+// ---------------------------------------------------------------------------
+// Patricia erase
+// ---------------------------------------------------------------------------
+
+TEST(PatriciaErase, RemoveLeafAndSpliceUnaryParent) {
+  trie::PatriciaTrie4 t;
+  t.insert(p4("10.1.2.0/24"), 1);
+  t.insert(p4("10.1.3.0/24"), 2);
+  // Root -> fork(/23) -> two leaves. Erasing one leaf must splice the fork.
+  EXPECT_TRUE(t.erase(p4("10.1.2.0/24")));
+  EXPECT_EQ(t.prefixCount(), 1u);
+  EXPECT_FALSE(t.contains(p4("10.1.2.0/24")));
+  EXPECT_TRUE(t.contains(p4("10.1.3.0/24")));
+  // Invariant: no unmarked unary nodes.
+  t.forEachNode([](const trie::PatriciaTrie4::Node& n) {
+    const int kids = (n.child[0] ? 1 : 0) + (n.child[1] ? 1 : 0);
+    if (n.prefix.length() > 0) {
+      EXPECT_TRUE(n.marked || kids == 2) << n.prefix.toString();
+    }
+  });
+  mem::AccessCounter acc;
+  EXPECT_FALSE(t.lookup(a4("10.1.2.9"), acc).has_value());
+  EXPECT_EQ(t.lookup(a4("10.1.3.9"), acc)->next_hop, 2u);
+}
+
+TEST(PatriciaErase, UnmarkInternalNodeWithTwoChildrenKeepsFork) {
+  trie::PatriciaTrie4 t;
+  t.insert(p4("10.0.0.0/8"), 1);
+  t.insert(p4("10.1.2.0/24"), 2);
+  t.insert(p4("10.128.0.0/9"), 3);
+  EXPECT_TRUE(t.erase(p4("10.0.0.0/8")));
+  mem::AccessCounter acc;
+  EXPECT_EQ(t.lookup(a4("10.1.2.5"), acc)->next_hop, 2u);
+  EXPECT_EQ(t.lookup(a4("10.200.0.1"), acc)->next_hop, 3u);
+  EXPECT_FALSE(t.lookup(a4("10.64.0.1"), acc).has_value());
+}
+
+TEST(PatriciaErase, EraseAbsentReturnsFalse) {
+  trie::PatriciaTrie4 t;
+  t.insert(p4("10.0.0.0/8"), 1);
+  EXPECT_FALSE(t.erase(p4("11.0.0.0/8")));
+  EXPECT_FALSE(t.erase(p4("10.0.0.0/9")));
+  EXPECT_TRUE(t.erase(p4("10.0.0.0/8")));
+  EXPECT_FALSE(t.erase(p4("10.0.0.0/8")));
+  EXPECT_EQ(t.prefixCount(), 0u);
+}
+
+TEST(PatriciaErase, RandomChurnStaysEquivalentToBinaryTrie) {
+  Rng rng(1212);
+  const auto entries = testutil::randomTable4(rng, 300);
+  trie::BinaryTrie4 bt;
+  trie::PatriciaTrie4 pt;
+  for (const auto& e : entries) {
+    bt.insert(e.prefix, e.next_hop);
+    pt.insert(e.prefix, e.next_hop);
+  }
+  // Erase half, reinsert a quarter, interleaved.
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(bt.erase(entries[i].prefix), pt.erase(entries[i].prefix));
+    }
+    if (i % 4 == 0) {
+      bt.insert(entries[i].prefix, 99);
+      pt.insert(entries[i].prefix, 99);
+    }
+  }
+  mem::AccessCounter acc;
+  for (int i = 0; i < 500; ++i) {
+    const auto dest = testutil::coveredAddress<A>(entries, rng,
+                                                  testutil::randomAddr4);
+    const auto b = bt.lookup(dest, acc);
+    const auto p = pt.lookup(dest, acc);
+    ASSERT_EQ(b.has_value(), p.has_value()) << dest.toString();
+    if (b) {
+      EXPECT_EQ(b->prefix, p->prefix);
+      EXPECT_EQ(b->next_hop, p->next_hop);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LookupSuite route updates
+// ---------------------------------------------------------------------------
+
+TEST(SuiteUpdate, AllEnginesSeeInsertedAndErasedRoutes) {
+  Rng rng(77);
+  auto entries = testutil::randomTable4(rng, 200);
+  LookupSuite<A> suite(entries);
+  // Insert a handful of routes, erase a handful, then check every engine
+  // against brute force.
+  std::vector<MatchT> current = entries;
+  for (int i = 0; i < 10; ++i) {
+    const auto fresh = ip::Prefix4(testutil::randomAddr4(rng), 20 + i);
+    suite.insertRoute(fresh, 1000 + i);
+    bool replaced = false;
+    for (auto& e : current) {
+      if (e.prefix == fresh) {
+        e.next_hop = 1000 + i;
+        replaced = true;
+      }
+    }
+    if (!replaced) current.push_back(MatchT{fresh, static_cast<NextHop>(1000 + i)});
+  }
+  for (int i = 0; i < 10; ++i) {
+    const auto& victim = current[static_cast<std::size_t>(i) * 7].prefix;
+    suite.eraseRoute(victim);
+    current.erase(std::remove_if(current.begin(), current.end(),
+                                 [&](const MatchT& e) {
+                                   return e.prefix == victim;
+                                 }),
+                  current.end());
+  }
+  mem::AccessCounter acc;
+  for (int i = 0; i < 400; ++i) {
+    const auto dest = testutil::coveredAddress<A>(current, rng,
+                                                  testutil::randomAddr4);
+    const auto expect = testutil::bruteForceBmp(current, dest);
+    for (const auto m : lookup::kAllMethods) {
+      const auto got = suite.engine(m).lookup(dest, acc);
+      ASSERT_EQ(expect.has_value(), got.has_value())
+          << lookup::methodName(m) << " " << dest.toString();
+      if (expect) {
+        EXPECT_EQ(expect->prefix, got->prefix);
+        EXPECT_EQ(expect->next_hop, got->next_hop);
+      }
+    }
+  }
+}
+
+TEST(SuiteUpdate, AnnotationsAreReplayedAfterUpdates) {
+  trie::BinaryTrie4 t1;
+  t1.insert(p4("10.1.0.0/16"), 1);
+  LookupSuite<A> suite({MatchT{p4("10.0.0.0/8"), 1}});
+  suite.annotateNeighbor(0, t1);
+  // Adding a /24 under t1's /16 keeps Claim 1 intact at the /8 vertex (the
+  // /16 still blocks the branch) — only if the annotation was replayed.
+  suite.insertRoute(p4("10.1.2.0/24"), 2);
+  const auto* v = suite.binaryTrie().findVertex(p4("10.0.0.0/8"));
+  ASSERT_NE(v, nullptr);
+  EXPECT_FALSE(trie::BinaryTrie4::continueBit(v, 0));
+  // Adding a /24 outside the /16 re-opens the search.
+  suite.insertRoute(p4("10.3.3.0/24"), 3);
+  EXPECT_TRUE(trie::BinaryTrie4::continueBit(
+      suite.binaryTrie().findVertex(p4("10.0.0.0/8")), 0));
+}
+
+// ---------------------------------------------------------------------------
+// CluePort maintenance
+// ---------------------------------------------------------------------------
+
+struct UpdateFixture {
+  std::vector<MatchT> sender;
+  std::vector<MatchT> receiver;
+  trie::BinaryTrie<A> t1;
+  std::unique_ptr<LookupSuite<A>> suite;
+  std::unique_ptr<CluePort<A>> port;
+
+  explicit UpdateFixture(std::uint64_t seed, Method method = Method::kPatricia,
+                         ClueMode mode = ClueMode::kAdvance) {
+    Rng rng(seed);
+    sender = testutil::randomTable4(rng, 150);
+    receiver = testutil::neighborOf(sender, rng, 0.8, 25, 0.5);
+    for (const auto& e : sender) t1.insert(e.prefix, e.next_hop);
+    suite = std::make_unique<LookupSuite<A>>(receiver);
+    typename CluePort<A>::Options opt;
+    opt.method = method;
+    opt.mode = mode;
+    port = std::make_unique<CluePort<A>>(*suite, &t1, opt);
+    std::vector<ip::Prefix4> clues;
+    for (const auto& e : sender) clues.push_back(e.prefix);
+    port->precompute(clues);
+  }
+
+  void checkTransparency(Rng& rng, int samples) {
+    mem::AccessCounter scratch;
+    for (int i = 0; i < samples; ++i) {
+      const auto dest = testutil::coveredAddress<A>(sender, rng,
+                                                    testutil::randomAddr4);
+      const auto bmp = t1.lookup(dest, scratch);
+      const auto field = bmp ? ClueField::of(bmp->prefix.length())
+                             : ClueField::none();
+      mem::AccessCounter acc;
+      const auto r = port->process(dest, field, acc);
+      const auto expect = testutil::bruteForceBmp(receiver, dest);
+      ASSERT_EQ(expect.has_value(), r.match.has_value())
+          << dest.toString();
+      if (expect) ASSERT_EQ(expect->prefix, r.match->prefix);
+    }
+  }
+};
+
+TEST(CluePortUpdate, LocalInsertIsReflectedAfterRefresh) {
+  UpdateFixture fx(9001);
+  Rng rng(1);
+  // Insert a more-specific under an existing receiver route.
+  const auto parent = fx.receiver[rng.index(fx.receiver.size())].prefix;
+  if (parent.length() >= 30) GTEST_SKIP();
+  ip::Ip4Addr addr = parent.addr();
+  for (int b = parent.length(); b < parent.length() + 2; ++b) {
+    addr = addr.withBit(b, 1);
+  }
+  const ip::Prefix4 fresh(addr, parent.length() + 2);
+  fx.suite->insertRoute(fresh, 777);
+  fx.port->onLocalRouteChanged(fresh);
+  bool replaced = false;
+  for (auto& e : fx.receiver) {
+    if (e.prefix == fresh) {
+      e.next_hop = 777;
+      replaced = true;
+    }
+  }
+  if (!replaced) fx.receiver.push_back(MatchT{fresh, 777});
+  fx.checkTransparency(rng, 300);
+}
+
+TEST(CluePortUpdate, LocalEraseIsReflectedAfterRefresh) {
+  UpdateFixture fx(9002);
+  Rng rng(2);
+  for (int round = 0; round < 8; ++round) {
+    const std::size_t victim_i = rng.index(fx.receiver.size());
+    const auto victim = fx.receiver[victim_i].prefix;
+    fx.suite->eraseRoute(victim);
+    fx.port->onLocalRouteChanged(victim);
+    fx.receiver.erase(fx.receiver.begin() +
+                      static_cast<std::ptrdiff_t>(victim_i));
+    fx.checkTransparency(rng, 100);
+  }
+}
+
+TEST(CluePortUpdate, NeighborChangeIsReflectedAfterRefresh) {
+  UpdateFixture fx(9003);
+  Rng rng(3);
+  // The sender withdraws some prefixes: Claim 1 may newly fail for clues it
+  // used to protect — entries must be recomputed for correctness of the
+  // *shape* (transparency holds regardless because the clue is genuine).
+  for (int round = 0; round < 5; ++round) {
+    const std::size_t victim_i = rng.index(fx.sender.size());
+    const auto victim = fx.sender[victim_i].prefix;
+    fx.t1.erase(victim);
+    fx.port->onNeighborRouteChanged(victim);
+    fx.sender.erase(fx.sender.begin() +
+                    static_cast<std::ptrdiff_t>(victim_i));
+    fx.checkTransparency(rng, 100);
+  }
+}
+
+TEST(CluePortUpdate, ChurnAcrossMethodsStaysTransparent) {
+  for (const auto method :
+       {Method::kRegular, Method::kBinary, Method::kLogW}) {
+    UpdateFixture fx(9004, method);
+    Rng rng(4);
+    for (int round = 0; round < 4; ++round) {
+      // Alternate inserts and erases on the receiver.
+      if (round % 2 == 0 && !fx.receiver.empty()) {
+        const std::size_t i = rng.index(fx.receiver.size());
+        const auto victim = fx.receiver[i].prefix;
+        fx.suite->eraseRoute(victim);
+        fx.port->onLocalRouteChanged(victim);
+        fx.receiver.erase(fx.receiver.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      } else {
+        const ip::Prefix4 fresh(testutil::randomAddr4(rng), 22);
+        fx.suite->insertRoute(fresh, 555);
+        fx.port->onLocalRouteChanged(fresh);
+        bool replaced = false;
+        for (auto& e : fx.receiver) {
+          if (e.prefix == fresh) {
+            e.next_hop = 555;
+            replaced = true;
+          }
+        }
+        if (!replaced) fx.receiver.push_back(MatchT{fresh, 555});
+      }
+      fx.checkTransparency(rng, 80);
+    }
+  }
+}
+
+TEST(CluePortUpdate, InactiveEntryBehavesAsMissThenRelearns) {
+  UpdateFixture fx(9005);
+  // Find a clue that exists in the table.
+  const auto clue = fx.sender.front().prefix;
+  ASSERT_TRUE(fx.port->invalidateClue(clue));
+  // A packet carrying the inactive clue takes the miss path (full lookup,
+  // still correct) and relearns the entry.
+  Rng rng(5);
+  ip::Ip4Addr dest = clue.addr();
+  for (int b = clue.length(); b < 32; ++b) {
+    dest = dest.withBit(b, static_cast<unsigned>(rng.u32() & 1));
+  }
+  mem::AccessCounter scratch;
+  const auto bmp = fx.t1.lookup(dest, scratch);
+  if (!bmp || bmp->prefix != clue) GTEST_SKIP();  // extension captured it
+  mem::AccessCounter acc;
+  const auto r = fx.port->process(dest, ClueField::of(clue.length()), acc);
+  EXPECT_FALSE(r.table_hit);
+  const auto expect = testutil::bruteForceBmp(fx.receiver, dest);
+  ASSERT_EQ(expect.has_value(), r.match.has_value());
+  // Learned again: next packet hits.
+  mem::AccessCounter acc2;
+  const auto r2 = fx.port->process(dest, ClueField::of(clue.length()), acc2);
+  EXPECT_TRUE(r2.table_hit);
+}
+
+TEST(CluePortUpdate, ReactivateRecomputesEntry) {
+  UpdateFixture fx(9006);
+  const auto clue = fx.sender.front().prefix;
+  ASSERT_TRUE(fx.port->invalidateClue(clue));
+  ASSERT_TRUE(fx.port->reactivateClue(clue));
+  Rng rng(6);
+  fx.checkTransparency(rng, 100);
+}
+
+}  // namespace
+}  // namespace cluert

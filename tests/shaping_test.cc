@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "core/shaping.h"
+#include "test_util.h"
+
+namespace cluert::core {
+namespace {
+
+using testutil::p4;
+using A = ip::Ip4Addr;
+using BT = trie::BinaryTrie<A>;
+
+TEST(Shaping, ImportListContainsExactlyUncoveredExtensions) {
+  BT t1;
+  t1.insert(p4("10.0.0.0/8"), 1);
+  t1.insert(p4("20.0.0.0/8"), 1);
+  BT t2;
+  t2.insert(p4("10.1.0.0/16"), 2);   // extends a t1 prefix -> import
+  t2.insert(p4("20.0.0.0/8"), 2);    // already known -> skip
+  t2.insert(p4("30.0.0.0/8"), 2);    // extends nothing in t1 -> skip
+  const auto imports = zeroWorkImport(t1, t2);
+  ASSERT_EQ(imports.size(), 1u);
+  EXPECT_EQ(imports[0].prefix, p4("10.1.0.0/16"));
+  // Imported route inherits the covering t1 next hop (it points the same
+  // way the aggregate did).
+  EXPECT_EQ(imports[0].next_hop, 1u);
+}
+
+TEST(Shaping, AfterImportNoProblematicCluesRemain) {
+  Rng rng(808);
+  for (int round = 0; round < 3; ++round) {
+    const auto base = testutil::randomTable4(rng, 200);
+    const auto other = testutil::neighborOf(base, rng, 0.7, 60, 0.6);
+    BT t1;
+    for (const auto& e : base) t1.insert(e.prefix, e.next_hop);
+    BT t2;
+    for (const auto& e : other) t2.insert(e.prefix, e.next_hop);
+
+    std::vector<ip::Prefix4> clues;
+    for (const auto& e : base) clues.push_back(e.prefix);
+    const std::size_t before = countProblematicClues(t1, t2, clues);
+
+    const std::size_t added = applyZeroWorkImport(t1, t2);
+    // The import enlarges the clue universe too: every t1 prefix is a
+    // potential clue.
+    std::vector<ip::Prefix4> clues_after;
+    t1.forEachPrefix([&](const ip::Prefix4& p, NextHop) {
+      clues_after.push_back(p);
+    });
+    const std::size_t after = countProblematicClues(t1, t2, clues_after);
+    EXPECT_EQ(after, 0u) << "round " << round << " (was " << before
+                         << ", imported " << added << ")";
+  }
+}
+
+TEST(Shaping, ImportOnlyAddsRoutes) {
+  // §5.4: the scheme reduces aggregation (adds more-specifics), never
+  // removes or rewrites existing routes — hence no routing loops.
+  Rng rng(809);
+  const auto base = testutil::randomTable4(rng, 150);
+  const auto other = testutil::neighborOf(base, rng, 0.7, 40, 0.6);
+  BT t1;
+  for (const auto& e : base) t1.insert(e.prefix, e.next_hop);
+  BT t2;
+  for (const auto& e : other) t2.insert(e.prefix, e.next_hop);
+  const std::size_t before = t1.prefixCount();
+  const std::size_t added = applyZeroWorkImport(t1, t2);
+  EXPECT_EQ(t1.prefixCount(), before + added);
+  for (const auto& e : base) {
+    EXPECT_EQ(t1.nextHopOf(e.prefix), e.next_hop);  // untouched
+  }
+}
+
+TEST(Shaping, CountProblematicMatchesAnalyzer) {
+  Rng rng(810);
+  const auto base = testutil::randomTable4(rng, 100);
+  const auto other = testutil::neighborOf(base, rng, 0.7, 30, 0.5);
+  BT t1;
+  for (const auto& e : base) t1.insert(e.prefix, e.next_hop);
+  BT t2;
+  for (const auto& e : other) t2.insert(e.prefix, e.next_hop);
+  std::vector<ip::Prefix4> clues;
+  for (const auto& e : base) clues.push_back(e.prefix);
+  const ClueAnalyzer<A> an(t2, &t1);
+  std::size_t expected = 0;
+  for (const auto& c : clues) {
+    if (an.analyzeAdvance(c).kase == ClueCase::kSearch) ++expected;
+  }
+  EXPECT_EQ(countProblematicClues(t1, t2, clues), expected);
+}
+
+TEST(Shaping, IdempotentOnSecondApplication) {
+  Rng rng(811);
+  const auto base = testutil::randomTable4(rng, 120);
+  const auto other = testutil::neighborOf(base, rng, 0.7, 30, 0.5);
+  BT t1;
+  for (const auto& e : base) t1.insert(e.prefix, e.next_hop);
+  BT t2;
+  for (const auto& e : other) t2.insert(e.prefix, e.next_hop);
+  applyZeroWorkImport(t1, t2);
+  EXPECT_EQ(applyZeroWorkImport(t1, t2), 0u);
+}
+
+}  // namespace
+}  // namespace cluert::core

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace cluert {
+namespace {
+
+TEST(Summary, EmptyIsAllZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.percentile(50), 0.0);
+}
+
+TEST(Summary, MeanMinMax) {
+  Summary s;
+  for (double v : {3.0, 1.0, 2.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Summary, Percentiles) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.0, 1.0);
+  EXPECT_NEAR(s.percentile(99), 99.0, 1.0);
+}
+
+TEST(Summary, FractionAtMost) {
+  Summary s;
+  for (double v : {1.0, 1.0, 1.0, 5.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.fractionAtMost(1.0), 0.75);
+  EXPECT_DOUBLE_EQ(s.fractionAtMost(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.fractionAtMost(5.0), 1.0);
+}
+
+TEST(Summary, AddAfterQueryResorts) {
+  Summary s;
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  s.add(20.0);
+  EXPECT_DOUBLE_EQ(s.max(), 20.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+}
+
+}  // namespace
+}  // namespace cluert

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "rib/table_gen.h"
+#include "test_util.h"
+
+namespace cluert::rib {
+namespace {
+
+using A = ip::Ip4Addr;
+using Gen = TableGen<A>;
+
+GenOptions<A> baseOptions(std::size_t size) {
+  GenOptions<A> opt;
+  opt.size = size;
+  opt.histogram = internetLengths1999();
+  return opt;
+}
+
+TEST(TableGen, ProducesRequestedSize) {
+  Rng rng(1);
+  const auto fib = Gen::generate(rng, baseOptions(5000));
+  EXPECT_EQ(fib.size(), 5000u);
+}
+
+TEST(TableGen, AllPrefixesDistinct) {
+  Rng rng(2);
+  const auto fib = Gen::generate(rng, baseOptions(3000));
+  std::unordered_set<ip::Prefix4> seen;
+  for (const auto& e : fib.entries()) {
+    EXPECT_TRUE(seen.insert(e.prefix).second) << e.prefix.toString();
+  }
+}
+
+TEST(TableGen, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  const auto fa = Gen::generate(a, baseOptions(500));
+  const auto fb = Gen::generate(b, baseOptions(500));
+  EXPECT_EQ(fa.serialize(), fb.serialize());
+  Rng c(8);
+  const auto fc = Gen::generate(c, baseOptions(500));
+  EXPECT_NE(fa.serialize(), fc.serialize());
+}
+
+TEST(TableGen, LengthDistributionPeaksAtSlash24) {
+  Rng rng(3);
+  GenOptions<A> opt = baseOptions(20000);
+  opt.subprefix_fraction = 0.0;  // pure histogram draw
+  const auto fib = Gen::generate(rng, opt);
+  std::map<int, std::size_t> hist;
+  for (const auto& e : fib.entries()) ++hist[e.prefix.length()];
+  // /24 dominates, /16 is the secondary mode, nothing at /31 or /32.
+  EXPECT_GT(hist[24], hist[16]);
+  EXPECT_GT(hist[16], hist[8]);
+  EXPECT_EQ(hist[31] + hist[32], 0u);
+  // The /24 spike holds roughly the histogram's share (48%), loosely.
+  EXPECT_GT(hist[24], fib.size() / 3);
+}
+
+TEST(TableGen, SubprefixFractionCreatesNesting) {
+  Rng rng(4);
+  GenOptions<A> flat = baseOptions(2000);
+  flat.subprefix_fraction = 0.0;
+  GenOptions<A> nested = baseOptions(2000);
+  nested.subprefix_fraction = 0.5;
+  const auto f_flat = Gen::generate(rng, flat);
+  const auto f_nested = Gen::generate(rng, nested);
+
+  const auto count_nested = [](const Fib4& fib) {
+    const auto trie = fib.buildTrie();
+    std::size_t nested_count = 0;
+    fib.buildTrie();  // (cheap sanity: build twice is harmless)
+    for (const auto& e : fib.entries()) {
+      if (e.prefix.length() == 0) continue;
+      // Count entries with a marked strict ancestor.
+      for (int len = e.prefix.length() - 1; len >= 0; --len) {
+        if (trie.contains(e.prefix.truncated(len))) {
+          ++nested_count;
+          break;
+        }
+      }
+    }
+    return nested_count;
+  };
+  EXPECT_GT(count_nested(f_nested), count_nested(f_flat) * 2);
+}
+
+TEST(TableGen, DeriveNeighborHitsSharedAndFreshCounts) {
+  Rng rng(5);
+  const auto base = Gen::generate(rng, baseOptions(2000));
+  NeighborOptions<A> nopt;
+  nopt.shared = 1500;
+  nopt.fresh = 100;
+  nopt.fresh_extension_fraction = 0.5;
+  const auto neighbor = Gen::deriveNeighbor(base, rng, nopt);
+  EXPECT_EQ(neighbor.size(), 1600u);
+  EXPECT_EQ(base.intersectionSize(neighbor), 1500u);
+}
+
+TEST(TableGen, DeriveNeighborFreshExtensionsExtendSharedPrefixes) {
+  Rng rng(6);
+  const auto base = Gen::generate(rng, baseOptions(1000));
+  NeighborOptions<A> nopt;
+  nopt.shared = 800;
+  nopt.fresh = 60;
+  nopt.fresh_extension_fraction = 1.0;  // all fresh are extensions
+  const auto neighbor = Gen::deriveNeighbor(base, rng, nopt);
+  const auto base_trie = base.buildTrie();
+  std::unordered_set<ip::Prefix4> base_set;
+  for (const auto& e : base.entries()) base_set.insert(e.prefix);
+  std::size_t extensions = 0;
+  for (const auto& e : neighbor.entries()) {
+    if (base_set.count(e.prefix) != 0) continue;  // shared
+    // Fresh-by-extension: some strict ancestor is a base prefix.
+    bool has_ancestor = false;
+    for (int len = e.prefix.length() - 1; len > 0; --len) {
+      if (base_trie.contains(e.prefix.truncated(len))) {
+        has_ancestor = true;
+        break;
+      }
+    }
+    if (has_ancestor) ++extensions;
+  }
+  EXPECT_EQ(extensions, 60u);
+}
+
+TEST(TableGen, Ipv6GenerationWorks) {
+  Rng rng(7);
+  GenOptions<ip::Ip6Addr> opt;
+  opt.size = 1000;
+  opt.histogram = internetLengths6();
+  opt.subprefix_fraction = 0.0;  // pure histogram draw
+  const auto fib = TableGen<ip::Ip6Addr>::generate(rng, opt);
+  EXPECT_EQ(fib.size(), 1000u);
+  for (const auto& e : fib.entries()) {
+    EXPECT_GT(e.prefix.length(), 0);
+    EXPECT_LE(e.prefix.length(), 64);  // the histogram's deepest bucket
+  }
+}
+
+TEST(TableGen, HistogramTotalsArePositive) {
+  EXPECT_GT(internetLengths1999().total(), 0.0);
+  EXPECT_GT(internetLengths6().total(), 0.0);
+}
+
+}  // namespace
+}  // namespace cluert::rib

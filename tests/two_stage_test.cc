@@ -1,0 +1,173 @@
+// §5.2 BGP-over-OSPF: recursive route resolution with one or two clues.
+#include <gtest/gtest.h>
+
+#include "core/two_stage.h"
+#include "test_util.h"
+
+namespace cluert::core {
+namespace {
+
+using testutil::a4;
+using testutil::p4;
+using A = ip::Ip4Addr;
+using MatchT = trie::Match<A>;
+using Route = ExteriorRoute<A>;
+
+Route direct(const char* prefix, NextHop nh) {
+  Route r;
+  r.prefix = p4(prefix);
+  r.direct = nh;
+  return r;
+}
+
+Route recursive(const char* prefix, const char* via) {
+  Route r;
+  r.prefix = p4(prefix);
+  r.recursive = true;
+  r.via = testutil::a4(via);
+  return r;
+}
+
+struct Fixture {
+  std::vector<Route> exterior;
+  std::vector<MatchT> interior;
+  trie::BinaryTrie<A> n_ext;
+  trie::BinaryTrie<A> n_int;
+  std::unique_ptr<TwoStageRouter<A>> router;
+
+  Fixture() {
+    // Exterior: one direct route, one recursive through the border router
+    // 172.16.9.1 on the far side of the AS.
+    exterior = {direct("10.0.0.0/8", 3),
+                recursive("192.0.0.0/8", "172.16.9.1")};
+    // Interior (IGP): routes to the AS's infrastructure.
+    interior = {MatchT{p4("172.16.0.0/16"), 7}, MatchT{p4("172.16.9.0/24"), 8}};
+    for (const Route& r : exterior) {
+      n_ext.insert(r.prefix, 0);  // upstream shares the exterior view
+    }
+    for (const MatchT& m : interior) n_int.insert(m.prefix, m.next_hop);
+    TwoStageRouter<A>::Options opt;
+    router = std::make_unique<TwoStageRouter<A>>(exterior, interior, &n_ext,
+                                                 &n_int, opt);
+  }
+};
+
+TEST(TwoStage, DirectRouteResolvesInOneStage) {
+  Fixture fx;
+  mem::AccessCounter acc;
+  const auto r = fx.router->process(a4("10.1.2.3"), ClueField::none(),
+                                    ClueField::none(), acc);
+  ASSERT_TRUE(r.exterior.has_value());
+  EXPECT_EQ(r.exterior->prefix, p4("10.0.0.0/8"));
+  EXPECT_FALSE(r.recursive);
+  EXPECT_EQ(r.port, 3u);
+  EXPECT_FALSE(r.interior.has_value());
+}
+
+TEST(TwoStage, RecursiveRouteGoesThroughTheTableTwice) {
+  Fixture fx;
+  mem::AccessCounter acc;
+  const auto r = fx.router->process(a4("192.5.5.5"), ClueField::none(),
+                                    ClueField::none(), acc);
+  ASSERT_TRUE(r.exterior.has_value());
+  EXPECT_TRUE(r.recursive);
+  ASSERT_TRUE(r.interior.has_value());
+  // The via 172.16.9.1 resolves to the more-specific IGP /24.
+  EXPECT_EQ(r.interior->prefix, p4("172.16.9.0/24"));
+  EXPECT_EQ(r.port, 8u);
+  // Outgoing clues: the first BMP (§5.2 "the clue it places on the packet
+  // is still the first BMP it finds"), plus the via BMP.
+  EXPECT_TRUE(r.out_clue1.present);
+  EXPECT_EQ(r.out_clue1.length, 8);
+  EXPECT_TRUE(r.out_clue2.present);
+  EXPECT_EQ(r.out_clue2.length, 24);
+}
+
+TEST(TwoStage, BothCluesCutBothStagesToOneAccessEach) {
+  Fixture fx;
+  mem::AccessCounter warm;
+  // Warm both ports (learning mode).
+  fx.router->process(a4("192.5.5.5"), ClueField::of(8), ClueField::of(24),
+                     warm);
+  mem::AccessCounter acc;
+  const auto r = fx.router->process(a4("192.7.7.7"), ClueField::of(8),
+                                    ClueField::of(24), acc);
+  ASSERT_TRUE(r.recursive);
+  EXPECT_EQ(r.port, 8u);
+  // One clue-table access per stage.
+  EXPECT_EQ(acc.count(mem::Region::kClueTable), 2u);
+  EXPECT_EQ(acc.total(), 2u);
+}
+
+TEST(TwoStage, SecondClueIsRobustWhenViasDiffer) {
+  // The upstream router's via may differ (it resolves the same exterior BMP
+  // through another border router). The second clue is applied with Simple
+  // semantics to OUR via, so routing stays correct for any clue length.
+  Fixture fx;
+  mem::AccessCounter acc;
+  for (int len = 1; len <= 32; ++len) {
+    const auto r = fx.router->process(a4("192.9.9.9"), ClueField::of(8),
+                                      ClueField::of(len), acc);
+    ASSERT_TRUE(r.recursive) << len;
+    ASSERT_TRUE(r.interior.has_value()) << len;
+    EXPECT_EQ(r.interior->prefix, p4("172.16.9.0/24")) << len;
+    EXPECT_EQ(r.port, 8u) << len;
+  }
+}
+
+TEST(TwoStage, UnresolvableViaMeansNoRoute) {
+  std::vector<Route> exterior = {recursive("192.0.0.0/8", "10.99.99.99")};
+  std::vector<MatchT> interior = {MatchT{p4("172.16.0.0/16"), 7}};
+  TwoStageRouter<A>::Options opt;
+  TwoStageRouter<A> router(exterior, interior, nullptr, nullptr, opt);
+  mem::AccessCounter acc;
+  const auto r = router.process(a4("192.1.1.1"), ClueField::none(),
+                                ClueField::none(), acc);
+  EXPECT_TRUE(r.recursive);
+  EXPECT_FALSE(r.interior.has_value());
+  EXPECT_EQ(r.port, kNoNextHop);
+}
+
+TEST(TwoStage, RandomizedTransparency) {
+  // The two-stage resolution with clues must equal the clue-less one.
+  Rng rng(2025);
+  const auto interior = testutil::randomTable4(rng, 100);
+  trie::BinaryTrie<A> n_int;
+  for (const auto& e : interior) n_int.insert(e.prefix, e.next_hop);
+  // Exterior: recursive routes whose vias are addresses covered by the IGP.
+  std::vector<Route> exterior;
+  trie::BinaryTrie<A> n_ext;
+  for (int i = 0; i < 60; ++i) {
+    Route r;
+    r.prefix = ip::Prefix4(testutil::randomAddr4(rng),
+                           static_cast<int>(rng.uniform(8, 24)));
+    r.recursive = true;
+    r.via = testutil::coveredAddress<A>(interior, rng, testutil::randomAddr4);
+    exterior.push_back(r);
+    n_ext.insert(r.prefix, 0);
+  }
+  TwoStageRouter<A>::Options opt;
+  TwoStageRouter<A> clued(exterior, interior, &n_ext, &n_int, opt);
+  TwoStageRouter<A> plain(exterior, interior, &n_ext, &n_int, opt);
+
+  mem::AccessCounter scratch;
+  for (int i = 0; i < 400; ++i) {
+    const auto dest = testutil::randomAddr4(rng);
+    const auto ref =
+        plain.process(dest, ClueField::none(), ClueField::none(), scratch);
+    // Genuine first clue from the upstream exterior view.
+    const auto bmp1 = n_ext.lookup(dest, scratch);
+    const auto c1 =
+        bmp1 ? ClueField::of(bmp1->prefix.length()) : ClueField::none();
+    mem::AccessCounter acc;
+    const auto got = clued.process(dest, c1, ClueField::none(), acc);
+    ASSERT_EQ(ref.exterior.has_value(), got.exterior.has_value());
+    if (ref.exterior) {
+      EXPECT_EQ(ref.exterior->prefix, got.exterior->prefix);
+      EXPECT_EQ(ref.port, got.port);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cluert::core

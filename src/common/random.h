@@ -14,9 +14,32 @@ namespace cluert {
 
 // Thin wrapper around std::mt19937_64 with the handful of draw shapes the
 // project needs. Not thread-safe; create one per thread / per generator.
+//
+// Sharing one Rng across threads is a data race (mt19937_64 mutates ~2.5 KB
+// of state per draw), and seeding workers with `seed + worker_id` correlates
+// the streams (nearby mt19937 seeds produce correlated output). Concurrent
+// code must instead *split* the seed: Rng::forThread(seed, worker_id) mixes
+// the pair through SplitMix64 so every worker gets an independent,
+// deterministic stream — same (seed, id) always yields the same stream, and
+// distinct ids yield statistically unrelated ones.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Deterministic per-worker stream derivation (see class comment). Used by
+  // the pipeline so that a run with N workers is reproducible run-to-run.
+  static Rng forThread(std::uint64_t seed, std::uint64_t worker_id) {
+    return Rng(splitMix64(splitMix64(seed) ^ splitMix64(~worker_id)));
+  }
+
+  // SplitMix64 finalizer (Steele et al.): a cheap bijective mixer whose
+  // outputs pass BigCrush; ideal for turning structured inputs into seeds.
+  static constexpr std::uint64_t splitMix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
 
   // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
   std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {

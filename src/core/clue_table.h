@@ -65,10 +65,29 @@ class HashClueTable {
   explicit HashClueTable(std::size_t expected)
       : slots_(bucketCountFor(expected)) {}
 
+  // The slot a probe for `clue` starts at. Exposed so the batched pipeline
+  // can hash once, prefetch the slot, and later resume the probe from it
+  // (findFrom) without recomputing the hash.
+  std::size_t homeSlot(const PrefixT& clue) const { return slotOf(clue); }
+
+  // Hints the hardware to pull a home slot toward the cache. Free in the
+  // paper's accounting model (a prefetch is not a *dependent* reference —
+  // it overlaps with other packets' work); the batched pipeline issues one
+  // per packet across a batch before resolving any of them, which is where
+  // the memory-level parallelism of a modern CPU comes from.
+  void prefetchSlot(std::size_t slot) const { __builtin_prefetch(&slots_[slot]); }
+  void prefetch(const PrefixT& clue) const { prefetchSlot(slotOf(clue)); }
+
   // Probes for `clue`, charging one clue-table access per slot inspected.
   // Returns nullptr on miss (the first invalid slot ends the probe chain).
   const EntryT* find(const PrefixT& clue, mem::AccessCounter& acc) const {
-    std::size_t i = slotOf(clue);
+    return findFrom(slotOf(clue), clue, acc);
+  }
+
+  // Same probe, resumed from a precomputed homeSlot(clue).
+  const EntryT* findFrom(std::size_t home, const PrefixT& clue,
+                         mem::AccessCounter& acc) const {
+    std::size_t i = home;
     for (std::size_t n = 0; n < slots_.size(); ++n) {
       acc.add(mem::Region::kClueTable);
       const EntryT& e = slots_[i];
@@ -177,6 +196,11 @@ class IndexedClueTable {
   using EntryT = ClueEntry<A>;
 
   explicit IndexedClueTable(std::size_t capacity) : slots_(capacity) {}
+
+  // Batched-pipeline hint; see HashClueTable::prefetch.
+  void prefetch(std::uint16_t index) const {
+    if (index < slots_.size()) __builtin_prefetch(&slots_[index]);
+  }
 
   // One access, always. Returns the slot; the caller must verify
   // `entry->valid && entry->clue == clue` (the §3.3.1 robustness check) and

@@ -7,6 +7,7 @@
 // the §3.3.1 clue enumeration for the indexing technique.
 #pragma once
 
+#include <array>
 #include <cassert>
 #include <optional>
 #include <span>
@@ -129,51 +130,63 @@ class CluePort {
   // are charged to `acc`.
   Result process(const A& dest, const ClueField& field,
                  mem::AccessCounter& acc) {
-    ++stats_.packets;
+    Prepared p = prepare(dest, field);
+    return finish(p, dest, field, acc);
+  }
+
+  // Largest batch processBatch accepts in one call (the pipeline's
+  // kMaxBatch must be <= this; both are sized so per-packet cursor state
+  // stays L1-resident).
+  static constexpr std::size_t kMaxProcessBatch = 64;
+
+  // Batched fast path: behaves exactly like process() called once per
+  // packet (same results, same Stats, same acc charges — prefetches are
+  // free in the access model), but splits each packet into a prepare phase
+  // (hash the clue, probe the §3.5 cache, issue prefetches) and a resolve
+  // phase, and runs all prepares before any resolve. By the time packet i
+  // is resolved, its clue-table line has been in flight while packets
+  // i+1.. were being prepared — memory-level parallelism a packet-at-a-time
+  // loop cannot express. The hash/cache work done in prepare is reused in
+  // resolve, so batching adds no duplicated computation. This is the entry
+  // point the pipeline workers use.
+  void processBatch(std::span<const A> dests, std::span<const ClueField> fields,
+                    std::span<Result> out, mem::AccessCounter& acc) {
+    assert(dests.size() == fields.size() && dests.size() == out.size());
+    if (dests.size() > kMaxProcessBatch) {
+      const std::size_t half = dests.size() / 2;
+      processBatch(dests.first(half), fields.first(half), out.first(half),
+                   acc);
+      processBatch(dests.subspan(half), fields.subspan(half),
+                   out.subspan(half), acc);
+      return;
+    }
     const auto& engine = suite_.engine(options_.method);
-    const auto clue = cluePrefix(dest, field);
-    if (!clue) {
-      ++stats_.no_clue;
-      return Result{engine.lookup(dest, acc), false, false, false};
-    }
-    const ClueEntry<A>* entry = nullptr;
-    if (options_.indexed && field.index) {
-      const ClueEntry<A>* slot = indexed_.at(*field.index, acc);
-      if (slot != nullptr && slot->valid && slot->clue == *clue) entry = slot;
-    } else {
-      // §3.5 cache: a fast-memory hit bypasses the DRAM probe entirely.
-      entry = cache_.lookup(*clue);
-      if (entry == nullptr) {
-        entry = hash_.find(*clue, acc);
-        if (entry != nullptr && entry->active) cache_.fill(*entry);
+    // One virtual query per batch, not one virtual no-op call per packet.
+    const bool engine_prefetches = engine.prefetchCapable();
+    // Reused scratch (not a local array): Prepared is not trivially
+    // constructible, so a local would zero all kMaxProcessBatch elements on
+    // every call — pure per-call overhead that a batch-1 caller pays per
+    // packet.
+    Prepared* prep = batch_scratch_.data();
+    for (std::size_t i = 0; i < dests.size(); ++i) {
+      prep[i] = prepare(dests[i], fields[i]);
+      if (!prep[i].clue) {
+        // Miss path: a full common lookup.
+        if (engine_prefetches) engine.prefetchLookup(dests[i]);
+        continue;
       }
+      if (options_.indexed && fields[i].index) {
+        indexed_.prefetch(*fields[i].index);
+      } else if (prep[i].cached == nullptr) {
+        hash_.prefetchSlot(prep[i].home_slot);
+      }
+      // A table hit may still continue into the trie (case 3) or fall back
+      // to a full lookup (miss); warming the first trie step costs nothing.
+      if (engine_prefetches) engine.prefetchLookup(dests[i]);
     }
-    if (entry != nullptr && !entry->active) entry = nullptr;  // §3.4 marking
-
-    if (entry == nullptr) {
-      // "The Clue is not in the Table, never saw this clue": route by a full
-      // common lookup, then learn the entry off the fast path (§3.3.1).
-      ++stats_.table_misses;
-      Result r{engine.lookup(dest, acc), false, false, false};
-      if (options_.learn) learn(*clue, field);
-      return r;
+    for (std::size_t i = 0; i < dests.size(); ++i) {
+      out[i] = finish(prep[i], dests[i], fields[i], acc);
     }
-
-    ++stats_.table_hits;
-    if (entry->ptr_empty) {
-      ++stats_.fd_direct;
-      return Result{entry->fd, true, true, false};
-    }
-    ++stats_.searched;
-    const auto neighbor =
-        options_.mode == lookup::ClueMode::kAdvance
-            ? std::optional<NeighborIndex>(options_.neighbor_index)
-            : std::nullopt;
-    if (auto found = engine.continueLookup(entry->cont, dest, neighbor, acc)) {
-      return Result{found, true, false, true};
-    }
-    ++stats_.search_failed;
-    return Result{entry->fd, true, true, true};
   }
 
   // The clue-less path, for packets arriving without the option (§5.3
@@ -247,6 +260,90 @@ class CluePort {
   }
 
  private:
+  // Packet state carried from the prepare phase to the resolve phase. For a
+  // batch, prepares all run before any finish; for a single packet the two
+  // run back-to-back. Either way each packet hashes its clue and probes the
+  // §3.5 cache exactly once.
+  struct Prepared {
+    std::optional<PrefixT> clue;          // nullopt: packet carried no clue
+    const ClueEntry<A>* cached = nullptr;  // §3.5 fast-memory hit
+    std::size_t home_slot = 0;             // hash_ probe start (if !cached)
+    std::size_t buckets = 0;               // hash_ geometry when slot was computed
+  };
+
+  Prepared prepare(const A& dest, const ClueField& field) {
+    Prepared p;
+    p.clue = cluePrefix(dest, field);
+    if (!p.clue) return p;
+    if (options_.indexed && field.index) return p;  // slot named by header
+    // §3.5 cache: a fast-memory hit bypasses the DRAM probe entirely.
+    p.cached = cache_.lookup(*p.clue);
+    if (p.cached == nullptr) {
+      p.home_slot = hash_.homeSlot(*p.clue);
+      p.buckets = hash_.bucketCount();
+    }
+    return p;
+  }
+
+  Result finish(Prepared& p, const A& dest, const ClueField& field,
+                mem::AccessCounter& acc) {
+    ++stats_.packets;
+    const auto& engine = suite_.engine(options_.method);
+    if (!p.clue) {
+      ++stats_.no_clue;
+      return Result{engine.lookup(dest, acc), false, false, false};
+    }
+    const ClueEntry<A>* entry = nullptr;
+    if (options_.indexed && field.index) {
+      const ClueEntry<A>* slot = indexed_.at(*field.index, acc);
+      if (slot != nullptr && slot->valid && slot->clue == *p.clue) entry = slot;
+    } else {
+      entry = p.cached;
+      // A cache fill from an earlier packet of this batch may have evicted
+      // the slot since prepare(); treat that as the miss it now is.
+      if (entry != nullptr && !(entry->valid && entry->clue == *p.clue)) {
+        entry = nullptr;
+        p.home_slot = hash_.homeSlot(*p.clue);
+        p.buckets = hash_.bucketCount();
+      }
+      if (entry == nullptr) {
+        // Learning from an earlier packet of this batch may have grown the
+        // table since prepare(); the slot is only valid for its geometry.
+        if (p.buckets != hash_.bucketCount()) {
+          p.home_slot = hash_.homeSlot(*p.clue);
+        }
+        entry = hash_.findFrom(p.home_slot, *p.clue, acc);
+        if (entry != nullptr && entry->active) cache_.fill(*entry);
+      }
+    }
+    if (entry != nullptr && !entry->active) entry = nullptr;  // §3.4 marking
+
+    if (entry == nullptr) {
+      // "The Clue is not in the Table, never saw this clue": route by a full
+      // common lookup, then learn the entry off the fast path (§3.3.1).
+      ++stats_.table_misses;
+      Result r{engine.lookup(dest, acc), false, false, false};
+      if (options_.learn) learn(*p.clue, field);
+      return r;
+    }
+
+    ++stats_.table_hits;
+    if (entry->ptr_empty) {
+      ++stats_.fd_direct;
+      return Result{entry->fd, true, true, false};
+    }
+    ++stats_.searched;
+    const auto neighbor =
+        options_.mode == lookup::ClueMode::kAdvance
+            ? std::optional<NeighborIndex>(options_.neighbor_index)
+            : std::nullopt;
+    if (auto found = engine.continueLookup(entry->cont, dest, neighbor, acc)) {
+      return Result{found, true, false, true};
+    }
+    ++stats_.search_failed;
+    return Result{entry->fd, true, true, true};
+  }
+
   void learn(const PrefixT& clue, const ClueField& field) {
     ClueEntry<A> entry = makeEntry(clue);
     if (options_.indexed && field.index) {
@@ -279,6 +376,9 @@ class CluePort {
   IndexedClueTable<A> indexed_;
   ClueCache<A> cache_;
   Stats stats_;
+  // processBatch scratch; per-port (each pipeline shard owns its port, so
+  // no sharing), constructed once instead of per call.
+  std::array<Prepared, kMaxProcessBatch> batch_scratch_{};
 };
 
 }  // namespace cluert::core

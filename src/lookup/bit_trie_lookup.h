@@ -21,6 +21,71 @@ class BitTrieLookup final : public LookupEngine<A> {
     return trie_.lookup(address, acc);
   }
 
+  void prefetchLookup(const A& address) const override {
+    // The root is hot anyway; the first data-dependent load is its child.
+    if (const auto* c = trie_.root()->child[address.bit(0)].get()) {
+      __builtin_prefetch(c);
+    }
+  }
+
+  bool prefetchCapable() const override { return true; }
+
+  // Interleaved batch walk: all packets descend in lockstep, one trie level
+  // per round, and each packet's *next* node is prefetched as soon as the
+  // current one names it — so up to batch-size cache misses are in flight at
+  // once instead of one. Results and `acc` charges are identical to
+  // sequential lookup() calls (same nodes visited, in a different global
+  // order but the same per-packet order).
+  void lookupBatch(std::span<const A> addresses,
+                   std::span<std::optional<MatchT>> out,
+                   mem::AccessCounter& acc) const override {
+    assert(addresses.size() == out.size());
+    using Node = typename trie::BinaryTrie<A>::Node;
+    constexpr std::size_t kMaxInterleave = 64;
+    if (addresses.size() > kMaxInterleave) {
+      // Splitting keeps the cursor state in registers / L1.
+      const std::size_t half = addresses.size() / 2;
+      lookupBatch(addresses.first(half), out.first(half), acc);
+      lookupBatch(addresses.subspan(half), out.subspan(half), acc);
+      return;
+    }
+    struct Cursor {
+      const Node* node;  // next node to visit; nullptr = done
+      const Node* best;
+      int depth;
+    };
+    Cursor cur[kMaxInterleave];
+    for (std::size_t i = 0; i < addresses.size(); ++i) {
+      cur[i] = Cursor{trie_.root(), nullptr, 0};
+    }
+    std::size_t live = addresses.size();
+    while (live > 0) {
+      live = 0;
+      for (std::size_t i = 0; i < addresses.size(); ++i) {
+        const Node* node = cur[i].node;
+        if (node == nullptr) continue;
+        acc.add(mem::Region::kTrieNode);
+        if (node->marked) cur[i].best = node;
+        const Node* next =
+            cur[i].depth == A::kBits
+                ? nullptr
+                : node->child[addresses[i].bit(cur[i].depth)].get();
+        if (next != nullptr) {
+          __builtin_prefetch(next);
+          ++cur[i].depth;
+          ++live;
+        }
+        cur[i].node = next;
+      }
+    }
+    for (std::size_t i = 0; i < addresses.size(); ++i) {
+      out[i] = cur[i].best == nullptr
+                   ? std::nullopt
+                   : std::optional<MatchT>(
+                         MatchT{cur[i].best->prefix, cur[i].best->next_hop});
+    }
+  }
+
   Continuation<A> makeContinuation(
       const PrefixT& clue,
       std::span<const MatchT> /*candidates*/) const override {

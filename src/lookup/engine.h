@@ -13,6 +13,7 @@
 // themselves are mode-agnostic.
 #pragma once
 
+#include <cassert>
 #include <memory>
 #include <optional>
 #include <span>
@@ -69,6 +70,33 @@ class LookupEngine {
   // Full (clue-less) best-matching-prefix lookup — the "Common" rows of §6.
   virtual std::optional<MatchT> lookup(const A& address,
                                        mem::AccessCounter& acc) const = 0;
+
+  // Hints the hardware prefetcher at the first dependent node a lookup of
+  // `address` will touch. Charges nothing (a prefetch overlaps other work;
+  // it is not a dependent reference in the paper's access model). Default:
+  // no-op — engines whose entry point is computed, not loaded (e.g. the
+  // interval searches start mid-array), may have nothing useful to hint.
+  virtual void prefetchLookup(const A& /*address*/) const {}
+
+  // Whether prefetchLookup does anything. Batch loops query this once and
+  // skip the per-packet virtual dispatch for engines with the no-op default.
+  virtual bool prefetchCapable() const { return false; }
+
+  // Batched lookup: resolves `addresses[i]` into `out[i]` with the same
+  // results and the same `acc` charges as `addresses.size()` sequential
+  // lookup() calls. The point of the batch is memory-level parallelism: an
+  // engine may interleave the walks so that while one packet's next node is
+  // in flight from DRAM another packet's node is being examined. The default
+  // issues all prefetch hints up front, then resolves sequentially.
+  virtual void lookupBatch(std::span<const A> addresses,
+                           std::span<std::optional<MatchT>> out,
+                           mem::AccessCounter& acc) const {
+    assert(addresses.size() == out.size());
+    for (const A& a : addresses) prefetchLookup(a);
+    for (std::size_t i = 0; i < addresses.size(); ++i) {
+      out[i] = lookup(addresses[i], acc);
+    }
+  }
 
   // Builds per-clue continuation state. `candidates` are the table prefixes
   // a continued search may still report (all strictly extend `clue`). Called

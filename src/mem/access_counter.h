@@ -8,8 +8,13 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <string_view>
+
+#ifndef NDEBUG
+#include <thread>
+#endif
 
 namespace cluert::mem {
 
@@ -30,12 +35,19 @@ std::string_view regionName(Region r);
 
 // Accumulates access counts. Cheap enough to pass by reference into every
 // lookup call; copyable for snapshot/delta arithmetic.
+//
+// NOT thread-safe: a counter belongs to one thread. Concurrent code (the
+// forwarding pipeline) keeps one counter per worker and combines them on the
+// owning thread afterwards via mergeFrom(). Debug builds enforce the
+// single-mutator discipline: the first mutation pins the counter to the
+// calling thread and later mutations from another thread assert.
 class AccessCounter {
  public:
   static constexpr std::size_t kRegions =
       static_cast<std::size_t>(Region::kCount);
 
   void add(Region r, std::uint64_t n = 1) {
+    debugCheckOwner();
     counts_[static_cast<std::size_t>(r)] += n;
   }
 
@@ -49,7 +61,12 @@ class AccessCounter {
     return t;
   }
 
-  void reset() { counts_.fill(0); }
+  void reset() {
+    counts_.fill(0);
+#ifndef NDEBUG
+    owner_set_ = false;
+#endif
+  }
 
   // Element-wise difference (this - other); used to cost a single lookup by
   // snapshotting around it.
@@ -62,12 +79,35 @@ class AccessCounter {
   }
 
   AccessCounter& operator+=(const AccessCounter& other) {
+    debugCheckOwner();
     for (std::size_t i = 0; i < kRegions; ++i) counts_[i] += other.counts_[i];
     return *this;
   }
 
+  // Explicit cross-thread aggregation: folds a worker's (now quiescent)
+  // counter into this one. Semantically operator+=, but named so hot-path
+  // code can't accidentally merge where it meant to count — the pipeline
+  // calls this exactly once per worker, after join(), on the owning thread.
+  void mergeFrom(const AccessCounter& worker) { *this += worker; }
+
  private:
+  void debugCheckOwner() {
+#ifndef NDEBUG
+    if (!owner_set_) {
+      owner_ = std::this_thread::get_id();
+      owner_set_ = true;
+    }
+    assert(owner_ == std::this_thread::get_id() &&
+           "AccessCounter mutated from two threads; use one counter per "
+           "worker and mergeFrom() after join");
+#endif
+  }
+
   std::array<std::uint64_t, kRegions> counts_{};
+#ifndef NDEBUG
+  std::thread::id owner_;
+  bool owner_set_ = false;
+#endif
 };
 
 // Measures the accesses performed between construction and elapsed()/dtor.

@@ -1,0 +1,94 @@
+// PacketBatch: the unit of work flowing through the forwarding pipeline.
+//
+// Software routers do not forward one packet at a time: per-packet costs
+// (queue synchronisation, indirect calls, cold caches) are amortised over a
+// *batch* — a small frame of packet descriptors that moves through the
+// pipeline as one unit, the same trick DPDK-style frameworks use. A batch is
+// also the window over which the lookup layer overlaps memory accesses
+// (CluePort::processBatch / LookupEngine::lookupBatch): with 32 packets in
+// hand, 32 clue-table lines can be in flight from DRAM at once, which is how
+// the paper's "one memory access per packet" turns into line-rate forwarding
+// on a general-purpose CPU.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstdint>
+
+#include "common/types.h"
+#include "core/clue.h"
+
+namespace cluert::pipeline {
+
+// Hard upper bound on packets per batch (the pipeline's configurable
+// batch_size must be <= this). 64 keeps a frame around 2 KB and matches the
+// interleave window of BitTrieLookup::lookupBatch.
+inline constexpr std::size_t kMaxBatch = 64;
+
+// The default — 32 packets is the sweet spot batching literature converges
+// on: large enough to hide a DRAM round-trip behind the batch, small enough
+// not to blow per-worker latency or L1 residency.
+inline constexpr std::size_t kDefaultBatch = 32;
+
+// One packet descriptor inside a batch: the header fields the lookup needs
+// (destination + clue option), the packet's position in the input stream,
+// and the slot the worker fills with its forwarding decision.
+template <typename A>
+struct BatchSlot {
+  A dest{};
+  core::ClueField clue;
+  std::uint64_t seq = 0;          // index in the pipeline's input stream
+  NextHop next_hop = kNoNextHop;  // filled in by the worker
+};
+
+// A fixed-capacity inline frame of BatchSlots. Value-semantic so it can ride
+// an SPSC ring by move/copy, but copying transfers only the *occupied* slots
+// — a batch of 1 costs one slot's copy, not kMaxBatch.
+template <typename A>
+class PacketBatch {
+ public:
+  PacketBatch() = default;
+
+  PacketBatch(const PacketBatch& other) { assignFrom(other); }
+  PacketBatch& operator=(const PacketBatch& other) {
+    assignFrom(other);
+    return *this;
+  }
+  PacketBatch(PacketBatch&& other) noexcept { assignFrom(other); }
+  PacketBatch& operator=(PacketBatch&& other) noexcept {
+    assignFrom(other);
+    return *this;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void push(const A& dest, const core::ClueField& clue, std::uint64_t seq) {
+    assert(size_ < kMaxBatch);
+    slots_[size_++] = BatchSlot<A>{dest, clue, seq, kNoNextHop};
+  }
+
+  void clear() { size_ = 0; }
+
+  BatchSlot<A>& operator[](std::size_t i) {
+    assert(i < size_);
+    return slots_[i];
+  }
+  const BatchSlot<A>& operator[](std::size_t i) const {
+    assert(i < size_);
+    return slots_[i];
+  }
+
+ private:
+  void assignFrom(const PacketBatch& other) {
+    size_ = other.size_;
+    std::copy(other.slots_.begin(), other.slots_.begin() + size_,
+              slots_.begin());
+  }
+
+  std::array<BatchSlot<A>, kMaxBatch> slots_;
+  std::uint32_t size_ = 0;
+};
+
+}  // namespace cluert::pipeline

@@ -1,0 +1,28 @@
+#include "pipeline/pipeline.h"
+
+#include <cstdio>
+
+namespace cluert::pipeline {
+
+std::string formatStats(const PipelineStats& s) {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%zuw x b%zu: %llu pkts in %.3fs = %.2f Mpps | %.3f acc/pkt | "
+      "hits %llu (fd %llu, searched %llu) misses %llu | shard min/max %g/%g",
+      s.workers, s.batch_size, static_cast<unsigned long long>(s.packets),
+      s.seconds, s.packetsPerSec() / 1e6, s.accessesPerPacket(),
+      static_cast<unsigned long long>(s.table_hits),
+      static_cast<unsigned long long>(s.fd_direct),
+      static_cast<unsigned long long>(s.searched),
+      static_cast<unsigned long long>(s.table_misses), s.worker_packets.min(),
+      s.worker_packets.max());
+  return buf;
+}
+
+template class Pipeline<ip::Ip4Addr>;
+template class Worker<ip::Ip4Addr>;
+template class Pipeline<ip::Ip6Addr>;
+template class Worker<ip::Ip6Addr>;
+
+}  // namespace cluert::pipeline

@@ -1,0 +1,228 @@
+// The batched multi-worker forwarding pipeline.
+//
+// Topology: one feeder (the calling thread) fans PacketBatches out
+// round-robin over N worker shards through fixed-capacity SPSC rings;
+// workers run to completion (lookup resolved on the shard that popped the
+// batch — no further hand-off) and publish next hops into the caller's
+// output array. When a ring is full the feeder spins-then-yields until the
+// shard drains — bounded backpressure, so memory use is capped at
+// N * ring_capacity batches no matter how fast the source is.
+//
+// Every shard owns its CluePort / AccessCounter / Rng (see worker.h), which
+// makes the data plane share-nothing; run() merges the per-worker counters
+// and port stats into one PipelineStats via AccessCounter::mergeFrom once
+// the workers have joined. With learning off and the §3.5 cache off,
+// per-packet accounting is deterministic, so the merged totals equal a
+// single-threaded run over the same stream — pipeline_test asserts exactly
+// that, and the equality is what lets all the paper's §6 access-count
+// results carry over unchanged to the parallel data plane.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "pipeline/worker.h"
+
+namespace cluert::pipeline {
+
+struct PipelineOptions {
+  std::size_t workers = 4;
+  std::size_t batch_size = kDefaultBatch;  // clamped to [1, kMaxBatch]
+  // Per-worker ring capacity in batches; the backpressure bound.
+  std::size_t ring_batches = 64;
+  // Base seed split per worker via Rng::forThread.
+  std::uint64_t seed = 1;
+  // Deepest tier of the idle/full backoff escalation (spin -> yield ->
+  // sleep). Relevant when threads outnumber cores: shorter sleeps react
+  // faster, longer sleeps give the running thread longer bursts.
+  std::uint32_t backoff_sleep_us = 50;
+
+  // CluePort configuration, replicated per shard.
+  lookup::Method method = lookup::Method::kPatricia;
+  lookup::ClueMode mode = lookup::ClueMode::kAdvance;
+  bool learn = false;
+  std::size_t expected_clues = 1 << 10;
+  std::size_t cache_entries = 0;
+  NeighborIndex neighbor_index = 0;
+};
+
+// Aggregated view of one run(): the merged per-worker counters in the same
+// vocabulary (AccessCounter / CluePort::Stats fields) the single-threaded
+// experiments report, plus throughput and load-balance figures.
+struct PipelineStats {
+  std::size_t workers = 0;
+  std::size_t batch_size = 0;
+
+  std::uint64_t packets = 0;
+  std::uint64_t batches = 0;
+  double seconds = 0.0;
+  double packetsPerSec() const { return seconds > 0 ? packets / seconds : 0; }
+
+  // Sum over shards of every data-plane memory access (mergeFrom).
+  mem::AccessCounter accesses;
+  double accessesPerPacket() const {
+    return packets == 0 ? 0.0
+                        : static_cast<double>(accesses.total()) /
+                              static_cast<double>(packets);
+  }
+
+  // Merged CluePort::Stats (field-wise sums over shards).
+  std::uint64_t table_hits = 0;
+  std::uint64_t table_misses = 0;
+  std::uint64_t no_clue = 0;
+  std::uint64_t fd_direct = 0;
+  std::uint64_t searched = 0;
+  std::uint64_t search_failed = 0;
+
+  // Per-shard packet counts — min/max/mean expose feeder imbalance.
+  Summary worker_packets;
+};
+
+// One-line human-readable rendering (pipeline.cc).
+std::string formatStats(const PipelineStats& s);
+
+template <typename A>
+class Pipeline {
+ public:
+  using WorkerT = Worker<A>;
+  using PortT = core::CluePort<A>;
+  using PrefixT = ip::Prefix<A>;
+
+  // A packet as the upstream link presents it: destination + clue option.
+  struct Input {
+    A dest{};
+    core::ClueField clue;
+  };
+
+  // Builds the shards. Control-plane work (port construction, the Advance
+  // neighbor annotation inside CluePort's ctor) runs here, on the calling
+  // thread, strictly before any worker thread exists.
+  Pipeline(lookup::LookupSuite<A>& suite,
+           const trie::BinaryTrie<A>* neighbor_trie,
+           const PipelineOptions& options)
+      : options_(sanitized(options)) {
+    for (std::size_t w = 0; w < options_.workers; ++w) {
+      typename PortT::Options popt;
+      popt.method = options_.method;
+      popt.mode = options_.mode;
+      popt.learn = options_.learn;
+      popt.neighbor_index = options_.neighbor_index;
+      popt.expected_clues = options_.expected_clues;
+      popt.cache_entries = options_.cache_entries;
+      workers_.push_back(std::make_unique<WorkerT>(
+          w, options_.seed, options_.ring_batches,
+          std::make_unique<PortT>(suite, neighbor_trie, popt),
+          options_.backoff_sleep_us));
+    }
+  }
+
+  const PipelineOptions& options() const { return options_; }
+  WorkerT& worker(std::size_t w) { return *workers_[w]; }
+
+  // Installs the clue universe into every shard's table (§3.3.2
+  // pre-processing) — the usual setup when running with learn = false.
+  void precompute(std::span<const PrefixT> clues) {
+    for (auto& w : workers_) w->port().precompute(clues);
+  }
+
+  // Drives the whole input stream through the pipeline; out[i] receives the
+  // next hop chosen for in[i] (kNoNextHop: no route). Blocking: spawns the
+  // worker threads, feeds, closes the rings, joins, aggregates.
+  PipelineStats run(std::span<const Input> in, std::span<NextHop> out) {
+    assert(in.size() == out.size());
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(workers_.size());
+    for (auto& w : workers_) {
+      threads.emplace_back([&w, out] { w->run(out); });
+    }
+
+    // Feed: claim the next ring slot of the round-robin shard, fill the
+    // batch in place (zero staging copy), publish. A full ring means the
+    // shard is the bottleneck; back off with escalation.
+    Rng feeder_rng = Rng::forThread(options_.seed, ~std::uint64_t{0});
+    std::size_t shard = 0;
+    for (std::size_t i = 0; i < in.size();) {
+      auto& ring = workers_[shard]->ring();
+      PacketBatch<A>* batch = ring.claim();
+      for (std::uint64_t streak = 1; batch == nullptr; ++streak) {
+        feederBackoff(feeder_rng, streak, options_.backoff_sleep_us);
+        batch = ring.claim();
+      }
+      batch->clear();
+      const std::size_t end = std::min(i + options_.batch_size, in.size());
+      for (; i < end; ++i) batch->push(in[i].dest, in[i].clue, i);
+      ring.publish();
+      shard = (shard + 1) % workers_.size();
+    }
+    for (auto& w : workers_) w->ring().close();
+    for (auto& t : threads) t.join();
+    const auto t1 = std::chrono::steady_clock::now();
+    return aggregate(std::chrono::duration<double>(t1 - t0).count());
+  }
+
+ private:
+  static PipelineOptions sanitized(PipelineOptions o) {
+    if (o.workers == 0) o.workers = 1;
+    if (o.batch_size == 0) o.batch_size = 1;
+    if (o.batch_size > kMaxBatch) o.batch_size = kMaxBatch;
+    if (o.ring_batches < 2) o.ring_batches = 2;
+    return o;
+  }
+
+  // Full-ring wait, escalating exactly like Worker::idleBackoff: jittered
+  // spin, then yield, then sleep. The sleep tier is what keeps an
+  // oversubscribed (workers >= cores) run efficient — a sleeping feeder
+  // gives each worker a full timeslice to drain its ring instead of
+  // trading the core back every few batches.
+  static void feederBackoff(Rng& rng, std::uint64_t streak,
+                            std::uint32_t sleep_us) {
+    if (streak < 4) {
+      const std::uint64_t spins = 32 + rng.uniform(0, 32);
+      for (std::uint64_t s = 0; s < spins; ++s) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+      }
+      return;
+    }
+    if (streak < 16 || sleep_us == 0) {
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+  }
+
+  PipelineStats aggregate(double seconds) const {
+    PipelineStats s;
+    s.workers = workers_.size();
+    s.batch_size = options_.batch_size;
+    s.seconds = seconds;
+    for (const auto& w : workers_) {
+      s.packets += w->packets();
+      s.batches += w->batches();
+      s.accesses.mergeFrom(w->accesses());
+      const auto& ps = w->port().stats();
+      s.table_hits += ps.table_hits;
+      s.table_misses += ps.table_misses;
+      s.no_clue += ps.no_clue;
+      s.fd_direct += ps.fd_direct;
+      s.searched += ps.searched;
+      s.search_failed += ps.search_failed;
+      s.worker_packets.add(static_cast<double>(w->packets()));
+    }
+    return s;
+  }
+
+  PipelineOptions options_;
+  std::vector<std::unique_ptr<WorkerT>> workers_;
+};
+
+using Pipeline4 = Pipeline<ip::Ip4Addr>;
+
+}  // namespace cluert::pipeline

@@ -1,0 +1,141 @@
+// Fixed-capacity single-producer / single-consumer ring queue — the link
+// between the pipeline's feeder thread and each worker shard.
+//
+// Classic Lamport ring with the two standard refinements:
+//  * acquire/release atomics only (no CAS, no locks — wait-free on both
+//    sides when a slot is available);
+//  * each side keeps a cached copy of the *other* side's index, refreshed
+//    only when the ring looks full/empty, so the common case touches one
+//    shared cache line instead of two (the "batched index read" optimisation
+//    from rigtorp/folly-style queues).
+//
+// The producer additionally gets a `close()` bit for end-of-stream: workers
+// drain remaining items after observing it. Capacity is rounded up to a
+// power of two; one slot is never sacrificed (full/empty are distinguished
+// by index difference, indices increase monotonically and wrap via mask).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace cluert::pipeline {
+
+template <typename T>
+class SpscRing {
+ public:
+  // `capacity` is rounded up to a power of two, minimum 2.
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t n = 2;
+    while (n < capacity) n <<= 1;
+    slots_.resize(n);
+    mask_ = n - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  // -- producer side --------------------------------------------------------
+
+  // Non-blocking enqueue; false when the ring is full (backpressure — the
+  // caller decides how to wait; Pipeline spins-then-yields, bounded by the
+  // consumer making progress).
+  bool tryPush(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == slots_.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == slots_.size()) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Zero-copy enqueue, step 1: the slot the next push would fill, or nullptr
+  // when the ring is full. The producer writes into the slot in place (no
+  // staging copy) and then calls publish(). Must not be interleaved with
+  // tryPush between claim and publish.
+  T* claim() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == slots_.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == slots_.size()) return nullptr;
+    }
+    return &slots_[tail & mask_];
+  }
+
+  // Zero-copy enqueue, step 2: makes the claimed slot visible to the
+  // consumer.
+  void publish() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    tail_.store(tail + 1, std::memory_order_release);
+  }
+
+  // Marks end-of-stream. Items pushed before close() are guaranteed visible
+  // to a consumer that observes closed(): the release store here pairs with
+  // the acquire load in closed(), so "closed and tryPop still fails" really
+  // means drained.
+  void close() { closed_.store(true, std::memory_order_release); }
+
+  // -- consumer side --------------------------------------------------------
+
+  // Non-blocking dequeue; false when the ring is empty.
+  bool tryPop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Zero-copy dequeue, step 1: the oldest unconsumed slot, or nullptr when
+  // the ring is empty. The consumer processes it in place and then calls
+  // release(). Must not be interleaved with tryPop between front and
+  // release.
+  T* front() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return nullptr;
+    }
+    return &slots_[head & mask_];
+  }
+
+  // Zero-copy dequeue, step 2: returns the slot just processed to the
+  // producer.
+  void release() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    head_.store(head + 1, std::memory_order_release);
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  // Racy size estimate — fine for stats/backoff heuristics, not for
+  // synchronisation decisions.
+  std::size_t sizeApprox() const {
+    return tail_.load(std::memory_order_relaxed) -
+           head_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+
+  // Producer-owned line: its index plus the cached view of the consumer's.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::size_t cached_head_ = 0;
+
+  // Consumer-owned line.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t cached_tail_ = 0;
+
+  alignas(64) std::atomic<bool> closed_{false};
+};
+
+}  // namespace cluert::pipeline

@@ -1,0 +1,124 @@
+// One pipeline worker shard: a run-to-completion forwarding loop.
+//
+// Each worker owns the complete per-thread state a shard needs — its own
+// CluePort (clue table, learning, §3.5 cache), its own mem::AccessCounter
+// (merged after join, never shared), and its own Rng stream split off the
+// pipeline seed via Rng::forThread — so the data plane runs without a single
+// lock or shared mutable word between shards. The only cross-thread traffic
+// is the SPSC ring of PacketBatches in, and writes to disjoint `out[seq]`
+// slots (each sequence number is routed to exactly one worker).
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <thread>
+
+#include "common/random.h"
+#include "core/distributed_lookup.h"
+#include "pipeline/packet_batch.h"
+#include "pipeline/spsc_ring.h"
+
+namespace cluert::pipeline {
+
+template <typename A>
+class Worker {
+ public:
+  using PortT = core::CluePort<A>;
+
+  Worker(std::size_t id, std::uint64_t pipeline_seed,
+         std::size_t ring_capacity_batches, std::unique_ptr<PortT> port,
+         std::uint32_t backoff_sleep_us = 50)
+      : id_(id),
+        rng_(Rng::forThread(pipeline_seed, id)),
+        ring_(ring_capacity_batches),
+        port_(std::move(port)),
+        backoff_sleep_us_(backoff_sleep_us) {}
+
+  std::size_t id() const { return id_; }
+  SpscRing<PacketBatch<A>>& ring() { return ring_; }
+  PortT& port() { return *port_; }
+  const PortT& port() const { return *port_; }
+  const mem::AccessCounter& accesses() const { return acc_; }
+  std::uint64_t packets() const { return packets_; }
+  std::uint64_t batches() const { return batches_; }
+
+  // The worker thread body: pop batches until the ring is closed *and*
+  // drained, resolve each through the batched CluePort path, and publish
+  // every packet's next hop to out[seq]. `out` is sized to the full input
+  // stream; distinct workers write distinct slots, and the pipeline's join()
+  // makes the writes visible to the caller.
+  void run(std::span<NextHop> out) {
+    std::array<A, kMaxBatch> dests;
+    std::array<core::ClueField, kMaxBatch> clues;
+    std::array<typename PortT::Result, kMaxBatch> results;
+    std::uint64_t idle_streak = 0;
+    for (;;) {
+      // Zero-copy consume: resolve the batch in place in the ring slot, then
+      // hand the slot back. The producer cannot touch it before release().
+      PacketBatch<A>* batch = ring_.front();
+      if (batch == nullptr) {
+        if (ring_.closed()) {
+          batch = ring_.front();
+          if (batch == nullptr) break;  // closed and drained: done
+        } else {
+          idleBackoff(++idle_streak);
+          continue;
+        }
+      }
+      idle_streak = 0;
+      const std::size_t n = batch->size();
+      for (std::size_t i = 0; i < n; ++i) {
+        dests[i] = (*batch)[i].dest;
+        clues[i] = (*batch)[i].clue;
+      }
+      port_->processBatch({dests.data(), n}, {clues.data(), n},
+                          {results.data(), n}, acc_);
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto& m = results[i].match;
+        out[(*batch)[i].seq] = m ? m->next_hop : kNoNextHop;
+      }
+      packets_ += n;
+      ++batches_;
+      ring_.release();
+    }
+  }
+
+ private:
+  // Empty-ring wait, escalating with the idle streak: spin a short,
+  // per-worker-jittered burst (the jitter — drawn from this worker's own Rng
+  // stream — decorrelates shards so they don't hammer the producer's cache
+  // lines in lockstep), then yield, and once the ring has stayed empty for
+  // many attempts, sleep. The sleep matters on a host with fewer cores than
+  // threads: a yield-looping worker still burns whole timeslices, whereas a
+  // sleeping one lets the feeder fill every ring in one long burst instead
+  // of a few batches per context switch.
+  void idleBackoff(std::uint64_t streak) {
+    if (streak < 4) {
+      const std::uint64_t spins = 32 + rng_.uniform(0, 32);
+      for (std::uint64_t s = 0; s < spins; ++s) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+      return;
+    }
+    if (streak < 16 || backoff_sleep_us_ == 0) {
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_sleep_us_));
+  }
+
+  std::size_t id_;
+  Rng rng_;
+  SpscRing<PacketBatch<A>> ring_;
+  std::unique_ptr<PortT> port_;
+  std::uint32_t backoff_sleep_us_ = 50;
+  mem::AccessCounter acc_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t batches_ = 0;
+};
+
+}  // namespace cluert::pipeline

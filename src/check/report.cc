@@ -1,0 +1,37 @@
+#include "check/report.h"
+
+#include <sstream>
+#include <utility>
+
+namespace cluert::check {
+
+void Report::add(std::string component, std::string invariant,
+                 std::string detail) {
+  violations_.push_back(Violation{std::move(component), std::move(invariant),
+                                  std::move(detail)});
+}
+
+void Report::merge(Report other) {
+  violations_.insert(violations_.end(),
+                     std::make_move_iterator(other.violations_.begin()),
+                     std::make_move_iterator(other.violations_.end()));
+}
+
+std::size_t Report::count(std::string_view invariant) const {
+  std::size_t n = 0;
+  for (const Violation& v : violations_) {
+    if (v.invariant == invariant) ++n;
+  }
+  return n;
+}
+
+std::string Report::toString() const {
+  if (violations_.empty()) return "ok";
+  std::ostringstream os;
+  for (const Violation& v : violations_) {
+    os << v.component << '/' << v.invariant << ": " << v.detail << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cluert::check

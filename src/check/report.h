@@ -1,0 +1,50 @@
+// Machine-readable violation reports for the structural validators of
+// src/check/.
+//
+// A validator never aborts: it walks a whole structure, records every
+// invariant it finds broken, and returns the list. Callers (tests, the CI
+// gate, an operator poking a live router) decide what to do with a non-empty
+// report. This is the complement of CLUERT_CHECK (common/check.h), which
+// handles local can't-continue contract violations.
+//
+// Each violation carries a stable kebab-case invariant id (the catalogue is
+// documented in DESIGN.md "Verification"); tests assert on ids, not message
+// text, so diagnostics can improve without breaking them.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cluert::check {
+
+struct Violation {
+  std::string component;  // e.g. "BinaryTrie", "ClueTable"
+  std::string invariant;  // stable id, e.g. "pruned-subtree", "claim1-empty-ptr"
+  std::string detail;     // human-readable specifics (prefixes, counts, slots)
+};
+
+class Report {
+ public:
+  bool ok() const { return violations_.empty(); }
+  std::size_t size() const { return violations_.size(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  void add(std::string component, std::string invariant, std::string detail);
+
+  // Folds `other` into this report (validators for composite structures
+  // aggregate their parts' reports).
+  void merge(Report other);
+
+  // Number of violations carrying the given invariant id.
+  std::size_t count(std::string_view invariant) const;
+  bool has(std::string_view invariant) const { return count(invariant) > 0; }
+
+  // One line per violation: "component/invariant: detail".
+  std::string toString() const;
+
+ private:
+  std::vector<Violation> violations_;
+};
+
+}  // namespace cluert::check

@@ -1,0 +1,129 @@
+// Structural validators for SegmentTable — the predecessor-search structure
+// behind the binary/multiway lookup methods and behind every per-clue C1
+// candidate set (§4 "Adapting binary search").
+//
+// Invariant catalogue (see DESIGN.md "Verification"):
+//   unsorted-segments      segment start addresses are not strictly
+//                          increasing (predecessor search would be wrong)
+//   stale-match            a no-match segment still carries a next hop
+//   floor-mismatch         (validateAgainst) the first segment does not
+//                          start at the declared floor
+//   segment-match-mismatch (validateAgainst) a segment's stored answer
+//                          differs from the BMP recomputed by brute force
+//                          over the entry list
+//   missing-boundary       (validateAgainst) an entry's range boundary is
+//                          not a segment start, so some addresses inside it
+//                          would inherit the wrong answer
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "check/report.h"
+#include "lookup/segment_table.h"
+
+namespace cluert::check {
+
+// Pure structural validation: ordering and match-flag hygiene.
+template <typename A>
+Report validate(const lookup::SegmentTable<A>& table) {
+  Report report;
+  const auto segments = table.segments();
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (i > 0 && !(segments[i - 1].start < segments[i].start)) {
+      report.add("SegmentTable", "unsorted-segments",
+                 "segment " + std::to_string(i) + " starts at " +
+                     segments[i].start.toString() + ", not after " +
+                     segments[i - 1].start.toString());
+    }
+    if (!segments[i].has_match && segments[i].match.next_hop != kNoNextHop) {
+      report.add("SegmentTable", "stale-match",
+                 "no-match segment " + std::to_string(i) +
+                     " still routes to " +
+                     std::to_string(segments[i].match.next_hop));
+    }
+  }
+  return report;
+}
+
+// Cross-checks the table against the (deduplicated) entry list it was built
+// from and the coverage floor passed to build(). Every segment's stored
+// answer is recomputed by brute force, and every entry boundary must induce
+// a segment start.
+template <typename A>
+Report validateAgainst(const lookup::SegmentTable<A>& table,
+                       std::span<const trie::Match<A>> entries,
+                       const A& floor) {
+  Report report = validate(table);
+  const auto segments = table.segments();
+  if (segments.empty()) {
+    report.add("SegmentTable", "floor-mismatch",
+               "table is empty; expected coverage from " + floor.toString());
+    return report;
+  }
+  if (segments.front().start != floor) {
+    report.add("SegmentTable", "floor-mismatch",
+               "coverage starts at " + segments.front().start.toString() +
+                   ", expected " + floor.toString());
+  }
+
+  // Brute-force BMP over the entry list.
+  const auto bmp = [&](const A& address) -> const trie::Match<A>* {
+    const trie::Match<A>* best = nullptr;
+    for (const trie::Match<A>& e : entries) {
+      if (!e.prefix.matches(address)) continue;
+      if (best == nullptr || e.prefix.length() > best->prefix.length()) {
+        best = &e;
+      }
+    }
+    return best;
+  };
+
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const trie::Match<A>* expect = bmp(segments[i].start);
+    const bool match_ok =
+        expect == nullptr
+            ? !segments[i].has_match
+            : segments[i].has_match && segments[i].match == *expect;
+    if (!match_ok) {
+      report.add("SegmentTable", "segment-match-mismatch",
+                 "segment at " + segments[i].start.toString() + " answers " +
+                     (segments[i].has_match
+                          ? segments[i].match.prefix.toString() + "->" +
+                                std::to_string(segments[i].match.next_hop)
+                          : std::string("(none)")) +
+                     ", brute force says " +
+                     (expect != nullptr
+                          ? expect->prefix.toString() + "->" +
+                                std::to_string(expect->next_hop)
+                          : std::string("(none)")));
+    }
+  }
+
+  // Boundary completeness: each entry contributes its range start and the
+  // address just past its range end.
+  const auto is_start = [&](const A& address) {
+    for (const auto& s : segments) {
+      if (s.start == address) return true;
+    }
+    return false;
+  };
+  for (const trie::Match<A>& e : entries) {
+    if (!(e.prefix.rangeLow() < floor) && !is_start(e.prefix.rangeLow())) {
+      report.add("SegmentTable", "missing-boundary",
+                 e.prefix.toString() + " starts at " +
+                     e.prefix.rangeLow().toString() +
+                     " which is not a segment boundary");
+    }
+    const auto past = ip::successor(e.prefix.rangeHigh());
+    if (past && !(*past < floor) && !is_start(*past)) {
+      report.add("SegmentTable", "missing-boundary",
+                 e.prefix.toString() + " ends before " + past->toString() +
+                     " which is not a segment boundary");
+    }
+  }
+  return report;
+}
+
+}  // namespace cluert::check

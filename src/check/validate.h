@@ -1,0 +1,17 @@
+// Umbrella header for the invariant-checking subsystem: every validate()
+// overload plus the report types.
+//
+//   #include "check/validate.h"
+//   auto report = cluert::check::validate(trie);
+//   if (!report.ok()) LOG << report.toString();
+//
+// Validators never abort and never charge data-plane accesses; they are
+// control-plane / test / CI machinery. See DESIGN.md "Verification" for the
+// invariant catalogue and how each check maps to the paper's claims.
+#pragma once
+
+#include "check/clue_check.h"    // IWYU pragma: export
+#include "check/fib_check.h"     // IWYU pragma: export
+#include "check/report.h"        // IWYU pragma: export
+#include "check/segment_check.h" // IWYU pragma: export
+#include "check/trie_check.h"    // IWYU pragma: export

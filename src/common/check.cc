@@ -1,0 +1,20 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cluert::check_internal {
+
+FailStream::FailStream(const char* file, int line, const char* condition) {
+  stream_ << file << ':' << line << ": CLUERT_CHECK failed: " << condition;
+  stream_ << ' ';
+}
+
+FailStream::~FailStream() {
+  const std::string message = stream_.str();
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace cluert::check_internal

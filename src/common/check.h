@@ -1,0 +1,80 @@
+// CLUERT_CHECK / CLUERT_DCHECK: the runtime-invariant macros every layer of
+// the tree uses instead of <cassert>.
+//
+//   CLUERT_CHECK(cond)  — always compiled in, every build type. For
+//                         control-plane preconditions and API contracts whose
+//                         violation would silently corrupt routing state
+//                         (the paper's correctness argument — Claim 1, the
+//                         pruned-trie property, FD/Ptr consistency — depends
+//                         on them holding in production, not just in debug
+//                         runs).
+//   CLUERT_DCHECK(cond) — compiled out under NDEBUG. For per-packet
+//                         fast-path invariants where a branch per packet is
+//                         real cost (the access-model hot loops).
+//
+// Both stream a message:
+//
+//   CLUERT_CHECK(slot < slots_.size()) << "slot " << slot << " of "
+//                                      << slots_.size();
+//
+// On failure the accumulated message is written to stderr together with the
+// source location and the stringified condition, then the process aborts.
+// The streamed operands are evaluated only on failure (the macro expands to
+// a conditional), so an expensive diagnostic costs nothing on the true path.
+//
+// Structural whole-container validation does NOT live here: src/check/
+// builds machine-readable violation reports instead of aborting. These
+// macros are for local, can't-continue contract violations.
+#pragma once
+
+#include <sstream>
+
+namespace cluert::check_internal {
+
+// Accumulates the failure message; its destructor (end of the full
+// expression) prints and aborts. Never instantiated on the success path.
+class FailStream {
+ public:
+  FailStream(const char* file, int line, const char* condition);
+  FailStream(const FailStream&) = delete;
+  FailStream& operator=(const FailStream&) = delete;
+  ~FailStream();  // prints and aborts
+
+  template <typename T>
+  FailStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  // Lvalue self-reference so the macro's temporary can seed an << chain and
+  // still bind to Voidify's reference parameter.
+  FailStream& stream() { return *this; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Makes the failure arm of the ternary void-typed regardless of how many <<
+// operands follow. '&' binds looser than '<<', so the whole chain completes
+// before Voidify swallows it.
+struct Voidify {
+  void operator&(FailStream&) const {}
+};
+
+}  // namespace cluert::check_internal
+
+// Always-on invariant check with streamed diagnostics.
+#define CLUERT_CHECK(condition)                                      \
+  (condition) ? (void)0                                              \
+              : ::cluert::check_internal::Voidify() &                \
+                    ::cluert::check_internal::FailStream(            \
+                        __FILE__, __LINE__, #condition)              \
+                        .stream()
+
+// Debug-only invariant check; compiled out (condition and message operands
+// unevaluated, but still type-checked) when NDEBUG is defined.
+#ifdef NDEBUG
+#define CLUERT_DCHECK(condition) CLUERT_CHECK(true || (condition))
+#else
+#define CLUERT_DCHECK(condition) CLUERT_CHECK(condition)
+#endif

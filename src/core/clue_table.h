@@ -12,7 +12,6 @@
 //                       because the stored clue is still verified.
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -22,6 +21,7 @@
 #include "ip/prefix.h"
 #include "lookup/engine.h"
 #include "mem/access_counter.h"
+#include "common/check.h"
 
 namespace cluert::core {
 
@@ -102,7 +102,7 @@ class HashClueTable {
   // fill-in off the fast path); charges no accesses. Returns false when the
   // table is full.
   bool insert(EntryT entry) {
-    assert(entry.valid);
+    CLUERT_CHECK(entry.valid) << "inserting an invalid clue entry";
     if (size_ * 2 >= slots_.size()) {
       if (!grow()) return false;
     }
@@ -145,6 +145,10 @@ class HashClueTable {
 
   std::size_t size() const { return size_; }
   std::size_t bucketCount() const { return slots_.size(); }
+
+  // Raw slot access (valid or not), for the src/check/ probe-chain
+  // validator. `i` must be < bucketCount().
+  const EntryT& slotAt(std::size_t i) const { return slots_[i]; }
 
   // Approximate memory footprint at the paper's §3.5 entry size.
   std::size_t wireBytes() const { return slots_.size() * kClueEntryWireBytes; }
@@ -219,6 +223,12 @@ class IndexedClueTable {
     if (index >= slots_.size()) return false;
     slots_[index] = std::move(entry);
     return true;
+  }
+
+  void forEach(const std::function<void(const EntryT&)>& fn) const {
+    for (const EntryT& e : slots_) {
+      if (e.valid) fn(e);
+    }
   }
 
   void forEachMutable(const std::function<void(EntryT&)>& fn) {

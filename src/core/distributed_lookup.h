@@ -8,7 +8,6 @@
 #pragma once
 
 #include <array>
-#include <cassert>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -18,6 +17,7 @@
 #include "core/clue_cache.h"
 #include "core/clue_table.h"
 #include "lookup/factory.h"
+#include "common/check.h"
 
 namespace cluert::core {
 
@@ -91,12 +91,12 @@ class CluePort {
         hash_(options.expected_clues),
         indexed_(options.indexed ? options.indexed_capacity : 0),
         cache_(options.cache_entries) {
-    assert(options.mode != lookup::ClueMode::kCommon &&
-           "CluePort models the clue-assisted modes; use the engine directly "
-           "for Common lookups");
+    CLUERT_CHECK(options.mode != lookup::ClueMode::kCommon)
+        << "CluePort models the clue-assisted modes; use the engine directly "
+           "for Common lookups";
     if (options.mode == lookup::ClueMode::kAdvance) {
-      assert(neighbor_trie != nullptr &&
-             "Advance requires the neighbor's prefix view (Claim 1)");
+      CLUERT_CHECK(neighbor_trie != nullptr)
+          << "Advance requires the neighbor's prefix view (Claim 1)";
       local.annotateNeighbor(options.neighbor_index, *neighbor_trie);
     }
   }
@@ -112,7 +112,8 @@ class CluePort {
   // Indexed variant of precompute: the sender's enumeration fixes the slots.
   void precomputeIndexed(std::span<const PrefixT> clues,
                          ClueIndexer<A>& indexer) {
-    assert(options_.indexed);
+    CLUERT_CHECK(options_.indexed)
+        << "precomputeIndexed on a port built without the indexing technique";
     for (const PrefixT& c : clues) {
       if (auto idx = indexer.indexOf(c)) indexed_.put(*idx, makeEntry(c));
     }
@@ -151,7 +152,9 @@ class CluePort {
   // point the pipeline workers use.
   void processBatch(std::span<const A> dests, std::span<const ClueField> fields,
                     std::span<Result> out, mem::AccessCounter& acc) {
-    assert(dests.size() == fields.size() && dests.size() == out.size());
+    CLUERT_CHECK(dests.size() == fields.size() && dests.size() == out.size())
+        << dests.size() << " dests, " << fields.size() << " fields, "
+        << out.size() << " out slots";
     if (dests.size() > kMaxProcessBatch) {
       const std::size_t half = dests.size() / 2;
       processBatch(dests.first(half), fields.first(half), out.first(half),

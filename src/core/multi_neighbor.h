@@ -14,11 +14,11 @@
 //                 a lookup probes both (common first).
 #pragma once
 
-#include <cassert>
 #include <memory>
 #include <vector>
 
 #include "core/distributed_lookup.h"
+#include "common/check.h"
 
 namespace cluert::core {
 
@@ -53,15 +53,17 @@ class BitmapClueTable {
         local_(local),
         engine_(local.engine(options.method)),
         slots_(bucketCountFor(options.expected_clues)) {
-    assert(options.method == lookup::Method::kRegular ||
-           options.method == lookup::Method::kPatricia);
+    CLUERT_CHECK(options.method == lookup::Method::kRegular ||
+                 options.method == lookup::Method::kPatricia)
+        << "per-neighbor continue bits exist only for the trie-walk methods";
   }
 
   // Registers neighbor j (Advance analysis against its table) and installs /
   // updates entries for every clue it may send.
   void addNeighbor(NeighborIndex j, const trie::BinaryTrie<A>& t1,
                    std::span<const PrefixT> clues) {
-    assert(j < kMaxAnnotatedNeighbors);
+    CLUERT_CHECK(j < kMaxAnnotatedNeighbors)
+        << "neighbor index " << j << " exceeds the continue-bit mask";
     local_.annotateNeighbor(j, t1);
     ClueAnalyzer<A> analyzer(local_.binaryTrie(), &t1);
     for (const PrefixT& c : clues) {
@@ -158,7 +160,8 @@ class SubTableClueTable {
   // rest live in the neighbor's specific table.
   void addNeighbor(NeighborIndex j, const trie::BinaryTrie<A>& t1,
                    std::vector<PrefixT> clues) {
-    assert(j < kMaxAnnotatedNeighbors);
+    CLUERT_CHECK(j < kMaxAnnotatedNeighbors)
+        << "neighbor index " << j << " exceeds the continue-bit mask";
     if (options_.mode == lookup::ClueMode::kAdvance) {
       local_.annotateNeighbor(j, t1);
     }
@@ -177,7 +180,7 @@ class SubTableClueTable {
       return e->fd;  // common entries are final by construction
     }
     const NeighborState* ns = stateOf(j);
-    assert(ns != nullptr);
+    CLUERT_CHECK(ns != nullptr) << "lookup names an unregistered neighbor " << j;
     if (const ClueEntry<A>* e = ns->specific->find(clue, acc)) {
       if (e->ptr_empty) return e->fd;
       const auto neighbor = options_.mode == lookup::ClueMode::kAdvance

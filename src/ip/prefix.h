@@ -3,13 +3,13 @@
 // everything in src/core is phrased in terms of this type.
 #pragma once
 
-#include <cassert>
 #include <compare>
 #include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
 
+#include "common/check.h"
 #include "ip/ip_address.h"
 
 namespace cluert::ip {
@@ -27,7 +27,7 @@ class Prefix {
 
   // Canonicalizes `addr` by masking to `len` bits.
   constexpr Prefix(A addr, int len) : addr_(addr.masked(len)), len_(len) {
-    assert(len >= 0 && len <= kBits);
+    CLUERT_DCHECK(len >= 0 && len <= kBits) << "prefix length " << len;
   }
 
   constexpr const A& addr() const { return addr_; }
@@ -54,19 +54,19 @@ class Prefix {
 
   // The first `newLen` bits of this prefix. Requires newLen <= length().
   constexpr Prefix truncated(int newLen) const {
-    assert(newLen <= len_);
+    CLUERT_DCHECK(newLen <= len_) << "truncating /" << len_ << " to /" << newLen;
     return Prefix(addr_, newLen);
   }
 
   // This prefix extended by one bit `b`. Requires length() < kBits.
   constexpr Prefix child(unsigned b) const {
-    assert(len_ < kBits);
+    CLUERT_DCHECK(len_ < kBits) << "child of full-length prefix";
     return Prefix(addr_.withBit(len_, b), len_ + 1);
   }
 
   // The parent (one bit shorter). Requires length() > 0.
   constexpr Prefix parent() const {
-    assert(len_ > 0);
+    CLUERT_DCHECK(len_ > 0) << "parent of the root prefix";
     return Prefix(addr_, len_ - 1);
   }
 

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "lookup/engine.h"
+#include "common/check.h"
 
 namespace cluert::lookup {
 
@@ -39,7 +40,8 @@ class BitTrieLookup final : public LookupEngine<A> {
   void lookupBatch(std::span<const A> addresses,
                    std::span<std::optional<MatchT>> out,
                    mem::AccessCounter& acc) const override {
-    assert(addresses.size() == out.size());
+    CLUERT_CHECK(addresses.size() == out.size())
+        << addresses.size() << " addresses vs " << out.size() << " out slots";
     using Node = typename trie::BinaryTrie<A>::Node;
     constexpr std::size_t kMaxInterleave = 64;
     if (addresses.size() > kMaxInterleave) {

@@ -13,7 +13,6 @@
 // themselves are mode-agnostic.
 #pragma once
 
-#include <cassert>
 #include <memory>
 #include <optional>
 #include <span>
@@ -26,6 +25,7 @@
 #include "mem/access_counter.h"
 #include "trie/binary_trie.h"
 #include "trie/patricia_trie.h"
+#include "common/check.h"
 
 namespace cluert::lookup {
 
@@ -91,7 +91,8 @@ class LookupEngine {
   virtual void lookupBatch(std::span<const A> addresses,
                            std::span<std::optional<MatchT>> out,
                            mem::AccessCounter& acc) const {
-    assert(addresses.size() == out.size());
+    CLUERT_CHECK(addresses.size() == out.size())
+        << addresses.size() << " addresses vs " << out.size() << " out slots";
     for (const A& a : addresses) prefetchLookup(a);
     for (std::size_t i = 0; i < addresses.size(); ++i) {
       out[i] = lookup(addresses[i], acc);

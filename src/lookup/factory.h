@@ -3,7 +3,6 @@
 // five LookupEngine implementations of §6, all built from one prefix table.
 #pragma once
 
-#include <cassert>
 #include <memory>
 #include <vector>
 
@@ -14,6 +13,7 @@
 #include "lookup/multiway_lookup.h"
 #include "lookup/patricia_lookup.h"
 #include "lookup/stride_trie_lookup.h"
+#include "common/check.h"
 
 namespace cluert::lookup {
 
@@ -106,7 +106,9 @@ class LookupSuite {
     trie_.computeContinueBits(neighbor, neighbor_trie);
     patricia_.annotateContinueBits(neighbor, [&](const PrefixT& p) {
       const auto* v = trie_.findVertex(p);
-      assert(v != nullptr);  // Patricia node strings are binary-trie vertices
+      CLUERT_CHECK(v != nullptr)
+          << "Patricia node " << p.toString()
+          << " has no binary-trie vertex; the two structures diverged";
       return trie::BinaryTrie<A>::continueBit(v, neighbor);
     });
   }

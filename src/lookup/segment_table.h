@@ -12,7 +12,6 @@
 #pragma once
 
 #include <algorithm>
-#include <cassert>
 #include <optional>
 #include <span>
 #include <vector>
@@ -21,6 +20,7 @@
 #include "ip/prefix.h"
 #include "mem/access_counter.h"
 #include "trie/binary_trie.h"
+#include "common/check.h"
 
 namespace cluert::lookup {
 
@@ -105,6 +105,10 @@ class SegmentTable {
   std::size_t segmentCount() const { return segments_.size(); }
   bool empty() const { return segments_.empty(); }
 
+  // Read-only view of the segment array, in table order (the structural
+  // validators in src/check/ cross-check it against the entry list).
+  std::span<const Segment> segments() const { return segments_; }
+
   // Predecessor search with fanout 2 (binary, [19]) or B (multiway, [11]).
   // Charges one `region` access per probed node: with fanout B, one probe
   // examines the B-1 separators that share a memory line. Addresses below
@@ -112,7 +116,7 @@ class SegmentTable {
   std::optional<MatchT> lookup(const A& address, unsigned fanout,
                                mem::Region region,
                                mem::AccessCounter& acc) const {
-    assert(fanout >= 2);
+    CLUERT_DCHECK(fanout >= 2) << "predecessor search needs fanout >= 2";
     if (segments_.empty() || address < segments_.front().start) {
       return std::nullopt;
     }

@@ -8,12 +8,12 @@
 #pragma once
 
 #include <array>
-#include <cassert>
 #include <cstdint>
 #include <string_view>
 
 #ifndef NDEBUG
 #include <thread>
+#include "common/check.h"
 #endif
 
 namespace cluert::mem {
@@ -97,9 +97,9 @@ class AccessCounter {
       owner_ = std::this_thread::get_id();
       owner_set_ = true;
     }
-    assert(owner_ == std::this_thread::get_id() &&
-           "AccessCounter mutated from two threads; use one counter per "
-           "worker and mergeFrom() after join");
+    CLUERT_CHECK(owner_ == std::this_thread::get_id())
+        << "AccessCounter mutated from two threads; use one counter per "
+           "worker and mergeFrom() after join";
 #endif
   }
 

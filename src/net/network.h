@@ -14,6 +14,7 @@
 #include "net/router.h"
 #include "pipeline/pipeline.h"
 #include "rib/internet_gen.h"
+#include "common/check.h"
 
 namespace cluert::net {
 
@@ -27,7 +28,8 @@ class Network {
   // Adds a router; ids must be added densely starting from 0.
   RouterT& addRouter(RouterId id, rib::Fib<A> fib,
                      const typename RouterT::Config& config) {
-    assert(id == routers_.size());
+    CLUERT_CHECK(id == routers_.size())
+        << "router ids must be assigned densely in order; got " << id;
     routers_.push_back(
         std::make_unique<RouterT>(id, std::move(fib), config));
     tries_.push_back(routers_.back()->fib().buildTrie());
@@ -143,8 +145,8 @@ class Network {
       RouterId receiver, RouterId sender, pipeline::PipelineOptions opt,
       bool precompute = true) {
     RouterT& r = *routers_[receiver];
-    assert(r.config().clue_enabled &&
-           "pipeline shards are CluePorts; a clue-less receiver has none");
+    CLUERT_CHECK(r.config().clue_enabled)
+        << "pipeline shards are CluePorts; a clue-less receiver has none";
     opt.method = r.config().method;
     opt.mode = sendsGenuineClues(*routers_[sender])
                    ? r.config().mode
@@ -153,7 +155,8 @@ class Network {
     // Claim-1 annotations for link()-created ports count up from 0 on each
     // receiver trie; pipeline ports count down from the top of the 64-bit
     // budget so the two never collide.
-    assert(pipeline_neighbor_slots_.size() <= routers_.size());
+    CLUERT_CHECK(pipeline_neighbor_slots_.size() <= routers_.size())
+        << "pipeline slot bookkeeping outgrew the router set";
     pipeline_neighbor_slots_.resize(routers_.size(), kMaxAnnotatedNeighbors);
     opt.neighbor_index = --pipeline_neighbor_slots_[receiver];
     auto p = std::make_unique<pipeline::Pipeline<A>>(r.suite(),

@@ -5,7 +5,6 @@
 #pragma once
 
 #include <algorithm>
-#include <cassert>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -13,6 +12,7 @@
 #include "core/distributed_lookup.h"
 #include "net/packet.h"
 #include "rib/fib.h"
+#include "common/check.h"
 
 namespace cluert::net {
 
@@ -78,7 +78,8 @@ class Router {
                                     : lookup::ClueMode::kSimple;
     opt.learn = config_.learn;
     opt.neighbor_index = next_neighbor_index_++;
-    assert(opt.neighbor_index < kMaxAnnotatedNeighbors);
+    CLUERT_CHECK(opt.neighbor_index < kMaxAnnotatedNeighbors)
+        << "router has more clue neighbors than the continue-bit mask holds";
     opt.expected_clues = fib_.size() + 16;
     ports_.emplace(neighbor, std::make_unique<core::CluePort<A>>(
                                  suite_, neighbor_trie, opt));

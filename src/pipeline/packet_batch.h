@@ -13,11 +13,11 @@
 
 #include <algorithm>
 #include <array>
-#include <cassert>
 #include <cstdint>
 
 #include "common/types.h"
 #include "core/clue.h"
+#include "common/check.h"
 
 namespace cluert::pipeline {
 
@@ -65,18 +65,18 @@ class PacketBatch {
   bool empty() const { return size_ == 0; }
 
   void push(const A& dest, const core::ClueField& clue, std::uint64_t seq) {
-    assert(size_ < kMaxBatch);
+    CLUERT_DCHECK(size_ < kMaxBatch) << "batch overflow";
     slots_[size_++] = BatchSlot<A>{dest, clue, seq, kNoNextHop};
   }
 
   void clear() { size_ = 0; }
 
   BatchSlot<A>& operator[](std::size_t i) {
-    assert(i < size_);
+    CLUERT_DCHECK(i < size_) << "slot " << i << " of " << size_;
     return slots_[i];
   }
   const BatchSlot<A>& operator[](std::size_t i) const {
-    assert(i < size_);
+    CLUERT_DCHECK(i < size_) << "slot " << i << " of " << size_;
     return slots_[i];
   }
 

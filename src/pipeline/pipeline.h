@@ -27,6 +27,7 @@
 
 #include "common/stats.h"
 #include "pipeline/worker.h"
+#include "common/check.h"
 
 namespace cluert::pipeline {
 
@@ -134,7 +135,8 @@ class Pipeline {
   // next hop chosen for in[i] (kNoNextHop: no route). Blocking: spawns the
   // worker threads, feeds, closes the rings, joins, aggregates.
   PipelineStats run(std::span<const Input> in, std::span<NextHop> out) {
-    assert(in.size() == out.size());
+    CLUERT_CHECK(in.size() == out.size())
+        << in.size() << " inputs vs " << out.size() << " out slots";
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<std::thread> threads;
     threads.reserve(workers_.size());

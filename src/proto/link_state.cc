@@ -1,11 +1,11 @@
 #include "proto/link_state.h"
 
 #include <algorithm>
-#include <cassert>
 #include <deque>
 #include <limits>
 #include <queue>
 #include <set>
+#include "common/check.h"
 
 namespace cluert::proto {
 
@@ -82,7 +82,8 @@ RouterId LinkStateSimulation::addRouter() {
 }
 
 void LinkStateSimulation::link(RouterId a, RouterId b, unsigned cost) {
-  assert(a < nodes_.size() && b < nodes_.size() && a != b);
+  CLUERT_CHECK(a < nodes_.size() && b < nodes_.size() && a != b)
+      << "link " << a << " <-> " << b << " with " << nodes_.size() << " nodes";
   adjacency_[a].push_back(Adjacency{b, cost, true});
   adjacency_[b].push_back(Adjacency{a, cost, true});
 }

@@ -1,7 +1,7 @@
 #include "proto/path_vector.h"
 
 #include <algorithm>
-#include <cassert>
+#include "common/check.h"
 
 namespace cluert::proto {
 
@@ -131,7 +131,8 @@ RouterId PathVectorSimulation::addRouter() {
 }
 
 void PathVectorSimulation::peer(RouterId a, RouterId b) {
-  assert(a < nodes_.size() && b < nodes_.size() && a != b);
+  CLUERT_CHECK(a < nodes_.size() && b < nodes_.size() && a != b)
+      << "peering " << a << " <-> " << b << " with " << nodes_.size() << " nodes";
   peers_[a].push_back(b);
   peers_[b].push_back(a);
 }

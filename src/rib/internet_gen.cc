@@ -1,9 +1,9 @@
 #include "rib/internet_gen.h"
 
 #include <algorithm>
-#include <cassert>
 #include <deque>
 #include <unordered_set>
+#include "common/check.h"
 
 namespace cluert::rib {
 
@@ -34,9 +34,12 @@ ip::Prefix4 edgeBlock(std::size_t c, std::size_t j, std::size_t k) {
 
 SyntheticInternet::SyntheticInternet(const InternetOptions& options)
     : options_(options) {
-  assert(options.cores >= 1 && options.cores <= 16);
-  assert(options.mids_per_core >= 1 && options.mids_per_core <= 16);
-  assert(options.edges_per_mid >= 1 && options.edges_per_mid <= 16);
+  CLUERT_CHECK(options.cores >= 1 && options.cores <= 16)
+      << "cores " << options.cores;
+  CLUERT_CHECK(options.mids_per_core >= 1 && options.mids_per_core <= 16)
+      << "mids_per_core " << options.mids_per_core;
+  CLUERT_CHECK(options.edges_per_mid >= 1 && options.edges_per_mid <= 16)
+      << "edges_per_mid " << options.edges_per_mid;
 
   const std::size_t cores = options.cores;
   const std::size_t mids = cores * options.mids_per_core;
@@ -226,7 +229,8 @@ ip::Ip4Addr SyntheticInternet::randomDestination(Rng& rng) const {
 
 ip::Ip4Addr SyntheticInternet::randomDestinationAt(RouterId edge,
                                                    Rng& rng) const {
-  assert(tiers_[edge] == Tier::kEdge);
+  CLUERT_CHECK(tiers_[edge] == Tier::kEdge)
+      << "router " << edge << " is not an edge router";
   const auto& specs = specifics_[edge];
   const PrefixT& p = specs.empty() ? owned_[edge]
                                    : specs[rng.index(specs.size())];

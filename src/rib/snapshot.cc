@@ -1,10 +1,10 @@
 #include "rib/snapshot.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
 #include <unordered_set>
+#include "common/check.h"
 
 namespace cluert::rib {
 
@@ -142,7 +142,7 @@ std::vector<SnapshotPair> intersectionPairs() {
 }
 
 SnapshotSet makePaperSnapshots(std::uint64_t seed, double scale) {
-  assert(scale > 0.0 && scale <= 1.0);
+  CLUERT_CHECK(scale > 0.0 && scale <= 1.0) << "scale " << scale;
   Rng rng(seed);
 
   // --- MAE-East: the big route-server table. Low subprefix fraction keeps

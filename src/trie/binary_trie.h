@@ -12,7 +12,6 @@
 // search stop as early as possible.
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -22,6 +21,7 @@
 #include "common/types.h"
 #include "ip/prefix.h"
 #include "mem/access_counter.h"
+#include "common/check.h"
 
 namespace cluert::trie {
 
@@ -132,7 +132,7 @@ class BinaryTrie {
   std::optional<MatchT> lookupBelow(const Node* start, const A& address,
                                     std::optional<NeighborIndex> neighbor,
                                     mem::AccessCounter& acc) const {
-    assert(start != nullptr);
+    CLUERT_DCHECK(start != nullptr) << "lookupBelow from a null vertex";
     const Node* best = nullptr;
     const Node* node = start;
     int depth = start->prefix.length();
@@ -205,7 +205,8 @@ class BinaryTrie {
   // "!continueBit(vertex(s))".
   template <typename Neighbor>
   void computeContinueBits(NeighborIndex neighbor, const Neighbor& t1) {
-    assert(neighbor < kMaxAnnotatedNeighbors);
+    CLUERT_CHECK(neighbor < kMaxAnnotatedNeighbors)
+        << "neighbor index " << neighbor << " exceeds the continue-bit mask";
     computeContinueBitsImpl(root_.get(), neighbor, t1);
   }
 

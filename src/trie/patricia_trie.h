@@ -10,7 +10,6 @@
 // (unmarked unary vertices are contracted away).
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -20,6 +19,7 @@
 #include "ip/prefix.h"
 #include "mem/access_counter.h"
 #include "trie/binary_trie.h"
+#include "common/check.h"
 
 namespace cluert::trie {
 
@@ -167,7 +167,7 @@ class PatriciaTrie {
                                     const A& address,
                                     std::optional<NeighborIndex> neighbor,
                                     mem::AccessCounter& acc) const {
-    assert(anchor != nullptr);
+    CLUERT_DCHECK(anchor != nullptr) << "lookupBelow from a null anchor";
     const Node* node = anchor;
     const Node* best = nullptr;
     while (true) {
@@ -212,7 +212,8 @@ class PatriciaTrie {
   void annotateContinueBits(
       NeighborIndex neighbor,
       const std::function<bool(const PrefixT&)>& judge) {
-    assert(neighbor < kMaxAnnotatedNeighbors);
+    CLUERT_CHECK(neighbor < kMaxAnnotatedNeighbors)
+        << "neighbor index " << neighbor << " exceeds the continue-bit mask";
     const std::uint64_t bit = std::uint64_t{1} << neighbor;
     visitMutable(root_.get(), [&](Node& n) {
       if (judge(n.prefix)) {

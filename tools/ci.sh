@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# End-to-end verification gate. Runs, in order:
+#
+#   1. warning-free build   cmake -DCLUERT_WERROR=ON (-Wall -Wextra
+#                           -Wpedantic -Werror) + full ctest suite
+#   2. clang-tidy           tools/run_tidy.sh (skips with a notice when
+#                           clang-tidy is not installed)
+#   3. sanitizer matrix     tools/run_sanitizers.sh (thread, address,
+#                           undefined over the concurrent + Check suites)
+#
+# Exits nonzero on the first finding. This is what "CI green" means for this
+# repo; see README "Lint and sanitizer gates".
+#
+# Usage: tools/ci.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "=== [1/3] -Werror build + full test suite ==="
+cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCLUERT_WERROR=ON
+cmake --build build-ci -j"$(nproc)"
+ctest --test-dir build-ci --output-on-failure
+
+echo "=== [2/3] clang-tidy ==="
+tools/run_tidy.sh build-ci
+
+echo "=== [3/3] sanitizer matrix ==="
+tools/run_sanitizers.sh
+
+echo "ci.sh: all gates green"

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Builds the tree once per requested sanitizer and runs the sanitizer-relevant
+# test slice under it. Generalizes the original TSan driver to the full
+# matrix:
+#
+#   thread     data races in src/pipeline/ (SPSC rings, shard-owned
+#              CluePorts, counter merges)
+#   address    heap/stack misuse anywhere the validators or the data plane
+#              chase pointers (trie vertices, Patricia anchors, clue-table
+#              probe chains)
+#   undefined  UB in the bit arithmetic the whole paper runs on (shifts,
+#              overflow) and in the invariant checkers themselves
+#
+# Usage: tools/run_sanitizers.sh [sanitizer ...] [-- extra ctest -R regex]
+#   tools/run_sanitizers.sh                    # full matrix, default filter
+#   tools/run_sanitizers.sh thread            # one sanitizer
+#   tools/run_sanitizers.sh address -- Check  # one sanitizer, custom filter
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# Concurrent suites plus the invariant-check suites (Check*): the validators
+# walk every structure they were written against, which is exactly the
+# pointer-chasing ASan/UBSan should watch.
+DEFAULT_FILTER="SpscRing|Pipeline|LookupBatch|DistributedLookup|RngForThread|AccessCounter|Check"
+
+SANITIZERS=()
+FILTER="$DEFAULT_FILTER"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --)
+      shift
+      FILTER="${1:?-- requires a ctest regex}"
+      shift
+      ;;
+    thread | address | undefined)
+      SANITIZERS+=("$1")
+      shift
+      ;;
+    *)
+      echo "unknown sanitizer '$1' (expected: thread, address, undefined)" >&2
+      exit 2
+      ;;
+  esac
+done
+if [[ ${#SANITIZERS[@]} -eq 0 ]]; then
+  SANITIZERS=(thread address undefined)
+fi
+
+# Collect every report instead of aborting on the first.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=0 history_size=4}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1 halt_on_error=0}"
+
+for SAN in "${SANITIZERS[@]}"; do
+  BUILD_DIR="build-${SAN}"
+  echo "=== ${SAN} sanitizer ==="
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCLUERT_SANITIZE="$SAN"
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target cluert_tests
+  ctest --test-dir "$BUILD_DIR" -R "$FILTER" --output-on-failure
+  echo "${SAN} sanitizer run clean for filter: $FILTER"
+done
+echo "Sanitizer matrix clean: ${SANITIZERS[*]}"

@@ -1,24 +1,10 @@
 #!/usr/bin/env bash
-# Builds the tree with -DCLUERT_SANITIZE=thread and runs the concurrent
-# tests (the pipeline suite and the distributed-lookup suite it drives)
-# under ThreadSanitizer. Part of tier-1 verification for src/pipeline/: any
-# data race in the SPSC rings, the shard-owned CluePorts, or the counter
-# merge shows up here, not in production.
+# Back-compat wrapper: the TSan slice of tools/run_sanitizers.sh.
 #
 # Usage: tools/run_tsan.sh [extra ctest -R regex]
 set -euo pipefail
-
-cd "$(dirname "$0")/.."
-BUILD_DIR=build-tsan
-FILTER="${1:-SpscRing|Pipeline|LookupBatch|DistributedLookup|RngForThread|AccessCounter}"
-
-cmake -B "$BUILD_DIR" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCLUERT_SANITIZE=thread
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target cluert_tests
-
-# Second-guess TSan's default of aborting on the first report: collect all.
-export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=0 history_size=4}"
-
-ctest --test-dir "$BUILD_DIR" -R "$FILTER" --output-on-failure
-echo "TSan run clean for filter: $FILTER"
+cd "$(dirname "$0")"
+if [[ $# -gt 0 ]]; then
+  exec ./run_sanitizers.sh thread -- "$1"
+fi
+exec ./run_sanitizers.sh thread

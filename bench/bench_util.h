@@ -2,16 +2,141 @@
 // (destination sampling, the 15-way method comparison) and table printing.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/distributed_lookup.h"
 #include "rib/snapshot.h"
 
+// Baked in by bench/CMakeLists.txt at configure time (git rev-parse); the
+// fallback covers tarball builds with no .git directory.
+#ifndef CLUERT_GIT_SHA
+#define CLUERT_GIT_SHA "unknown"
+#endif
+
 namespace cluert::bench {
+
+// Bump when the shape of any BENCH_*.json artifact changes incompatibly, so
+// downstream comparators (tools/metrics_diff.py and whatever reads the perf
+// trajectory across PRs) can refuse to diff mismatched layouts instead of
+// silently comparing apples to oranges.
+inline constexpr int kBenchSchemaVersion = 1;
+
+// Minimal streaming JSON writer shared by the experiment binaries. Every
+// document opens with the same provenance header — bench name, schema
+// version, git SHA — which is the point of centralising it: artifacts from
+// different benches and different commits stay self-identifying.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  // Opens the root object and stamps the provenance header.
+  void beginDocument(std::string_view bench) {
+    beginObject();
+    field("bench", bench);
+    field("schema_version", static_cast<std::uint64_t>(kBenchSchemaVersion));
+    field("git_sha", std::string_view(CLUERT_GIT_SHA));
+  }
+  void endDocument() {
+    endObject();
+    out_ << "\n";
+  }
+
+  void beginObject() {
+    item();
+    out_ << "{";
+    stack_.push_back(true);
+  }
+  void endObject() {
+    stack_.pop_back();
+    newlineIndent();
+    out_ << "}";
+  }
+  void beginArray(std::string_view k) {
+    key(k);
+    item();
+    out_ << "[";
+    stack_.push_back(true);
+  }
+  void endArray() {
+    stack_.pop_back();
+    newlineIndent();
+    out_ << "]";
+  }
+
+  void key(std::string_view k) {
+    item();
+    quoted(k);
+    out_ << ": ";
+    pending_value_ = true;
+  }
+
+  void value(std::string_view v) {
+    item();
+    quoted(v);
+  }
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v) {
+    item();
+    out_ << (v ? "true" : "false");
+  }
+  void value(double v) {
+    item();
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out_ << buf;
+  }
+  void value(std::uint64_t v) {
+    item();
+    out_ << v;
+  }
+  void value(int v) {
+    item();
+    out_ << v;
+  }
+
+  template <typename T>
+  void field(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  // Comma/indent bookkeeping: called before every emitted item. A value that
+  // directly follows its key stays on the key's line.
+  void item() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (stack_.empty()) return;  // root
+    if (!stack_.back()) out_ << ",";
+    stack_.back() = false;
+    newlineIndent();
+  }
+  void newlineIndent() {
+    out_ << "\n";
+    for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+  }
+  void quoted(std::string_view s) {
+    out_ << '"';
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out_ << '\\';
+      out_ << c;
+    }
+    out_ << '"';
+  }
+
+  std::ostream& out_;
+  std::vector<bool> stack_;  // per open scope: "no item emitted yet"
+  bool pending_value_ = false;
+};
 
 using A = ip::Ip4Addr;
 using MatchT = trie::Match<A>;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -18,6 +19,16 @@ class Summary {
   }
 
   std::size_t count() const { return samples_.size(); }
+
+  // Folds another summary's samples into this one. The pipeline uses this to
+  // combine per-worker summaries after join() — tail statistics (percentile,
+  // stddev) do not compose from partial aggregates, so the raw samples are
+  // what must merge.
+  void merge(const Summary& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    if (!other.samples_.empty()) sorted_ = false;
+  }
 
   double mean() const {
     if (samples_.empty()) return 0.0;
@@ -36,13 +47,29 @@ class Summary {
     return samples_.empty() ? 0.0 : samples_.back();
   }
 
-  // Nearest-rank percentile, p in [0, 100].
+  // Population standard deviation (two-pass; samples are all in memory
+  // anyway and the two-pass form is numerically stable).
+  double stddev() const {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double sq = 0;
+    for (double v : samples_) sq += (v - m) * (v - m);
+    return std::sqrt(sq / static_cast<double>(samples_.size()));
+  }
+
+  // Percentile with linear interpolation between closest ranks, p in
+  // [0, 100] (the numpy/Excel "inclusive" definition). Nearest-rank rounding
+  // over-reported tails on small samples — e.g. p50 of {1, 2} is now 1.5,
+  // not 2.
   double percentile(double p) const {
     ensureSorted();
     if (samples_.empty()) return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
     const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-    const auto idx = static_cast<std::size_t>(rank + 0.5);
-    return samples_[std::min(idx, samples_.size() - 1)];
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] + (samples_[hi] - samples_[lo]) * frac;
   }
 
   // Fraction of samples <= threshold.

@@ -28,6 +28,12 @@ struct ClueAnalysis {
   // Case 3 only: the prefixes a continued search may still report —
   // all of them strictly extend the clue.
   std::vector<trie::Match<A>> candidates;
+  // Advance only: true when the case-2 classification is Claim 1's doing —
+  // the clue vertex has descendants, but every marked one sits behind a
+  // sender prefix. False for the trivial leaf case (where Simple would have
+  // stopped too). Observability uses this to count how often Claim 1
+  // actually saves a search.
+  bool claim1_pruned = false;
 };
 
 // Analyzer bound to a receiver table t2 and (for Advance) the sender table
@@ -80,6 +86,7 @@ class ClueAnalyzer {
     collectCandidates(v, out.candidates);
     out.kase = out.candidates.empty() ? ClueCase::kFinal    // case 2
                                       : ClueCase::kSearch;  // case 3
+    out.claim1_pruned = out.candidates.empty() && !v->isLeaf();
     return out;
   }
 

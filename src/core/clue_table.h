@@ -43,6 +43,12 @@ struct ClueEntry {
   std::optional<trie::Match<A>> fd;
   bool ptr_empty = true;
   lookup::Continuation<A> cont;
+  // §3.1.2 classification the entry was built under, kept for observability:
+  // ptr_empty alone cannot distinguish case 1 (vertex absent) from case 2
+  // (Claim 1 / leaf). Not part of the wire entry (§3.5 sizing ignores it).
+  ClueCase kase = ClueCase::kAbsent;
+  // Case 2 via Claim-1 pruning specifically (see ClueAnalysis).
+  bool claim1_pruned = false;
 };
 
 // Approximate data-plane footprint of one entry (§3.5 sizes entries at three

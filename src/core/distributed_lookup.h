@@ -7,7 +7,9 @@
 // the §3.3.1 clue enumeration for the indexing technique.
 #pragma once
 
+#include <algorithm>
 #include <array>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -17,6 +19,7 @@
 #include "core/clue_cache.h"
 #include "core/clue_table.h"
 #include "lookup/factory.h"
+#include "obs/hooks.h"
 #include "common/check.h"
 
 namespace cluert::core {
@@ -124,6 +127,12 @@ class CluePort {
     bool table_hit = false;
     bool used_fd = false;
     bool searched = false;
+    // Observability classification (§3.1.2 case, Claim-1 attribution,
+    // continuation fallback). Filled on every path; reading it costs nothing
+    // when no obs sink is attached.
+    obs::Outcome outcome = obs::Outcome::kNoClue;
+    bool claim1_skip = false;
+    bool search_failed = false;
   };
 
   // The per-packet fast path (Figure 5). `dest` is the destination address,
@@ -243,6 +252,12 @@ class CluePort {
   const IndexedClueTable<A>& indexedTable() const { return indexed_; }
   const Options& options() const { return options_; }
 
+  // Attaches pre-bound observability sinks (see obs/hooks.h). The bundle's
+  // cells must outlive the port; a default-constructed bundle detaches.
+  // Control-plane call — never invoke while the data plane is running.
+  void attachObs(const obs::LookupObs& o) { obs_ = o; }
+  const obs::LookupObs& observability() const { return obs_; }
+
   // Exposed for tests: the control-plane construction of one entry
   // (procedure new-clue of Figure 5).
   ClueEntry<A> makeEntry(const PrefixT& clue) const {
@@ -254,6 +269,8 @@ class CluePort {
     e.clue = clue;
     e.valid = true;
     e.fd = a.fd;
+    e.kase = a.kase;
+    e.claim1_pruned = a.claim1_pruned;
     if (a.kase == ClueCase::kSearch) {
       e.ptr_empty = false;
       e.cont = suite_.engine(options_.method).makeContinuation(clue,
@@ -288,13 +305,27 @@ class CluePort {
     return p;
   }
 
+  // Resolve phase dispatch: the plain path when no obs sink is attached (one
+  // pointer test per packet — the entire cost of compiled-in-but-disabled
+  // observability), the instrumented wrapper otherwise.
   Result finish(Prepared& p, const A& dest, const ClueField& field,
                 mem::AccessCounter& acc) {
+    const bool metrics = obs_.metricsEnabled();
+    // shouldSample() must tick once per lookup while tracing is armed so the
+    // 1-in-N pattern stays aligned with the packet stream.
+    const bool sampled = obs_.traceArmed() && obs_.tracer->shouldSample();
+    if (!metrics && !sampled) return finishResolve(p, dest, field, acc);
+    return finishObserved(p, dest, field, acc, metrics, sampled);
+  }
+
+  Result finishResolve(Prepared& p, const A& dest, const ClueField& field,
+                       mem::AccessCounter& acc) {
     ++stats_.packets;
     const auto& engine = suite_.engine(options_.method);
     if (!p.clue) {
       ++stats_.no_clue;
-      return Result{engine.lookup(dest, acc), false, false, false};
+      return Result{engine.lookup(dest, acc), false, false, false,
+                    obs::Outcome::kNoClue};
     }
     const ClueEntry<A>* entry = nullptr;
     if (options_.indexed && field.index) {
@@ -325,7 +356,8 @@ class CluePort {
       // "The Clue is not in the Table, never saw this clue": route by a full
       // common lookup, then learn the entry off the fast path (§3.3.1).
       ++stats_.table_misses;
-      Result r{engine.lookup(dest, acc), false, false, false};
+      Result r{engine.lookup(dest, acc), false, false, false,
+               obs::Outcome::kMiss};
       if (options_.learn) learn(*p.clue, field);
       return r;
     }
@@ -333,7 +365,11 @@ class CluePort {
     ++stats_.table_hits;
     if (entry->ptr_empty) {
       ++stats_.fd_direct;
-      return Result{entry->fd, true, true, false};
+      Result r{entry->fd, true, true, false};
+      r.outcome = entry->kase == ClueCase::kAbsent ? obs::Outcome::kCase1
+                                                   : obs::Outcome::kCase2;
+      r.claim1_skip = entry->claim1_pruned;
+      return r;
     }
     ++stats_.searched;
     const auto neighbor =
@@ -341,10 +377,62 @@ class CluePort {
             ? std::optional<NeighborIndex>(options_.neighbor_index)
             : std::nullopt;
     if (auto found = engine.continueLookup(entry->cont, dest, neighbor, acc)) {
-      return Result{found, true, false, true};
+      return Result{found, true, false, true, obs::Outcome::kCase3};
     }
     ++stats_.search_failed;
-    return Result{entry->fd, true, true, true};
+    Result r{entry->fd, true, true, true, obs::Outcome::kCase3};
+    r.search_failed = true;
+    return r;
+  }
+
+  // The instrumented resolve: counts the outcome family, observes the
+  // per-lookup access delta, and — on the sampled 1-in-N lookups of a trace
+  // build — snapshots the counter and the clock around the resolve to emit
+  // a full TraceEvent. Forced out of line: inlined into finish() its body
+  // (TraceEvent assembly, two AccessCounter copies) bloats the per-packet
+  // loop enough to cost ~20% on *unobserved* trace-compiled builds.
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((noinline))
+#endif
+  Result finishObserved(Prepared& p, const A& dest, const ClueField& field,
+                        mem::AccessCounter& acc, bool metrics, bool sampled) {
+    mem::AccessCounter before;
+    std::uint64_t t0 = 0;
+    if (sampled) {
+      before = acc;
+      t0 = obs::Tracer::nowNs();
+    }
+    const std::uint64_t total_before = metrics ? acc.total() : 0;
+    Result r = finishResolve(p, dest, field, acc);
+    if (metrics) {
+      obs_.packets->inc();
+      obs_.cases[static_cast<std::size_t>(r.outcome)]->inc();
+      if (r.claim1_skip) obs_.claim1_skip->inc();
+      if (r.search_failed) obs_.search_failed->inc();
+      obs_.accesses->shard(obs_.shard).observe(acc.total() - total_before);
+    }
+    if (sampled) {
+      const std::uint64_t t1 = obs::Tracer::nowNs();
+      if (metrics) obs_.latency_ns->shard(obs_.shard).observe(t1 - t0);
+      obs::TraceEvent e;
+      e.start_ns = t0;
+      e.dur_ns = static_cast<std::uint32_t>(t1 - t0);
+      e.worker = obs_.tracer->worker();
+      e.clue_len =
+          p.clue ? static_cast<std::int16_t>(p.clue->length()) : -1;
+      e.mode = static_cast<std::uint8_t>(options_.mode);
+      e.outcome = r.outcome;
+      e.claim1_skip = r.claim1_skip;
+      e.search_failed = r.search_failed;
+      const mem::AccessCounter delta = acc - before;
+      delta.forEachNonZero([&](mem::Region region, std::uint64_t n) {
+        e.accesses[static_cast<std::size_t>(region)] =
+            static_cast<std::uint16_t>(
+                std::min<std::uint64_t>(n, 0xffff));
+      });
+      obs_.tracer->record(e);
+    }
+    return r;
   }
 
   void learn(const PrefixT& clue, const ClueField& field) {
@@ -379,6 +467,7 @@ class CluePort {
   IndexedClueTable<A> indexed_;
   ClueCache<A> cache_;
   Stats stats_;
+  obs::LookupObs obs_;
   // processBatch scratch; per-port (each pipeline shard owns its port, so
   // no sharing), constructed once instead of per call.
   std::array<Prepared, kMaxProcessBatch> batch_scratch_{};

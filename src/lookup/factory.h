@@ -13,6 +13,7 @@
 #include "lookup/multiway_lookup.h"
 #include "lookup/patricia_lookup.h"
 #include "lookup/stride_trie_lookup.h"
+#include "obs/hooks.h"
 #include "common/check.h"
 
 namespace cluert::lookup {
@@ -69,6 +70,21 @@ class LookupSuite {
   // replayed. Engine *references* obtained via engine() before the update
   // are invalidated — callers hold the suite and re-fetch (CluePort does).
 
+  // Publishes this suite's structural gauges (trie/Patricia node counts)
+  // into `reg` and keeps them fresh across route updates; also starts the
+  // lookup_suite_rebuilds_total counter, which tracks how often the
+  // snapshot-style engines were reconstructed (each rebuild is a §3.4-style
+  // control-plane cost spike worth seeing on a dashboard).
+  void exportMetrics(obs::MetricRegistry& reg, obs::Labels labels = {}) {
+    registry_ = &reg;
+    obs_labels_ = std::move(labels);
+    rebuilds_ = &reg.counter("lookup_suite_rebuilds_total",
+                             "Engine reconstructions after route updates",
+                             obs_labels_)
+                     .shard(0);
+    publishGauges();
+  }
+
   void insertRoute(const PrefixT& prefix, NextHop next_hop) {
     trie_.insert(prefix, next_hop);
     patricia_.insert(prefix, next_hop);
@@ -118,6 +134,21 @@ class LookupSuite {
     for (const auto& [neighbor, trie_ptr] : annotations_) {
       applyAnnotation(neighbor, *trie_ptr);
     }
+    if (rebuilds_ != nullptr) {
+      rebuilds_->inc();
+      publishGauges();
+    }
+  }
+
+  void publishGauges() {
+    registry_
+        ->gauge("lookup_trie_nodes", "Binary-trie vertices in the suite",
+                obs_labels_)
+        .set(static_cast<double>(trie_.nodeCount()));
+    registry_
+        ->gauge("lookup_patricia_nodes", "Patricia vertices in the suite",
+                obs_labels_)
+        .set(static_cast<double>(patricia_.nodeCount()));
   }
 
   SuiteOptions options_;
@@ -126,6 +157,9 @@ class LookupSuite {
   std::unique_ptr<LookupEngine<A>> engines_[kMethodCount];
   std::vector<std::pair<NeighborIndex, const trie::BinaryTrie<A>*>>
       annotations_;
+  obs::MetricRegistry* registry_ = nullptr;  // exportMetrics() target
+  obs::Labels obs_labels_;
+  obs::CounterCell* rebuilds_ = nullptr;
 };
 
 }  // namespace cluert::lookup

@@ -1,5 +1,8 @@
 #include "mem/access_counter.h"
 
+#include <cinttypes>
+#include <cstdio>
+
 namespace cluert::mem {
 
 std::string_view regionName(Region r) {
@@ -22,6 +25,20 @@ std::string_view regionName(Region r) {
       break;
   }
   return "unknown";
+}
+
+std::string AccessCounter::toString() const {
+  std::string out;
+  forEachNonZero([&](Region r, std::uint64_t n) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%s=%" PRIu64 " ",
+                  std::string(regionName(r)).c_str(), n);
+    out += buf;
+  });
+  if (out.empty()) return "(empty)";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "(total %" PRIu64 ")", total());
+  return out + buf;
 }
 
 }  // namespace cluert::mem

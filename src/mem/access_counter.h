@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 #ifndef NDEBUG
@@ -89,6 +90,19 @@ class AccessCounter {
   // code can't accidentally merge where it meant to count — the pipeline
   // calls this exactly once per worker, after join(), on the owning thread.
   void mergeFrom(const AccessCounter& worker) { *this += worker; }
+
+  // Visits every region with a non-zero count as (Region, count). The one
+  // loop exporters, trace events and reports need — written here once so
+  // they stop hand-rolling the enum iteration.
+  template <typename Fn>
+  void forEachNonZero(Fn&& fn) const {
+    for (std::size_t i = 0; i < kRegions; ++i) {
+      if (counts_[i] != 0) fn(static_cast<Region>(i), counts_[i]);
+    }
+  }
+
+  // "clue-table=2 trie-node=5 (total 7)"; "(empty)" when all-zero.
+  std::string toString() const;
 
  private:
   void debugCheckOwner() {

@@ -7,10 +7,12 @@
 #include <algorithm>
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "core/distributed_lookup.h"
 #include "net/packet.h"
+#include "obs/hooks.h"
 #include "rib/fib.h"
 #include "common/check.h"
 
@@ -43,6 +45,11 @@ class Router {
     lookup::Method method = lookup::Method::kPatricia;
     lookup::ClueMode mode = lookup::ClueMode::kAdvance;
     bool learn = true;
+    // Non-null: this router feeds the shared registry — per-port lookup
+    // metrics and the router_forward_total family, all labelled
+    // {router="<id>"} so co-hosted routers stay distinguishable. The
+    // registry must outlive the router.
+    obs::MetricRegistry* registry = nullptr;
   };
 
   Router(RouterId id, rib::Fib<A> fib, const Config& config)
@@ -50,7 +57,25 @@ class Router {
         config_(config),
         fib_(std::move(fib)),
         suite_(std::vector<MatchT>(fib_.entries().begin(),
-                                   fib_.entries().end())) {}
+                                   fib_.entries().end())) {
+    if (config_.registry != nullptr) {
+      const obs::Labels labels{{"router", std::to_string(id_)}};
+      forwarded_ = &config_.registry
+                        ->counter("router_forward_total",
+                                  "Packets processed by Router::forward",
+                                  labels)
+                        .shard(0);
+      delivered_ = &config_.registry
+                        ->counter("router_delivered_total",
+                                  "Packets that matched a locally originated "
+                                  "route",
+                                  labels)
+                        .shard(0);
+      config_.registry
+          ->gauge("router_fib_entries", "Installed FIB entries", labels)
+          .set(static_cast<double>(fib_.size()));
+    }
+  }
 
   RouterId id() const { return id_; }
   const rib::Fib<A>& fib() const { return fib_; }
@@ -81,8 +106,16 @@ class Router {
     CLUERT_CHECK(opt.neighbor_index < kMaxAnnotatedNeighbors)
         << "router has more clue neighbors than the continue-bit mask holds";
     opt.expected_clues = fib_.size() + 16;
-    ports_.emplace(neighbor, std::make_unique<core::CluePort<A>>(
-                                 suite_, neighbor_trie, opt));
+    auto port =
+        std::make_unique<core::CluePort<A>>(suite_, neighbor_trie, opt);
+    if (config_.registry != nullptr) {
+      // Routers run single-threaded in the simulator, so every port shares
+      // shard 0; the {router=...} label keeps series distinct per router.
+      port->attachObs(obs::LookupObs::bind(
+          *config_.registry, 0, nullptr,
+          {{"router", std::to_string(id_)}}));
+    }
+    ports_.emplace(neighbor, std::move(port));
   }
 
   struct Decision {
@@ -108,6 +141,10 @@ class Router {
       d.match = suite_.engine(config_.method).lookup(packet.dest, acc);
     }
     d.delivered = d.match && d.match->next_hop == id_;
+    if (forwarded_ != nullptr) {
+      forwarded_->inc();
+      if (d.delivered) delivered_->inc();
+    }
 
     // Outgoing clue policy (§5.3).
     if (config_.clue_enabled && config_.attach_clue && d.match) {
@@ -137,6 +174,8 @@ class Router {
   lookup::LookupSuite<A> suite_;
   std::unordered_map<RouterId, std::unique_ptr<core::CluePort<A>>> ports_;
   NeighborIndex next_neighbor_index_ = 0;
+  obs::CounterCell* forwarded_ = nullptr;
+  obs::CounterCell* delivered_ = nullptr;
 };
 
 using Router4 = Router<ip::Ip4Addr>;

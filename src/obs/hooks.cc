@@ -1,0 +1,78 @@
+#include "obs/hooks.h"
+
+namespace cluert::obs {
+
+namespace {
+
+Labels withExtra(Labels base, const Labels& extra) {
+  base.insert(base.end(), extra.begin(), extra.end());
+  return base;
+}
+
+}  // namespace
+
+LookupObs LookupObs::bind(MetricRegistry& reg, std::size_t shard,
+                          Tracer* tracer, const Labels& extra) {
+  LookupObs o;
+  o.shard = shard;
+  o.tracer = tracer;
+  o.packets = &reg.counter("lookup_packets_total",
+                           "Packets resolved by the clue-assisted fast path",
+                           extra)
+                   .shard(shard);
+  for (std::size_t c = 0; c < kOutcomeCount; ++c) {
+    o.cases[c] =
+        &reg.counter(
+                "lookup_case_total",
+                "Lookup outcomes by paper case (1/2/3) plus miss and no_clue",
+                withExtra({{"case", std::string(
+                                        outcomeName(static_cast<Outcome>(c)))}},
+                          extra))
+             .shard(shard);
+  }
+  o.claim1_skip =
+      &reg.counter("lookup_claim1_skip_total",
+                   "Case-2 resolutions where Claim 1 (not a leaf clue) "
+                   "emptied the candidate set",
+                   extra)
+           .shard(shard);
+  o.search_failed =
+      &reg.counter("lookup_search_failed_total",
+                   "Case-3 continuations that fell back to the FD", extra)
+           .shard(shard);
+  o.accesses = &reg.histogram("lookup_accesses",
+                              "Dependent memory accesses per lookup (the §6 "
+                              "unit of cost)",
+                              extra);
+  o.latency_ns = &reg.histogram(
+      "lookup_latency_ns", "Wall-clock nanoseconds per sampled lookup",
+      extra);
+  return o;
+}
+
+WorkerObs WorkerObs::bind(MetricRegistry& reg, std::size_t shard,
+                          const Labels& extra) {
+  WorkerObs o;
+  o.packets = &reg.counter("pipeline_packets_total",
+                           "Packets forwarded by the pipeline shards", extra)
+                   .shard(shard);
+  o.batches = &reg.counter("pipeline_batches_total",
+                           "Batches consumed by the pipeline shards", extra)
+                   .shard(shard);
+  return o;
+}
+
+void publishAccessCounter(MetricRegistry& reg,
+                          const mem::AccessCounter& counter,
+                          const Labels& extra) {
+  counter.forEachNonZero([&](mem::Region r, std::uint64_t n) {
+    reg.counter("mem_accesses_total",
+                "Dependent memory references by region (the paper's access "
+                "accounting)",
+                withExtra({{"region", std::string(mem::regionName(r))}},
+                          extra))
+        .inc(n);
+  });
+}
+
+}  // namespace cluert::obs

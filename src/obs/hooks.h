@@ -1,0 +1,73 @@
+// Pre-bound instrument bundles for the data plane.
+//
+// Hot-path code must not pay a name lookup (or the registry mutex) per
+// packet, so instrumented classes hold one of these bundles instead of a
+// MetricRegistry: bind() resolves the named instruments once on the control
+// plane and stores raw pointers to *this worker's* shard cells. A
+// default-constructed bundle is inert — every hook first tests one pointer,
+// which is the entire per-packet cost of having observability compiled in
+// but disabled.
+//
+// Metric names are fixed here so every producer (CluePort, Worker, Router,
+// benches) feeds the same series and DESIGN.md can map them to the paper's
+// §6 tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cluert::obs {
+
+// Per-worker view of the lookup-path metrics, fed by CluePort on every
+// packet it resolves.
+struct LookupObs {
+  CounterCell* packets = nullptr;
+  // One cell per Outcome, indexed by static_cast<size_t>(Outcome): the
+  // lookup_case_total{case=...} family. Summed over cases it equals
+  // lookup_packets_total — the invariant obs_test and the example check.
+  std::array<CounterCell*, kOutcomeCount> cases{};
+  CounterCell* claim1_skip = nullptr;
+  CounterCell* search_failed = nullptr;
+  Histogram* accesses = nullptr;     // per-lookup total access delta
+  Histogram* latency_ns = nullptr;   // sampled lookups only (trace builds)
+  std::size_t shard = 0;
+  Tracer* tracer = nullptr;  // optional; owned elsewhere (the worker)
+
+  bool metricsEnabled() const { return packets != nullptr; }
+
+  // True when this lookup should also produce a TraceEvent. Folds to false
+  // at compile time when CLUERT_TRACE is off.
+  bool traceArmed() const {
+    if constexpr (!kTraceCompiled) return false;
+    return tracer != nullptr && tracer->enabled();
+  }
+
+  // Resolves the instruments in `reg`, pinning this bundle to `shard`.
+  // `extra` labels distinguish co-hosted producers (e.g. {"router", "2"});
+  // the same labels must be used when reading the series back.
+  static LookupObs bind(MetricRegistry& reg, std::size_t shard,
+                        Tracer* tracer = nullptr, const Labels& extra = {});
+};
+
+// Per-worker pipeline-level counters, fed by Worker once per batch.
+struct WorkerObs {
+  CounterCell* packets = nullptr;
+  CounterCell* batches = nullptr;
+
+  bool enabled() const { return packets != nullptr; }
+
+  static WorkerObs bind(MetricRegistry& reg, std::size_t shard,
+                        const Labels& extra = {});
+};
+
+// Publishes a quiesced AccessCounter into the mem_accesses_total{region=...}
+// family (control-plane: called after the pipeline joined, or by
+// single-threaded drivers at end of run).
+void publishAccessCounter(MetricRegistry& reg,
+                          const mem::AccessCounter& counter,
+                          const Labels& extra = {});
+
+}  // namespace cluert::obs

@@ -1,0 +1,113 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cluert::obs {
+
+namespace {
+
+Labels canonical(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace
+
+const MetricSample* MetricSnapshot::find(std::string_view name,
+                                         const Labels& labels) const {
+  const Labels want = canonical(labels);
+  for (const MetricSample& s : samples) {
+    if (s.desc.name == name && s.desc.labels == want) return &s;
+  }
+  return nullptr;
+}
+
+MetricRegistry::Entry& MetricRegistry::findOrCreate(std::string_view name,
+                                                    std::string_view help,
+                                                    Labels labels,
+                                                    MetricKind kind) {
+  labels = canonical(std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : entries_) {
+    if (e.desc.name == name && e.desc.labels == labels) {
+      CLUERT_CHECK(e.desc.kind == kind)
+          << "metric '" << e.desc.name
+          << "' re-registered as a different instrument kind";
+      return e;
+    }
+  }
+  Entry e;
+  e.desc.name = std::string(name);
+  e.desc.help = std::string(help);
+  e.desc.labels = std::move(labels);
+  e.desc.kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter:
+      e.counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      e.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      e.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  entries_.push_back(std::move(e));
+  return entries_.back();
+}
+
+Counter& MetricRegistry::counter(std::string_view name, std::string_view help,
+                                 Labels labels) {
+  return *findOrCreate(name, help, std::move(labels), MetricKind::kCounter)
+              .counter;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name, std::string_view help,
+                             Labels labels) {
+  return *findOrCreate(name, help, std::move(labels), MetricKind::kGauge)
+              .gauge;
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name,
+                                     std::string_view help, Labels labels) {
+  return *findOrCreate(name, help, std::move(labels), MetricKind::kHistogram)
+              .histogram;
+}
+
+MetricSnapshot MetricRegistry::snapshot() const {
+  MetricSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.samples.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    MetricSample s;
+    s.desc = e.desc;
+    switch (e.desc.kind) {
+      case MetricKind::kCounter:
+        s.counter_value = e.counter->value();
+        break;
+      case MetricKind::kGauge:
+        s.gauge_value = e.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        s.hist = e.histogram->data();
+        break;
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  // Exposition order: stable by (name, labels) so snapshots diff cleanly.
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              if (a.desc.name != b.desc.name) return a.desc.name < b.desc.name;
+              return a.desc.labels < b.desc.labels;
+            });
+  return snap;
+}
+
+std::size_t MetricRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace cluert::obs

@@ -1,0 +1,95 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+namespace cluert::obs {
+
+std::string_view outcomeName(Outcome o) {
+  switch (o) {
+    case Outcome::kNoClue:
+      return "no_clue";
+    case Outcome::kMiss:
+      return "miss";
+    case Outcome::kCase1:
+      return "1";
+    case Outcome::kCase2:
+      return "2";
+    case Outcome::kCase3:
+      return "3";
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(const TraceOptions& options, std::uint64_t seed,
+               std::uint32_t worker)
+    : options_(options), worker_(worker) {
+  if (options_.sample_every == 0) options_.sample_every = 1;
+  if (options_.event_capacity == 0) options_.event_capacity = 1;
+  if (options_.span_capacity == 0) options_.span_capacity = 1;
+  // Deterministic per-(seed, worker) phase in [1, sample_every]: the k-th
+  // sampled call is phase + k * sample_every for every run with the same
+  // inputs, and distinct workers start at distinct phases.
+  Rng rng = Rng::forThread(seed, worker);
+  next_ = 1 + rng.uniform(0, options_.sample_every - 1);
+  if (options_.enabled) {
+    ring_.reserve(options_.event_capacity);
+    span_ring_.reserve(options_.span_capacity);
+  }
+}
+
+void Tracer::record(const TraceEvent& e) {
+  if (ring_.size() < options_.event_capacity) {
+    ring_.push_back(e);
+    return;
+  }
+  ring_full_ = true;
+  ++events_dropped_;
+  ring_[ring_head_] = e;
+  ring_head_ = (ring_head_ + 1) % ring_.size();
+}
+
+void Tracer::span(const SpanEvent& s) {
+  if (span_ring_.size() < options_.span_capacity) {
+    span_ring_.push_back(s);
+    return;
+  }
+  span_full_ = true;
+  ++spans_dropped_;
+  span_ring_[span_head_] = s;
+  span_head_ = (span_head_ + 1) % span_ring_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (!ring_full_) {
+    out = ring_;
+    return out;
+  }
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(ring_head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<SpanEvent> Tracer::spans() const {
+  std::vector<SpanEvent> out;
+  out.reserve(span_ring_.size());
+  if (!span_full_) {
+    out = span_ring_;
+    return out;
+  }
+  for (std::size_t i = 0; i < span_ring_.size(); ++i) {
+    out.push_back(span_ring_[(span_head_ + i) % span_ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t Tracer::nowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace cluert::obs

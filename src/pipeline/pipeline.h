@@ -18,6 +18,7 @@
 // results carry over unchanged to the parallel data plane.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <span>
@@ -50,6 +51,15 @@ struct PipelineOptions {
   std::size_t expected_clues = 1 << 10;
   std::size_t cache_entries = 0;
   NeighborIndex neighbor_index = 0;
+
+  // Observability (src/obs/). `registry` non-null: every shard binds its
+  // per-worker metric cells (lookup_case_total, lookup_accesses, ...) and
+  // run() publishes the merged region counters post-join. `trace.enabled`:
+  // each shard owns a Tracer — batch spans always, per-lookup events when
+  // the tree was built with CLUERT_TRACE. Both default off: an unobserved
+  // pipeline pays one pointer test per packet.
+  obs::MetricRegistry* registry = nullptr;
+  obs::TraceOptions trace;
 };
 
 // Aggregated view of one run(): the merged per-worker counters in the same
@@ -82,6 +92,11 @@ struct PipelineStats {
 
   // Per-shard packet counts — min/max/mean expose feeder imbalance.
   Summary worker_packets;
+
+  // Per-batch resolve nanoseconds across all shards (Summary::merge of the
+  // workers' summaries). Populated only when the run traced (the batch
+  // clock reads ride on the span instrumentation); empty otherwise.
+  Summary batch_ns;
 };
 
 // One-line human-readable rendering (pipeline.cc).
@@ -119,6 +134,18 @@ class Pipeline {
           w, options_.seed, options_.ring_batches,
           std::make_unique<PortT>(suite, neighbor_trie, popt),
           options_.backoff_sleep_us));
+      if (options_.registry != nullptr || options_.trace.enabled) {
+        workers_.back()->enableObs(options_.registry, options_.trace,
+                                   options_.seed);
+      }
+    }
+    if (options_.registry != nullptr) {
+      options_.registry
+          ->gauge("pipeline_workers", "Worker shards in the pipeline")
+          .set(static_cast<double>(options_.workers));
+      options_.registry
+          ->gauge("pipeline_batch_size", "Packets per pipeline batch")
+          .set(static_cast<double>(options_.batch_size));
     }
   }
 
@@ -165,7 +192,44 @@ class Pipeline {
     for (auto& w : workers_) w->ring().close();
     for (auto& t : threads) t.join();
     const auto t1 = std::chrono::steady_clock::now();
-    return aggregate(std::chrono::duration<double>(t1 - t0).count());
+    PipelineStats s = aggregate(std::chrono::duration<double>(t1 - t0).count());
+    // Region totals are merged per run (the workers' counters are quiescent
+    // now); the per-packet families were already fed live by the shards.
+    if (options_.registry != nullptr) {
+      obs::publishAccessCounter(*options_.registry, s.accesses);
+    }
+    return s;
+  }
+
+  // Merged trace rings of every shard, oldest-first per worker and sorted by
+  // start time overall. Meaningful after run() returned (the shards own
+  // their rings; post-join they are quiescent).
+  std::vector<obs::TraceEvent> traceEvents() const {
+    std::vector<obs::TraceEvent> out;
+    for (const auto& w : workers_) {
+      if (w->tracer() == nullptr) continue;
+      const auto ev = w->tracer()->events();
+      out.insert(out.end(), ev.begin(), ev.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+                return a.start_ns < b.start_ns;
+              });
+    return out;
+  }
+
+  std::vector<obs::SpanEvent> traceSpans() const {
+    std::vector<obs::SpanEvent> out;
+    for (const auto& w : workers_) {
+      if (w->tracer() == nullptr) continue;
+      const auto sp = w->tracer()->spans();
+      out.insert(out.end(), sp.begin(), sp.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const obs::SpanEvent& a, const obs::SpanEvent& b) {
+                return a.start_ns < b.start_ns;
+              });
+    return out;
   }
 
  private:
@@ -217,6 +281,7 @@ class Pipeline {
       s.searched += ps.searched;
       s.search_failed += ps.search_failed;
       s.worker_packets.add(static_cast<double>(w->packets()));
+      s.batch_ns.merge(w->batchNs());
     }
     return s;
   }

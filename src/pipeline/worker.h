@@ -12,11 +12,14 @@
 #include <array>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <thread>
 
 #include "common/random.h"
+#include "common/stats.h"
 #include "core/distributed_lookup.h"
+#include "obs/hooks.h"
 #include "pipeline/packet_batch.h"
 #include "pipeline/spsc_ring.h"
 
@@ -44,6 +47,37 @@ class Worker {
   std::uint64_t packets() const { return packets_; }
   std::uint64_t batches() const { return batches_; }
 
+  // Attaches this shard's observability: its metric cells (shard = worker
+  // id) and, when `trace.enabled`, a Tracer whose sampling phase derives
+  // from (seed, id) via Rng::forThread. Control-plane call, strictly before
+  // run(). Either part may be absent: a null registry with tracing on still
+  // produces trace events; a registry with tracing off still counts.
+  void enableObs(obs::MetricRegistry* registry, const obs::TraceOptions& trace,
+                 std::uint64_t seed) {
+    if (trace.enabled) {
+      tracer_ = std::make_unique<obs::Tracer>(
+          trace, seed, static_cast<std::uint32_t>(id_));
+    }
+    if (registry != nullptr) {
+      wobs_ = obs::WorkerObs::bind(*registry, id_);
+      port_->attachObs(obs::LookupObs::bind(*registry, id_, tracer_.get()));
+    } else if (tracer_ != nullptr) {
+      obs::LookupObs lo;
+      lo.shard = id_;
+      lo.tracer = tracer_.get();
+      port_->attachObs(lo);
+    }
+  }
+
+  // Post-join access to the shard's trace rings (null when tracing is off).
+  const obs::Tracer* tracer() const { return tracer_.get(); }
+
+  // Per-batch resolve nanoseconds (filled only while a tracer is attached —
+  // the same clock reads feed the spans). Merged post-join by the pipeline
+  // via Summary::merge, which is what makes tail stats (p99 batch time)
+  // reportable across shards.
+  const Summary& batchNs() const { return batch_ns_; }
+
   // The worker thread body: pop batches until the ring is closed *and*
   // drained, resolve each through the batched CluePort path, and publish
   // every packet's next hop to out[seq]. `out` is sized to the full input
@@ -54,6 +88,9 @@ class Worker {
     std::array<core::ClueField, kMaxBatch> clues;
     std::array<typename PortT::Result, kMaxBatch> results;
     std::uint64_t idle_streak = 0;
+    // Batch spans cost two clock reads per *batch* — cheap enough to gate at
+    // runtime rather than compile time (unlike the per-lookup events).
+    const bool spans = tracer_ != nullptr && tracer_->enabled();
     for (;;) {
       // Zero-copy consume: resolve the batch in place in the ring slot, then
       // hand the slot back. The producer cannot touch it before release().
@@ -68,6 +105,7 @@ class Worker {
         }
       }
       idle_streak = 0;
+      const std::uint64_t span_t0 = spans ? obs::Tracer::nowNs() : 0;
       const std::size_t n = batch->size();
       for (std::size_t i = 0; i < n; ++i) {
         dests[i] = (*batch)[i].dest;
@@ -81,6 +119,16 @@ class Worker {
       }
       packets_ += n;
       ++batches_;
+      if (spans) {
+        const std::uint64_t dur = obs::Tracer::nowNs() - span_t0;
+        tracer_->span({span_t0, dur, static_cast<std::uint32_t>(id_),
+                       static_cast<std::uint32_t>(n)});
+        batch_ns_.add(static_cast<double>(dur));
+      }
+      if (wobs_.enabled()) {
+        wobs_.packets->inc(n);
+        wobs_.batches->inc();
+      }
       ring_.release();
     }
   }
@@ -119,6 +167,9 @@ class Worker {
   mem::AccessCounter acc_;
   std::uint64_t packets_ = 0;
   std::uint64_t batches_ = 0;
+  std::unique_ptr<obs::Tracer> tracer_;  // owned here: single-writer ring
+  obs::WorkerObs wobs_;
+  Summary batch_ns_;
 };
 
 }  // namespace cluert::pipeline

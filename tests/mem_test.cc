@@ -69,6 +69,34 @@ TEST(RegionNames, AllDistinctAndNamed) {
   }
 }
 
+TEST(AccessCounter, ForEachNonZeroVisitsExactlyTheNonZeroRegions) {
+  AccessCounter c;
+  c.add(Region::kClueTable, 2);
+  c.add(Region::kFibEntry, 5);
+  std::size_t visits = 0;
+  std::uint64_t sum = 0;
+  c.forEachNonZero([&](Region r, std::uint64_t n) {
+    ++visits;
+    sum += n;
+    EXPECT_TRUE(r == Region::kClueTable || r == Region::kFibEntry);
+  });
+  EXPECT_EQ(visits, 2u);
+  EXPECT_EQ(sum, c.total());
+}
+
+TEST(AccessCounter, ForEachNonZeroOnEmptyVisitsNothing) {
+  AccessCounter c;
+  c.forEachNonZero([](Region, std::uint64_t) { FAIL(); });
+}
+
+TEST(AccessCounter, ToStringListsRegionsAndTotal) {
+  AccessCounter c;
+  EXPECT_EQ(c.toString(), "(empty)");
+  c.add(Region::kClueTable, 2);
+  c.add(Region::kTrieNode, 5);
+  EXPECT_EQ(c.toString(), "clue-table=2 trie-node=5 (total 7)");
+}
+
 TEST(CacheLineModel, EntriesPerLine) {
   EXPECT_EQ(kSdramLine.entriesPerLine(), 2u);  // §3.5: two clue entries/line
   EXPECT_EQ(CacheLineModel(32, 8).entriesPerLine(), 4u);

@@ -1,0 +1,331 @@
+// Tests for the telemetry subsystem (src/obs/): instrument semantics and
+// sharding, deterministic trace sampling, and golden renderings of the
+// Prometheus / JSONL / chrome-trace exporters. Suite names start with Obs so
+// tools/run_sanitizers.sh picks them up for the TSan pass — the sharded
+// counter test below is exactly the kind of code TSan exists for.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "obs/export.h"
+#include "obs/hooks.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cluert::obs {
+namespace {
+
+// --- histogram geometry ----------------------------------------------------
+
+TEST(ObsHistogram, BucketBoundaries) {
+  // Bucket i holds v in (2^(i-1), 2^i]; bucket 0 holds 0 and 1. The bound is
+  // inclusive, so every power of two lands exactly on its own bucket's `le`.
+  EXPECT_EQ(histogramBucketFor(0), 0u);
+  EXPECT_EQ(histogramBucketFor(1), 0u);
+  EXPECT_EQ(histogramBucketFor(2), 1u);
+  EXPECT_EQ(histogramBucketFor(3), 2u);
+  EXPECT_EQ(histogramBucketFor(4), 2u);
+  EXPECT_EQ(histogramBucketFor(5), 3u);
+  EXPECT_EQ(histogramBucketFor(8), 3u);
+  EXPECT_EQ(histogramBucketFor(9), 4u);
+  EXPECT_EQ(histogramBucketFor(~std::uint64_t{0}), kHistogramBuckets - 1);
+
+  for (std::size_t b = 0; b + 1 < kHistogramBuckets; ++b) {
+    // Every bucket's upper bound maps back into that bucket...
+    EXPECT_EQ(histogramBucketFor(histogramBucketBound(b)), b);
+    // ...and one past it maps into the next.
+    EXPECT_EQ(histogramBucketFor(histogramBucketBound(b) + 1),
+              std::min(b + 1, kHistogramBuckets - 1));
+  }
+  EXPECT_EQ(histogramBucketBound(kHistogramBuckets - 1), ~std::uint64_t{0});
+}
+
+TEST(ObsHistogram, ObserveAggregatesAcrossShards) {
+  Histogram h;
+  h.shard(0).observe(1);
+  h.shard(1).observe(3);
+  h.shard(2).observe(100);
+  const HistogramData d = h.data();
+  EXPECT_EQ(d.count, 3u);
+  EXPECT_EQ(d.sum, 104u);
+  EXPECT_EQ(d.counts[histogramBucketFor(1)], 1u);
+  EXPECT_EQ(d.counts[histogramBucketFor(3)], 1u);
+  EXPECT_EQ(d.counts[histogramBucketFor(100)], 1u);
+  EXPECT_EQ(d.cumulative(kHistogramBuckets - 1), 3u);
+  EXPECT_EQ(d.cumulative(histogramBucketFor(3)), 2u);
+}
+
+// --- counters / registry ---------------------------------------------------
+
+TEST(ObsCounter, ShardedIncrementsFromManyThreads) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("x_total", "help");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, t] {
+      CounterCell& cell = c.shard(static_cast<std::size_t>(t));
+      for (std::uint64_t i = 0; i < kPerThread; ++i) cell.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(ObsCounter, ShardIndexWrapsModuloShardCount) {
+  Counter c;
+  c.shard(0).inc(5);
+  c.shard(kMetricShards).inc(7);  // same cell as shard 0, still correct
+  EXPECT_EQ(c.value(), 12u);
+  EXPECT_EQ(c.shard(0).load(), 12u);
+}
+
+TEST(ObsRegistry, RegistrationIsIdempotentByNameAndLabels) {
+  MetricRegistry reg;
+  Counter& a = reg.counter("hits_total", "h", {{"router", "1"}});
+  Counter& b = reg.counter("hits_total", "ignored", {{"router", "1"}});
+  Counter& other = reg.counter("hits_total", "h", {{"router", "2"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &other);
+  EXPECT_EQ(reg.size(), 2u);
+
+  a.inc(3);
+  other.inc(4);
+  const MetricSnapshot snap = reg.snapshot();
+  const MetricSample* s1 = snap.find("hits_total", {{"router", "1"}});
+  const MetricSample* s2 = snap.find("hits_total", {{"router", "2"}});
+  ASSERT_NE(s1, nullptr);
+  ASSERT_NE(s2, nullptr);
+  EXPECT_EQ(s1->counter_value, 3u);
+  EXPECT_EQ(s2->counter_value, 4u);
+  EXPECT_EQ(snap.find("hits_total", {{"router", "3"}}), nullptr);
+}
+
+TEST(ObsRegistry, LabelOrderDoesNotSplitSeries) {
+  MetricRegistry reg;
+  Counter& a = reg.counter("y_total", "h", {{"a", "1"}, {"b", "2"}});
+  Counter& b = reg.counter("y_total", "h", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(ObsGauge, SetAndAdd) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_EQ(g.value(), 1.5);
+}
+
+// --- trace sampling --------------------------------------------------------
+
+std::vector<std::size_t> samplePattern(std::uint64_t seed,
+                                       std::uint32_t worker,
+                                       std::uint32_t every, std::size_t calls) {
+  TraceOptions opt;
+  opt.enabled = true;
+  opt.sample_every = every;
+  Tracer t(opt, seed, worker);
+  std::vector<std::size_t> fired;
+  for (std::size_t i = 0; i < calls; ++i) {
+    if (t.shouldSample()) fired.push_back(i);
+  }
+  return fired;
+}
+
+TEST(ObsSampling, DeterministicPerSeedAndWorker) {
+  const auto a = samplePattern(42, 3, 8, 1000);
+  const auto b = samplePattern(42, 3, 8, 1000);
+  EXPECT_EQ(a, b);  // same (seed, worker): bit-identical pattern
+
+  // Exactly one sample per window of sample_every calls after the phase.
+  ASSERT_FALSE(a.empty());
+  EXPECT_LT(a.front(), 8u);  // phase lands inside the first window
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_EQ(a[i] - a[i - 1], 8u);
+  }
+  EXPECT_NEAR(static_cast<double>(a.size()), 1000.0 / 8.0, 1.0);
+}
+
+TEST(ObsSampling, WorkersArePhaseShifted) {
+  // The phase comes from Rng::forThread(seed, worker), so different workers
+  // (deterministically) don't all sample the same ticks in lockstep.
+  std::vector<std::size_t> first_fire;
+  for (std::uint32_t w = 0; w < 16; ++w) {
+    const auto p = samplePattern(42, w, 64, 64);
+    ASSERT_EQ(p.size(), 1u);
+    first_fire.push_back(p.front());
+  }
+  std::size_t distinct = 0;
+  std::sort(first_fire.begin(), first_fire.end());
+  for (std::size_t i = 0; i < first_fire.size(); ++i) {
+    if (i == 0 || first_fire[i] != first_fire[i - 1]) ++distinct;
+  }
+  EXPECT_GT(distinct, 4u);
+}
+
+TEST(ObsSampling, DisabledTracerNeverSamples) {
+  Tracer t(TraceOptions{}, 1, 0);  // enabled defaults to false
+  EXPECT_FALSE(t.enabled());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(t.shouldSample());
+}
+
+TEST(ObsTracer, RingOverwritesOldestWhenFull) {
+  TraceOptions opt;
+  opt.enabled = true;
+  opt.event_capacity = 4;
+  Tracer t(opt, 1, 0);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    TraceEvent e;
+    e.start_ns = 100 + i;
+    t.record(e);
+  }
+  const auto ev = t.events();
+  ASSERT_EQ(ev.size(), 4u);
+  EXPECT_EQ(t.eventsDropped(), 2u);
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    EXPECT_EQ(ev[i].start_ns, 102 + i);  // oldest two gone, order preserved
+  }
+}
+
+// --- exporters (golden) ----------------------------------------------------
+
+TEST(ObsExport, PrometheusGolden) {
+  MetricRegistry reg;
+  reg.counter("requests_total", "Requests", {{"kind", "a"}}).inc(3);
+  reg.gauge("temp", "Temp").set(1.5);
+  Histogram& h = reg.histogram("lat", "Lat");
+  h.observe(1);
+  h.observe(3);
+  h.observe(100);
+
+  const std::string golden =
+      "# HELP lat Lat\n"
+      "# TYPE lat histogram\n"
+      "lat_bucket{le=\"1\"} 1\n"
+      "lat_bucket{le=\"4\"} 2\n"
+      "lat_bucket{le=\"128\"} 3\n"
+      "lat_bucket{le=\"+Inf\"} 3\n"
+      "lat_sum 104\n"
+      "lat_count 3\n"
+      "# HELP requests_total Requests\n"
+      "# TYPE requests_total counter\n"
+      "requests_total{kind=\"a\"} 3\n"
+      "# HELP temp Temp\n"
+      "# TYPE temp gauge\n"
+      "temp 1.5\n";
+  EXPECT_EQ(toPrometheus(reg.snapshot()), golden);
+}
+
+TEST(ObsExport, PrometheusEscapesLabelValues) {
+  MetricRegistry reg;
+  reg.counter("c_total", "h", {{"k", "a\"b\\c\nd"}}).inc();
+  const std::string text = toPrometheus(reg.snapshot());
+  EXPECT_NE(text.find("c_total{k=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+TraceEvent sampleEvent() {
+  TraceEvent e;
+  e.start_ns = 1500;
+  e.dur_ns = 250;
+  e.worker = 1;
+  e.clue_len = 24;
+  e.mode = 1;
+  e.outcome = Outcome::kCase2;
+  e.claim1_skip = true;
+  e.accesses[static_cast<std::size_t>(mem::Region::kClueTable)] = 1;
+  e.accesses[static_cast<std::size_t>(mem::Region::kFibEntry)] = 1;
+  return e;
+}
+
+TEST(ObsExport, JsonlGolden) {
+  const TraceEvent e = sampleEvent();
+  const std::string golden =
+      "{\"start_ns\":1500,\"dur_ns\":250,\"worker\":1,\"clue_len\":24,"
+      "\"mode\":1,\"outcome\":\"2\",\"claim1_skip\":true,"
+      "\"search_failed\":false,\"accesses\":{\"clue-table\":1,"
+      "\"fib-entry\":1},\"total_accesses\":2}\n";
+  EXPECT_EQ(toJsonl({&e, 1}), golden);
+}
+
+TEST(ObsExport, ChromeTraceGolden) {
+  const TraceEvent e = sampleEvent();
+  SpanEvent s;
+  s.start_ns = 1000;
+  s.dur_ns = 2000;
+  s.worker = 0;
+  s.packets = 32;
+
+  // Timestamps are epoch-normalised to the earliest event (1000ns here) and
+  // printed as microseconds with nanosecond precision.
+  const std::string golden =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"t\"}},\n"
+      "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"worker 0\"}},\n"
+      "{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":0.000,\"dur\":2.000,"
+      "\"name\":\"batch\",\"cat\":\"pipeline\",\"args\":{\"packets\":32}},\n"
+      "{\"ph\":\"M\",\"pid\":0,\"tid\":1,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"worker 1\"}},\n"
+      "{\"ph\":\"X\",\"pid\":0,\"tid\":1,\"ts\":0.500,\"dur\":0.250,"
+      "\"name\":\"lookup case 2\",\"cat\":\"lookup\",\"args\":{"
+      "\"outcome\":\"2\",\"clue_len\":24,\"accesses\":2,"
+      "\"claim1_skip\":true,\"search_failed\":false}}\n"
+      "]}\n";
+  EXPECT_EQ(toChromeTrace({&e, 1}, {&s, 1}, "t"), golden);
+}
+
+// --- hooks -----------------------------------------------------------------
+
+TEST(ObsHooks, LookupObsBindsTheFullFamilySet) {
+  MetricRegistry reg;
+  Tracer tracer(TraceOptions{}, 1, 0);
+  const LookupObs lo = LookupObs::bind(reg, /*shard=*/2, &tracer);
+  EXPECT_TRUE(lo.metricsEnabled());
+  ASSERT_NE(lo.packets, nullptr);
+  lo.packets->inc(5);
+  lo.cases[static_cast<std::size_t>(Outcome::kCase3)]->inc(2);
+  lo.accesses->shard(lo.shard).observe(4);
+
+  const MetricSnapshot snap = reg.snapshot();
+  const MetricSample* packets = snap.find("lookup_packets_total");
+  ASSERT_NE(packets, nullptr);
+  EXPECT_EQ(packets->counter_value, 5u);
+  const MetricSample* case3 = snap.find("lookup_case_total", {{"case", "3"}});
+  ASSERT_NE(case3, nullptr);
+  EXPECT_EQ(case3->counter_value, 2u);
+  const MetricSample* acc = snap.find("lookup_accesses");
+  ASSERT_NE(acc, nullptr);
+  EXPECT_EQ(acc->hist.count, 1u);
+
+  const LookupObs off;
+  EXPECT_FALSE(off.metricsEnabled());
+  EXPECT_FALSE(off.traceArmed());
+}
+
+TEST(ObsHooks, PublishAccessCounterMirrorsRegions) {
+  MetricRegistry reg;
+  mem::AccessCounter acc;
+  acc.add(mem::Region::kTrieNode, 7);
+  acc.add(mem::Region::kClueTable, 2);
+  publishAccessCounter(reg, acc);
+  const MetricSnapshot snap = reg.snapshot();
+  const MetricSample* trie =
+      snap.find("mem_accesses_total", {{"region", "trie-node"}});
+  ASSERT_NE(trie, nullptr);
+  EXPECT_EQ(trie->counter_value, 7u);
+  const MetricSample* clue =
+      snap.find("mem_accesses_total", {{"region", "clue-table"}});
+  ASSERT_NE(clue, nullptr);
+  EXPECT_EQ(clue->counter_value, 2u);
+}
+
+}  // namespace
+}  // namespace cluert::obs

@@ -49,5 +49,57 @@ TEST(Summary, AddAfterQueryResorts) {
   EXPECT_DOUBLE_EQ(s.min(), 5.0);
 }
 
+TEST(Summary, PercentileInterpolatesBetweenSamples) {
+  Summary s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 1.5);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 1.25);
+  Summary q;
+  for (double v : {10.0, 20.0, 30.0, 40.0}) q.add(v);
+  EXPECT_DOUBLE_EQ(q.percentile(50), 25.0);  // rank 1.5 of {10,20,30,40}
+  EXPECT_DOUBLE_EQ(q.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(q.percentile(100), 40.0);
+}
+
+TEST(Summary, MergeCombinesSamples) {
+  Summary a;
+  Summary b;
+  for (double v : {1.0, 2.0}) a.add(v);
+  for (double v : {3.0, 4.0}) b.add(v);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+  // b is untouched.
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Summary, MergeAfterQueryResorts) {
+  Summary a;
+  a.add(10.0);
+  EXPECT_DOUBLE_EQ(a.max(), 10.0);  // forces the sorted state
+  Summary b;
+  b.add(1.0);
+  b.add(30.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 30.0);
+  // Merging an empty summary is a no-op and keeps the sort valid.
+  a.merge(Summary{});
+  EXPECT_DOUBLE_EQ(a.percentile(100), 30.0);
+}
+
+TEST(Summary, Stddev) {
+  Summary s;
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);  // a single sample has no spread
+  Summary t;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) t.add(v);
+  EXPECT_DOUBLE_EQ(t.stddev(), 2.0);  // the classic population example
+}
+
 }  // namespace
 }  // namespace cluert

@@ -6,7 +6,10 @@
 #   2. clang-tidy           tools/run_tidy.sh (skips with a notice when
 #                           clang-tidy is not installed)
 #   3. sanitizer matrix     tools/run_sanitizers.sh (thread, address,
-#                           undefined over the concurrent + Check suites)
+#                           undefined over the concurrent + Check + Obs
+#                           suites)
+#   4. metrics tooling      tools/metrics_diff.py --self-test (the Prometheus
+#                           snapshot comparator that gates perf regressions)
 #
 # Exits nonzero on the first finding. This is what "CI green" means for this
 # repo; see README "Lint and sanitizer gates".
@@ -16,15 +19,18 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "=== [1/3] -Werror build + full test suite ==="
+echo "=== [1/4] -Werror build + full test suite ==="
 cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCLUERT_WERROR=ON
 cmake --build build-ci -j"$(nproc)"
 ctest --test-dir build-ci --output-on-failure
 
-echo "=== [2/3] clang-tidy ==="
+echo "=== [2/4] clang-tidy ==="
 tools/run_tidy.sh build-ci
 
-echo "=== [3/3] sanitizer matrix ==="
+echo "=== [3/4] sanitizer matrix ==="
 tools/run_sanitizers.sh
+
+echo "=== [4/4] metrics tooling self-test ==="
+python3 tools/metrics_diff.py --self-test
 
 echo "ci.sh: all gates green"

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Compare two Prometheus text-exposition snapshots and gate on regressions.
+
+The obs exporters (src/obs/export.cc) and the bench binaries emit metric
+snapshots (BENCH_throughput_metrics.prom, pipeline_metrics.prom). This tool
+diffs two such files series-by-series so a perf trajectory can be gated in
+CI: it exits nonzero when any matched series moved in the regression
+direction by more than the threshold.
+
+Usage:
+  tools/metrics_diff.py baseline.prom current.prom
+      [--threshold PCT]      relative-change gate, percent (default 5)
+      [--match REGEX]        only series whose name matches (default: all)
+      [--direction up|down|both]
+                             which movement is a regression (default up —
+                             right for cost metrics like accesses and
+                             latency, where bigger is worse)
+      [--min-base VALUE]     ignore series whose baseline is below this
+                             (default 1: tiny denominators make noise)
+  tools/metrics_diff.py --self-test
+
+A series is identified by its full exposition form, e.g.
+  lookup_case_total{case="3"}
+Histogram buckets are compared like any other series (their names carry
+_bucket/_sum/_count suffixes). Series present on only one side are reported
+but never gate — a new metric family is not a regression.
+"""
+
+import argparse
+import re
+import sys
+
+_LINE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?P<labels>\{[^}]*\})?'
+    r'\s+(?P<value>[^\s]+)'
+    r'(?:\s+\d+)?$'  # optional timestamp, ignored
+)
+
+
+def parse(text):
+    """Returns {series_key: float_value} for one exposition document."""
+    out = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith('#'):
+            continue
+        m = _LINE.match(line)
+        if m is None:
+            raise ValueError('line %d: unparseable sample: %r' % (lineno, line))
+        key = m.group('name') + (m.group('labels') or '')
+        raw = m.group('value')
+        if raw == '+Inf':
+            value = float('inf')
+        elif raw == '-Inf':
+            value = float('-inf')
+        else:
+            value = float(raw)
+        if key in out:
+            raise ValueError('line %d: duplicate series %s' % (lineno, key))
+        out[key] = value
+    return out
+
+
+def diff(base, cur, threshold_pct, direction, min_base, match):
+    """Returns (report_lines, regressions) comparing cur against base."""
+    report = []
+    regressions = []
+    matcher = re.compile(match) if match else None
+    for key in sorted(set(base) | set(cur)):
+        if matcher is not None and not matcher.search(key):
+            continue
+        if key not in base:
+            report.append('new     %-60s %g' % (key, cur[key]))
+            continue
+        if key not in cur:
+            report.append('gone    %-60s (was %g)' % (key, base[key]))
+            continue
+        b, c = base[key], cur[key]
+        if b == c:
+            continue
+        if b == 0 or abs(b) < min_base:
+            report.append('skip    %-60s %g -> %g (baseline below --min-base)'
+                          % (key, b, c))
+            continue
+        pct = (c - b) / abs(b) * 100.0
+        line = '%+8.2f%% %-60s %g -> %g' % (pct, key, b, c)
+        worse = (direction == 'both' and abs(pct) > threshold_pct) or \
+                (direction == 'up' and pct > threshold_pct) or \
+                (direction == 'down' and pct < -threshold_pct)
+        if worse:
+            regressions.append(line)
+        else:
+            report.append(line)
+    return report, regressions
+
+
+def self_test():
+    doc = '''\
+# HELP lookup_accesses Dependent memory accesses per lookup
+# TYPE lookup_accesses histogram
+lookup_accesses_bucket{le="1"} 10
+lookup_accesses_bucket{le="+Inf"} 12
+lookup_accesses_sum 30
+lookup_accesses_count 12
+# TYPE temp gauge
+temp 1.5
+up_total{router="1"} 7 1699999999
+'''
+    parsed = parse(doc)
+    assert parsed['lookup_accesses_bucket{le="1"}'] == 10.0
+    assert parsed['lookup_accesses_bucket{le="+Inf"}'] == 12.0
+    assert parsed['lookup_accesses_sum'] == 30.0
+    assert parsed['temp'] == 1.5
+    assert parsed['up_total{router="1"}'] == 7.0  # timestamp stripped
+    assert len(parsed) == 6
+
+    base = {'a': 100.0, 'b': 10.0, 'c': 5.0, 'gone': 1.0, 'tiny': 0.1}
+    cur = {'a': 104.0, 'b': 12.0, 'c': 5.0, 'new': 3.0, 'tiny': 9.0}
+    report, regressions = diff(base, cur, threshold_pct=5.0, direction='up',
+                               min_base=1.0, match=None)
+    # a: +4% under threshold; b: +20% regression; c unchanged;
+    # gone/new informational; tiny skipped by --min-base.
+    assert len(regressions) == 1 and ' b ' in regressions[0], regressions
+    assert any(r.startswith('new') for r in report)
+    assert any(r.startswith('gone') for r in report)
+    assert any(r.startswith('skip') for r in report)
+    assert not any(' c ' in r for r in report)
+
+    _, down = diff(base, cur, 5.0, 'down', 1.0, None)
+    assert down == []
+    _, both = diff({'x': 10.0}, {'x': 8.0}, 5.0, 'both', 1.0, None)
+    assert len(both) == 1
+
+    _, matched = diff(base, cur, 5.0, 'up', 1.0, match='^a$')
+    assert matched == []
+
+    try:
+        parse('!!! not a metric')
+    except ValueError:
+        pass
+    else:
+        raise AssertionError('parse accepted garbage')
+    print('metrics_diff.py: self-test OK')
+    return 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description='Diff two Prometheus snapshots, exit 1 on regression.')
+    ap.add_argument('baseline', nargs='?')
+    ap.add_argument('current', nargs='?')
+    ap.add_argument('--threshold', type=float, default=5.0,
+                    metavar='PCT', help='regression gate in percent')
+    ap.add_argument('--match', default=None, metavar='REGEX',
+                    help='only compare series matching this regex')
+    ap.add_argument('--direction', choices=('up', 'down', 'both'),
+                    default='up', help='which movement is a regression')
+    ap.add_argument('--min-base', type=float, default=1.0,
+                    help='skip series with |baseline| below this')
+    ap.add_argument('--self-test', action='store_true')
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        ap.error('baseline and current snapshots are required')
+
+    with open(args.baseline) as f:
+        base = parse(f.read())
+    with open(args.current) as f:
+        cur = parse(f.read())
+    report, regressions = diff(base, cur, args.threshold, args.direction,
+                               args.min_base, args.match)
+    for line in report:
+        print(line)
+    if regressions:
+        print('\n%d series regressed beyond %.1f%% (%s):'
+              % (len(regressions), args.threshold, args.direction))
+        for line in regressions:
+            print('  ' + line)
+        return 1
+    print('metrics_diff: no regression beyond %.1f%% across %d series'
+          % (args.threshold, len(set(base) & set(cur))))
+    return 0
+
+
+if __name__ == '__main__':
+    sys.exit(main(sys.argv[1:]))

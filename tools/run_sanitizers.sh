@@ -21,8 +21,10 @@ cd "$(dirname "$0")/.."
 
 # Concurrent suites plus the invariant-check suites (Check*): the validators
 # walk every structure they were written against, which is exactly the
-# pointer-chasing ASan/UBSan should watch.
-DEFAULT_FILTER="SpscRing|Pipeline|LookupBatch|DistributedLookup|RngForThread|AccessCounter|Check"
+# pointer-chasing ASan/UBSan should watch. Obs* covers the telemetry layer
+# (src/obs/) — its sharded-counter test hammers one Counter from 8 threads,
+# which is the TSan proof that the relaxed-atomic cell design is race-free.
+DEFAULT_FILTER="SpscRing|Pipeline|LookupBatch|DistributedLookup|RngForThread|AccessCounter|Check|Obs"
 
 SANITIZERS=()
 FILTER="$DEFAULT_FILTER"

@@ -15,3 +15,4 @@
 #include "check/report.h"        // IWYU pragma: export
 #include "check/segment_check.h" // IWYU pragma: export
 #include "check/trie_check.h"    // IWYU pragma: export
+#include "check/version_check.h" // IWYU pragma: export

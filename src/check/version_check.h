@@ -1,0 +1,18 @@
+// Validator for a published (or retired) rib::TableVersion: the composite
+// check VersionedTables runs on every retired version in debug builds. The
+// implementation lives next to the version type (rib/versioned_tables.h)
+// because it is also the updater's internal sanity gate; this header gives
+// it the check::validate() spelling the rest of the catalogue uses.
+#pragma once
+
+#include "check/report.h"
+#include "rib/versioned_tables.h"
+
+namespace cluert::check {
+
+template <typename A>
+Report validate(const rib::TableVersion<A>& version) {
+  return rib::validateVersion(version);
+}
+
+}  // namespace cluert::check

@@ -51,6 +51,34 @@ class ClueIndexer {
 };
 
 // ---------------------------------------------------------------------------
+// Control-plane entry construction (procedure new-clue of Figure 5), shared
+// by CluePort (learning, refresh after route updates) and the versioned
+// table builder (src/rib/versioned_tables.h), which constructs whole clue
+// tables for immutable snapshots without owning a port.
+// ---------------------------------------------------------------------------
+template <typename A>
+ClueEntry<A> buildClueEntry(const lookup::LookupSuite<A>& suite,
+                            const trie::BinaryTrie<A>* neighbor_trie,
+                            lookup::Method method, lookup::ClueMode mode,
+                            const ip::Prefix<A>& clue) {
+  const ClueAnalyzer<A> analyzer(suite.binaryTrie(), neighbor_trie);
+  const ClueAnalysis<A> a = mode == lookup::ClueMode::kAdvance
+                                ? analyzer.analyzeAdvance(clue)
+                                : analyzer.analyzeSimple(clue);
+  ClueEntry<A> e;
+  e.clue = clue;
+  e.valid = true;
+  e.fd = a.fd;
+  e.kase = a.kase;
+  e.claim1_pruned = a.claim1_pruned;
+  if (a.kase == ClueCase::kSearch) {
+    e.ptr_empty = false;
+    e.cont = suite.engine(method).makeContinuation(clue, a.candidates);
+  }
+  return e;
+}
+
+// ---------------------------------------------------------------------------
 // Receiver side.
 // ---------------------------------------------------------------------------
 template <typename A>
@@ -89,7 +117,8 @@ class CluePort {
   CluePort(lookup::LookupSuite<A>& local,
            const trie::BinaryTrie<A>* neighbor_trie, const Options& options)
       : options_(options),
-        suite_(local),
+        local_(&local),
+        suite_(&local),
         neighbor_trie_(neighbor_trie),
         hash_(options.expected_clues),
         indexed_(options.indexed ? options.indexed_capacity : 0),
@@ -103,6 +132,42 @@ class CluePort {
       local.annotateNeighbor(options.neighbor_index, *neighbor_trie);
     }
   }
+
+  // Unbound construction for the epoch-versioned data plane: the port owns
+  // only per-worker state (cache, stats, scratch) and borrows suite + clue
+  // table from a published TableVersion via bindVersion() — which MUST run
+  // before the first packet. No annotation happens here: versions arrive
+  // fully built (and must not be mutated).
+  explicit CluePort(const Options& options)
+      : options_(options),
+        hash_(options.expected_clues),
+        indexed_(options.indexed ? options.indexed_capacity : 0),
+        cache_(options.cache_entries) {
+    CLUERT_CHECK(options.mode != lookup::ClueMode::kCommon)
+        << "CluePort models the clue-assisted modes; use the engine directly "
+           "for Common lookups";
+  }
+
+  // Rebinds the data plane to an immutable published version: `suite` and
+  // `clues` are read-only from here on (lookups probe `clues` instead of the
+  // port-owned table; learning into the shared table is disabled — a miss
+  // routes by common lookup, §3.3.1's safe path). The per-worker §3.5 cache
+  // is version-stamped, so entries filled under another version are stale by
+  // construction and never served across a swap. O(1); called once per
+  // pinned PacketBatch.
+  void bindVersion(std::uint64_t seq, const lookup::LookupSuite<A>& suite,
+                   const HashClueTable<A>& clues,
+                   const trie::BinaryTrie<A>* neighbor_trie) {
+    suite_ = &suite;
+    shared_hash_ = &clues;
+    neighbor_trie_ = neighbor_trie;
+    cache_.setVersion(seq);
+    bound_seq_ = seq;
+  }
+
+  // The version currently bound (0 when the port runs unversioned).
+  std::uint64_t boundVersion() const { return bound_seq_; }
+  bool versionBound() const { return shared_hash_ != nullptr; }
 
   // Pre-processing construction (§3.3.2): install entries for every clue the
   // neighbor may send.
@@ -172,7 +237,7 @@ class CluePort {
                    out.subspan(half), acc);
       return;
     }
-    const auto& engine = suite_.engine(options_.method);
+    const auto& engine = suite_->engine(options_.method);
     // One virtual query per batch, not one virtual no-op call per packet.
     const bool engine_prefetches = engine.prefetchCapable();
     // Reused scratch (not a local array): Prepared is not trivially
@@ -190,7 +255,7 @@ class CluePort {
       if (options_.indexed && fields[i].index) {
         indexed_.prefetch(*fields[i].index);
       } else if (prep[i].cached == nullptr) {
-        hash_.prefetchSlot(prep[i].home_slot);
+        readTable().prefetchSlot(prep[i].home_slot);
       }
       // A table hit may still continue into the trie (case 3) or fall back
       // to a full lookup (miss); warming the first trie step costs nothing.
@@ -205,7 +270,7 @@ class CluePort {
   // heterogeneous networks) and for the Common baseline.
   std::optional<MatchT> lookupNoClue(const A& dest,
                                      mem::AccessCounter& acc) const {
-    return suite_.engine(options_.method).lookup(dest, acc);
+    return suite_->engine(options_.method).lookup(dest, acc);
   }
 
   // -- control plane: route updates and §3.4 marking ------------------------
@@ -222,8 +287,11 @@ class CluePort {
   // entries are those whose clue is on the changed prefix's path, and the
   // per-vertex Claim-1 booleans must be recomputed against the new view.
   void onNeighborRouteChanged(const PrefixT& changed) {
+    CLUERT_CHECK(local_ != nullptr)
+        << "route-change notification on a version-bound port; updates flow "
+           "through VersionedTables instead";
     if (options_.mode == lookup::ClueMode::kAdvance) {
-      suite_.annotateNeighbor(options_.neighbor_index, *neighbor_trie_);
+      local_->annotateNeighbor(options_.neighbor_index, *neighbor_trie_);
     }
     refreshRelated(changed);
   }
@@ -261,22 +329,8 @@ class CluePort {
   // Exposed for tests: the control-plane construction of one entry
   // (procedure new-clue of Figure 5).
   ClueEntry<A> makeEntry(const PrefixT& clue) const {
-    const ClueAnalyzer<A> analyzer(suite_.binaryTrie(), neighbor_trie_);
-    const ClueAnalysis<A> a = options_.mode == lookup::ClueMode::kAdvance
-                                  ? analyzer.analyzeAdvance(clue)
-                                  : analyzer.analyzeSimple(clue);
-    ClueEntry<A> e;
-    e.clue = clue;
-    e.valid = true;
-    e.fd = a.fd;
-    e.kase = a.kase;
-    e.claim1_pruned = a.claim1_pruned;
-    if (a.kase == ClueCase::kSearch) {
-      e.ptr_empty = false;
-      e.cont = suite_.engine(options_.method).makeContinuation(clue,
-                                                               a.candidates);
-    }
-    return e;
+    return buildClueEntry(*suite_, neighbor_trie_, options_.method,
+                          options_.mode, clue);
   }
 
  private:
@@ -291,6 +345,12 @@ class CluePort {
     std::size_t buckets = 0;               // hash_ geometry when slot was computed
   };
 
+  // The clue table the data plane probes: the version-bound shared table
+  // when one is attached, the port-owned (learning) table otherwise.
+  const HashClueTable<A>& readTable() const {
+    return shared_hash_ != nullptr ? *shared_hash_ : hash_;
+  }
+
   Prepared prepare(const A& dest, const ClueField& field) {
     Prepared p;
     p.clue = cluePrefix(dest, field);
@@ -299,8 +359,9 @@ class CluePort {
     // §3.5 cache: a fast-memory hit bypasses the DRAM probe entirely.
     p.cached = cache_.lookup(*p.clue);
     if (p.cached == nullptr) {
-      p.home_slot = hash_.homeSlot(*p.clue);
-      p.buckets = hash_.bucketCount();
+      const HashClueTable<A>& table = readTable();
+      p.home_slot = table.homeSlot(*p.clue);
+      p.buckets = table.bucketCount();
     }
     return p;
   }
@@ -321,7 +382,7 @@ class CluePort {
   Result finishResolve(Prepared& p, const A& dest, const ClueField& field,
                        mem::AccessCounter& acc) {
     ++stats_.packets;
-    const auto& engine = suite_.engine(options_.method);
+    const auto& engine = suite_->engine(options_.method);
     if (!p.clue) {
       ++stats_.no_clue;
       return Result{engine.lookup(dest, acc), false, false, false,
@@ -333,20 +394,21 @@ class CluePort {
       if (slot != nullptr && slot->valid && slot->clue == *p.clue) entry = slot;
     } else {
       entry = p.cached;
+      const HashClueTable<A>& table = readTable();
       // A cache fill from an earlier packet of this batch may have evicted
       // the slot since prepare(); treat that as the miss it now is.
       if (entry != nullptr && !(entry->valid && entry->clue == *p.clue)) {
         entry = nullptr;
-        p.home_slot = hash_.homeSlot(*p.clue);
-        p.buckets = hash_.bucketCount();
+        p.home_slot = table.homeSlot(*p.clue);
+        p.buckets = table.bucketCount();
       }
       if (entry == nullptr) {
         // Learning from an earlier packet of this batch may have grown the
         // table since prepare(); the slot is only valid for its geometry.
-        if (p.buckets != hash_.bucketCount()) {
-          p.home_slot = hash_.homeSlot(*p.clue);
+        if (p.buckets != table.bucketCount()) {
+          p.home_slot = table.homeSlot(*p.clue);
         }
-        entry = hash_.findFrom(p.home_slot, *p.clue, acc);
+        entry = table.findFrom(p.home_slot, *p.clue, acc);
         if (entry != nullptr && entry->active) cache_.fill(*entry);
       }
     }
@@ -436,6 +498,10 @@ class CluePort {
   }
 
   void learn(const PrefixT& clue, const ClueField& field) {
+    // A version-bound port must not mutate the shared table (it is immutable
+    // by contract and probed concurrently by other workers); misses already
+    // routed correctly via the common lookup above.
+    if (shared_hash_ != nullptr) return;
     ClueEntry<A> entry = makeEntry(clue);
     if (options_.indexed && field.index) {
       indexed_.put(*field.index, std::move(entry));
@@ -452,17 +518,32 @@ class CluePort {
 
   void refreshRelated(const PrefixT& changed) {
     cache_.clear();  // coarse but always safe
-    hash_.forEachMutable([&](ClueEntry<A>& e) {
-      if (related(e.clue, changed)) e = makeEntry(e.clue);
-    });
-    indexed_.forEachMutable([&](ClueEntry<A>& e) {
-      if (related(e.clue, changed)) e = makeEntry(e.clue);
-    });
+    // makeEntry returns entries with active=true; a §3.4-marked entry must
+    // stay out of use across the refresh (invalidateClue would otherwise be
+    // silently undone by any nearby route update).
+    const auto refresh = [&](ClueEntry<A>& e) {
+      if (!related(e.clue, changed)) return;
+      const bool was_active = e.active;
+      e = makeEntry(e.clue);
+      e.active = was_active;
+    };
+    hash_.forEachMutable(refresh);
+    indexed_.forEachMutable(refresh);
   }
 
   Options options_;
-  lookup::LookupSuite<A>& suite_;
-  const trie::BinaryTrie<A>* neighbor_trie_;
+  // Control-plane suite this port may mutate (annotations, refreshes);
+  // nullptr for version-bound ports, whose updates flow through
+  // VersionedTables instead.
+  lookup::LookupSuite<A>* local_ = nullptr;
+  // The suite the data plane reads. Starts as local_, retargeted by
+  // bindVersion() to the pinned TableVersion's suite.
+  const lookup::LookupSuite<A>* suite_ = nullptr;
+  // Non-null iff version-bound: the published (immutable) clue table the
+  // data plane probes instead of hash_.
+  const HashClueTable<A>* shared_hash_ = nullptr;
+  std::uint64_t bound_seq_ = 0;
+  const trie::BinaryTrie<A>* neighbor_trie_ = nullptr;
   HashClueTable<A> hash_;
   IndexedClueTable<A> indexed_;
   ClueCache<A> cache_;

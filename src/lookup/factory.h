@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "lookup/binary_interval_lookup.h"
@@ -18,11 +19,25 @@
 
 namespace cluert::lookup {
 
+// One bit per Method, for SuiteOptions::methods.
+constexpr std::uint32_t methodBit(Method m) {
+  return 1u << static_cast<std::uint32_t>(m);
+}
+inline constexpr std::uint32_t kAllMethodsMask = (1u << kMethodCount) - 1;
+
 struct SuiteOptions {
   unsigned multiway_fanout = MultiwayLookup<ip::Ip4Addr>::kDefaultFanout;
   // See IntervalLookupBase: candidate sets up to this size are scanned for
   // free ("same cache line as the clue entry", §4). 0 = disabled.
   unsigned inline_candidates = 0;
+  // Which engines the suite materialises (default: all six). The tries are
+  // always maintained — they are the source of truth — but every engine in
+  // the mask is reconstructed on each route update, so a suite that serves
+  // one data-plane method under churn should name just that method: the
+  // per-delta cost drops from rebuilding six snapshot structures over the
+  // whole table to rebuilding one. engine() on an unmaterialised method is
+  // a CLUERT_CHECK failure, not a silent stale answer.
+  std::uint32_t methods = kAllMethodsMask;
 };
 
 template <typename A>
@@ -45,7 +60,12 @@ class LookupSuite {
   const trie::BinaryTrie<A>& binaryTrie() const { return trie_; }
   const trie::PatriciaTrie<A>& patricia() const { return patricia_; }
 
-  const LookupEngine<A>& engine(Method m) const { return *engines_[idx(m)]; }
+  const LookupEngine<A>& engine(Method m) const {
+    CLUERT_CHECK(engines_[idx(m)] != nullptr)
+        << "method " << methodName(m)
+        << " is not materialised in this suite (SuiteOptions::methods)";
+    return *engines_[idx(m)];
+  }
 
   // Precomputes the per-vertex Claim-1 "continue" booleans for a neighbor
   // (§4), on both walkable structures. Must be called before running any
@@ -98,23 +118,58 @@ class LookupSuite {
     return erased;
   }
 
+  // Batched update: applies every removal and upsert to the tries, then
+  // reconstructs the snapshot-style engines ONCE. A FibDelta applied via
+  // insertRoute/eraseRoute pays one engine rebuild per route; under churn
+  // that per-route O(table) cost dominates, so the versioned-table builder
+  // and Router::applyRouteUpdate come through here. No-op on empty input.
+  void applyRouteDelta(std::span<const PrefixT> removals,
+                       std::span<const MatchT> upserts) {
+    if (removals.empty() && upserts.empty()) return;
+    bool changed = false;
+    for (const PrefixT& p : removals) {
+      const bool erased = trie_.erase(p);
+      patricia_.erase(p);
+      changed |= erased;
+    }
+    for (const MatchT& e : upserts) {
+      trie_.insert(e.prefix, e.next_hop);
+      patricia_.insert(e.prefix, e.next_hop);
+      changed = true;
+    }
+    if (changed) refreshAfterChange();
+  }
+
  private:
   static constexpr std::size_t idx(Method m) {
     return static_cast<std::size_t>(m);
   }
 
   void buildEngines() {
+    const auto want = [&](Method m) {
+      return (options_.methods & methodBit(m)) != 0;
+    };
     engines_[idx(Method::kRegular)] =
-        std::make_unique<BitTrieLookup<A>>(trie_);
+        want(Method::kRegular) ? std::make_unique<BitTrieLookup<A>>(trie_)
+                               : nullptr;
     engines_[idx(Method::kPatricia)] =
-        std::make_unique<PatriciaLookup<A>>(patricia_);
-    engines_[idx(Method::kBinary)] = std::make_unique<BinaryIntervalLookup<A>>(
-        trie_, options_.inline_candidates);
-    engines_[idx(Method::kMultiway)] = std::make_unique<MultiwayLookup<A>>(
-        trie_, options_.multiway_fanout, options_.inline_candidates);
-    engines_[idx(Method::kLogW)] = std::make_unique<LogWLookup<A>>(trie_);
+        want(Method::kPatricia)
+            ? std::make_unique<PatriciaLookup<A>>(patricia_)
+            : nullptr;
+    engines_[idx(Method::kBinary)] =
+        want(Method::kBinary) ? std::make_unique<BinaryIntervalLookup<A>>(
+                                    trie_, options_.inline_candidates)
+                              : nullptr;
+    engines_[idx(Method::kMultiway)] =
+        want(Method::kMultiway)
+            ? std::make_unique<MultiwayLookup<A>>(
+                  trie_, options_.multiway_fanout, options_.inline_candidates)
+            : nullptr;
+    engines_[idx(Method::kLogW)] =
+        want(Method::kLogW) ? std::make_unique<LogWLookup<A>>(trie_) : nullptr;
     engines_[idx(Method::kStride)] =
-        std::make_unique<StrideTrieLookup<A>>(trie_);
+        want(Method::kStride) ? std::make_unique<StrideTrieLookup<A>>(trie_)
+                              : nullptr;
   }
 
   void applyAnnotation(NeighborIndex neighbor,

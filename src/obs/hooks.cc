@@ -62,6 +62,38 @@ WorkerObs WorkerObs::bind(MetricRegistry& reg, std::size_t shard,
   return o;
 }
 
+ChurnObs ChurnObs::bind(MetricRegistry& reg, std::size_t shard,
+                        const Labels& extra) {
+  ChurnObs o;
+  o.shard = shard;
+  o.swaps = &reg.counter("rib_version_swaps_total",
+                         "Table versions published (atomic live-pointer swaps)",
+                         extra)
+                 .shard(shard);
+  o.full_rebuilds =
+      &reg.counter("rib_version_full_rebuilds_total",
+                   "Publishes that fell back to a full table rebuild because "
+                   "the delta exceeded the churn threshold",
+                   extra)
+           .shard(shard);
+  o.retired_validated =
+      &reg.counter("rib_version_retired_validated_total",
+                   "Retired versions run through check::validate before reuse",
+                   extra)
+           .shard(shard);
+  o.live_seq = &reg.gauge("rib_version_live_seq",
+                          "Sequence number of the currently live table version",
+                          extra);
+  o.apply_ns = &reg.histogram(
+      "rib_version_apply_ns",
+      "Nanoseconds building the next version (delta apply or full rebuild)",
+      extra);
+  o.grace_ns = &reg.histogram(
+      "rib_version_grace_ns",
+      "Nanoseconds waiting for readers to drain the retired version", extra);
+  return o;
+}
+
 void publishAccessCounter(MetricRegistry& reg,
                           const mem::AccessCounter& counter,
                           const Labels& extra) {

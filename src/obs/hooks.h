@@ -63,6 +63,26 @@ struct WorkerObs {
                         const Labels& extra = {});
 };
 
+// Control-plane instruments for the epoch-versioned publication scheme
+// (rib::VersionedTables). All cells live on the updater thread's shard:
+// publication is single-threaded by design, so no per-worker sharding is
+// needed — but the bundle keeps the bind-once discipline so the swap path
+// never takes the registry mutex.
+struct ChurnObs {
+  CounterCell* swaps = nullptr;          // versions published
+  CounterCell* full_rebuilds = nullptr;  // publishes past the churn threshold
+  CounterCell* retired_validated = nullptr;  // check::validate runs (debug)
+  Gauge* live_seq = nullptr;             // sequence number of the live version
+  Histogram* apply_ns = nullptr;         // delta apply + build, per publish
+  Histogram* grace_ns = nullptr;         // grace-period wait, per publish
+  std::size_t shard = 0;
+
+  bool enabled() const { return swaps != nullptr; }
+
+  static ChurnObs bind(MetricRegistry& reg, std::size_t shard = 0,
+                       const Labels& extra = {});
+};
+
 // Publishes a quiesced AccessCounter into the mem_accesses_total{region=...}
 // family (control-plane: called after the pipeline joined, or by
 // single-threaded drivers at end of run).

@@ -17,7 +17,13 @@ std::string formatStats(const PipelineStats& s) {
       static_cast<unsigned long long>(s.searched),
       static_cast<unsigned long long>(s.table_misses), s.worker_packets.min(),
       s.worker_packets.max());
-  return buf;
+  std::string line = buf;
+  if (s.version_changes > 0) {
+    std::snprintf(buf, sizeof(buf), " | %llu version swaps observed",
+                  static_cast<unsigned long long>(s.version_changes));
+    line += buf;
+  }
+  return line;
 }
 
 template class Pipeline<ip::Ip4Addr>;

@@ -97,6 +97,11 @@ struct PipelineStats {
   // workers' summaries). Populated only when the run traced (the batch
   // clock reads ride on the span instrumentation); empty otherwise.
   Summary batch_ns;
+
+  // Sum over shards of batches whose pinned table version differed from the
+  // shard's previous batch — how often the data plane actually observed a
+  // swap. Zero for unversioned runs.
+  std::uint64_t version_changes = 0;
 };
 
 // One-line human-readable rendering (pipeline.cc).
@@ -149,6 +154,35 @@ class Pipeline {
     }
   }
 
+  // Epoch-versioned construction (the churn-safe data plane): every shard
+  // gets an *unbound* port that borrows suite + clue table from the version
+  // it pins per batch, so a control-plane RouteUpdater can publish while
+  // run() is in flight. Learning and precompute() don't apply — versions
+  // arrive fully built, and a version-bound port never mutates the shared
+  // table (a clue-table miss routes via the common lookup).
+  Pipeline(rib::VersionedTables<A>& versions, const PipelineOptions& options)
+      : options_(sanitized(options)) {
+    CLUERT_CHECK(options_.workers <= rib::VersionedTables<A>::kMaxEpochWorkers)
+        << options_.workers << " workers exceed the epoch-slot array";
+    for (std::size_t w = 0; w < options_.workers; ++w) {
+      typename PortT::Options popt;
+      popt.method = options_.method;
+      popt.mode = options_.mode;
+      popt.learn = false;
+      popt.neighbor_index = options_.neighbor_index;
+      popt.expected_clues = options_.expected_clues;
+      popt.cache_entries = options_.cache_entries;
+      workers_.push_back(std::make_unique<WorkerT>(
+          w, options_.seed, options_.ring_batches,
+          std::make_unique<PortT>(popt), options_.backoff_sleep_us));
+      workers_.back()->bindVersions(&versions);
+      if (options_.registry != nullptr || options_.trace.enabled) {
+        workers_.back()->enableObs(options_.registry, options_.trace,
+                                   options_.seed);
+      }
+    }
+  }
+
   const PipelineOptions& options() const { return options_; }
   WorkerT& worker(std::size_t w) { return *workers_[w]; }
 
@@ -162,13 +196,34 @@ class Pipeline {
   // next hop chosen for in[i] (kNoNextHop: no route). Blocking: spawns the
   // worker threads, feeds, closes the rings, joins, aggregates.
   PipelineStats run(std::span<const Input> in, std::span<NextHop> out) {
+    return run(in, out, {});
+  }
+
+  // Versioned-run variant: `version_out`, when non-empty (sized like `out`),
+  // receives the sequence number of the table version each packet was
+  // resolved against — the churn oracle's ground truth for comparing out[i]
+  // with a quiescent lookup at that version.
+  PipelineStats run(std::span<const Input> in, std::span<NextHop> out,
+                    std::span<std::uint64_t> version_out) {
     CLUERT_CHECK(in.size() == out.size())
         << in.size() << " inputs vs " << out.size() << " out slots";
+    CLUERT_CHECK(version_out.empty() || version_out.size() == out.size())
+        << version_out.size() << " version slots vs " << out.size() << " out";
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<std::thread> threads;
     threads.reserve(workers_.size());
+    // The pipeline is reusable: reopen the rings the previous run() closed
+    // and zero the per-run counters, both while every shard is quiescent
+    // (workers joined last run; none spawned yet). Stats therefore describe
+    // THIS run, and a mid-stream worker can never mistake the previous
+    // run's close() for its own end-of-stream — that race silently dropped
+    // whole batches on reused pipelines.
     for (auto& w : workers_) {
-      threads.emplace_back([&w, out] { w->run(out); });
+      w->ring().reopen();
+      w->resetRunCounters();
+    }
+    for (auto& w : workers_) {
+      threads.emplace_back([&w, out, version_out] { w->run(out, version_out); });
     }
 
     // Feed: claim the next ring slot of the round-robin shard, fill the
@@ -282,6 +337,7 @@ class Pipeline {
       s.search_failed += ps.search_failed;
       s.worker_packets.add(static_cast<double>(w->packets()));
       s.batch_ns.merge(w->batchNs());
+      s.version_changes += w->versionChanges();
     }
     return s;
   }

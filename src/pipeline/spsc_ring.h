@@ -79,6 +79,12 @@ class SpscRing {
   // means drained.
   void close() { closed_.store(true, std::memory_order_release); }
 
+  // Reverts close() so the same ring can carry another stream (Pipeline
+  // reuses its shards across run() calls). Only valid while both sides are
+  // quiescent — after the consumer drained and joined, before the next
+  // producer/consumer pair starts.
+  void reopen() { closed_.store(false, std::memory_order_relaxed); }
+
   // -- consumer side --------------------------------------------------------
 
   // Non-blocking dequeue; false when the ring is empty.

@@ -22,6 +22,7 @@
 #include "obs/hooks.h"
 #include "pipeline/packet_batch.h"
 #include "pipeline/spsc_ring.h"
+#include "rib/versioned_tables.h"
 
 namespace cluert::pipeline {
 
@@ -69,6 +70,32 @@ class Worker {
     }
   }
 
+  // Attaches the epoch-versioned table source (control-plane, before
+  // run()). While attached, the worker pins one version per PacketBatch and
+  // rebinds its port to that version's suite + clue table — a batch never
+  // observes a half-applied delta, and the §3.5 cache invalidates itself on
+  // the version change.
+  void bindVersions(rib::VersionedTables<A>* versions) {
+    versions_ = versions;
+  }
+
+  // Swaps observed by this shard: batches whose pinned version differed
+  // from the previous batch's. Read after join.
+  std::uint64_t versionChanges() const { return version_changes_; }
+
+  // Zeroes the per-run counters so a reused shard reports this run only
+  // (Pipeline::run calls it before spawning the thread). `last_seq_` is
+  // deliberately kept: a version swap that happened *between* runs still
+  // counts as a change on the next run's first batch.
+  void resetRunCounters() {
+    acc_.reset();
+    packets_ = 0;
+    batches_ = 0;
+    version_changes_ = 0;
+    batch_ns_ = Summary{};
+    port_->resetStats();
+  }
+
   // Post-join access to the shard's trace rings (null when tracing is off).
   const obs::Tracer* tracer() const { return tracer_.get(); }
 
@@ -83,7 +110,11 @@ class Worker {
   // every packet's next hop to out[seq]. `out` is sized to the full input
   // stream; distinct workers write distinct slots, and the pipeline's join()
   // makes the writes visible to the caller.
-  void run(std::span<NextHop> out) {
+  // `version_out`, when non-empty, receives the sequence number of the
+  // version each packet was resolved against (0 for unversioned runs) —
+  // the churn oracle compares out[seq] against a quiescent lookup at
+  // version_out[seq].
+  void run(std::span<NextHop> out, std::span<std::uint64_t> version_out = {}) {
     std::array<A, kMaxBatch> dests;
     std::array<core::ClueField, kMaxBatch> clues;
     std::array<typename PortT::Result, kMaxBatch> results;
@@ -111,12 +142,28 @@ class Worker {
         dests[i] = (*batch)[i].dest;
         clues[i] = (*batch)[i].clue;
       }
+      // Pin one version for the whole batch. The guard spans the resolve
+      // and the out[] writes; its destruction (end of this iteration) is
+      // what lets the updater's grace period complete.
+      typename rib::VersionedTables<A>::ReadGuard guard;
+      if (versions_ != nullptr) {
+        guard = versions_->pin(id_);
+        if (guard->seq != last_seq_) {
+          last_seq_ = guard->seq;
+          ++version_changes_;
+        }
+        port_->bindVersion(guard->seq, *guard->suite, guard->clues,
+                           &guard->neighbor_trie);
+      }
       port_->processBatch({dests.data(), n}, {clues.data(), n},
                           {results.data(), n}, acc_);
+      const std::uint64_t seq = guard ? guard->seq : 0;
       for (std::size_t i = 0; i < n; ++i) {
         const auto& m = results[i].match;
         out[(*batch)[i].seq] = m ? m->next_hop : kNoNextHop;
+        if (!version_out.empty()) version_out[(*batch)[i].seq] = seq;
       }
+      guard = typename rib::VersionedTables<A>::ReadGuard();
       packets_ += n;
       ++batches_;
       if (spans) {
@@ -170,6 +217,9 @@ class Worker {
   std::unique_ptr<obs::Tracer> tracer_;  // owned here: single-writer ring
   obs::WorkerObs wobs_;
   Summary batch_ns_;
+  rib::VersionedTables<A>* versions_ = nullptr;
+  std::uint64_t last_seq_ = 0;
+  std::uint64_t version_changes_ = 0;
 };
 
 }  // namespace cluert::pipeline

@@ -40,6 +40,16 @@ class Fib {
     entries_.push_back(EntryT{prefix, next_hop});
   }
 
+  // Withdraws a route. Returns false when the prefix was not present.
+  bool remove(const PrefixT& prefix) {
+    const auto it =
+        std::find_if(entries_.begin(), entries_.end(),
+                     [&](const EntryT& e) { return e.prefix == prefix; });
+    if (it == entries_.end()) return false;
+    entries_.erase(it);
+    return true;
+  }
+
   std::span<const EntryT> entries() const { return entries_; }
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }

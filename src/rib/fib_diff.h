@@ -1,9 +1,13 @@
 // FIB delta computation: what changed between two versions of a table.
 // This is the unit of work a routing-protocol reconvergence hands to the
-// route-update machinery (LookupSuite::insertRoute/eraseRoute and
-// CluePort::onLocalRouteChanged / onNeighborRouteChanged).
+// route-update machinery — either the in-place path here
+// (LookupSuite::insertRoute/eraseRoute and CluePort::onLocalRouteChanged /
+// onNeighborRouteChanged) or the epoch-versioned publication path
+// (rib::VersionedTables / rib::RouteUpdater), which consumes FibDelta
+// batches on a dedicated updater thread.
 #pragma once
 
+#include <algorithm>
 #include <unordered_map>
 #include <vector>
 
@@ -14,10 +18,11 @@ namespace cluert::rib {
 template <typename A>
 struct FibDelta {
   using EntryT = typename Fib<A>::EntryT;
+  using PrefixT = typename Fib<A>::PrefixT;
 
-  std::vector<EntryT> added;             // prefix new in `next`
-  std::vector<typename Fib<A>::PrefixT> removed;  // prefix gone from `prev`
-  std::vector<EntryT> rerouted;          // same prefix, new next hop
+  std::vector<EntryT> added;     // prefix new in `next`
+  std::vector<PrefixT> removed;  // prefix gone from `prev`
+  std::vector<EntryT> rerouted;  // same prefix, new next hop
 
   bool empty() const {
     return added.empty() && removed.empty() && rerouted.empty();
@@ -27,31 +32,79 @@ struct FibDelta {
   }
 };
 
+using FibDelta4 = FibDelta<ip::Ip4Addr>;
+
+namespace detail {
+
+// Canonical (addr, length) order shared by every diff output vector, so a
+// delta is a pure function of the two tables — churn replays and the
+// versioned-table builders must not depend on hash-map iteration order.
+template <typename A>
+bool prefixLess(const ip::Prefix<A>& x, const ip::Prefix<A>& y) {
+  if (x.addr() != y.addr()) return x.addr() < y.addr();
+  return x.length() < y.length();
+}
+
+}  // namespace detail
+
 template <typename A>
 FibDelta<A> diff(const Fib<A>& prev, const Fib<A>& next) {
+  using PrefixT = typename Fib<A>::PrefixT;
   FibDelta<A> d;
-  std::unordered_map<typename Fib<A>::PrefixT, NextHop> old_routes;
-  old_routes.reserve(prev.size() * 2);
-  for (const auto& e : prev.entries()) old_routes.emplace(e.prefix, e.next_hop);
-  for (const auto& e : next.entries()) {
-    const auto it = old_routes.find(e.prefix);
+  // Last-wins collapse of both sides. entries() is deduplicated for tables
+  // built through the normalizing paths, but add()-built tables reach here
+  // too, and a duplicated prefix must not be double-counted (the old code
+  // erased on first sight, so a second occurrence of a surviving prefix
+  // would be misreported as `added`).
+  std::unordered_map<PrefixT, NextHop> old_routes;
+  old_routes.reserve(prev.size());
+  for (const auto& e : prev.entries()) old_routes[e.prefix] = e.next_hop;
+  std::unordered_map<PrefixT, NextHop> new_routes;
+  new_routes.reserve(next.size());
+  for (const auto& e : next.entries()) new_routes[e.prefix] = e.next_hop;
+
+  for (const auto& [prefix, nh] : new_routes) {
+    const auto it = old_routes.find(prefix);
     if (it == old_routes.end()) {
-      d.added.push_back(e);
-    } else {
-      if (it->second != e.next_hop) d.rerouted.push_back(e);
-      old_routes.erase(it);
+      d.added.push_back({prefix, nh});
+    } else if (it->second != nh) {
+      d.rerouted.push_back({prefix, nh});
     }
   }
-  d.removed.reserve(old_routes.size());
-  for (const auto& [prefix, nh] : old_routes) d.removed.push_back(prefix);
+  for (const auto& [prefix, nh] : old_routes) {
+    if (new_routes.find(prefix) == new_routes.end()) {
+      d.removed.push_back(prefix);
+    }
+  }
+
+  const auto entry_less = [](const auto& x, const auto& y) {
+    return detail::prefixLess<A>(x.prefix, y.prefix);
+  };
+  std::sort(d.added.begin(), d.added.end(), entry_less);
+  std::sort(d.rerouted.begin(), d.rerouted.end(), entry_less);
+  std::sort(d.removed.begin(), d.removed.end(), detail::prefixLess<A>);
   return d;
+}
+
+// Applies a delta to a plain table: prev + diff(prev, next) == next. Shared
+// by the versioned-table builder (both left-right buffers replay the same
+// deltas) and tests. Removals land before adds, mirroring applyLocalDelta.
+template <typename A>
+void applyDelta(Fib<A>& fib, const FibDelta<A>& d) {
+  if (d.empty()) return;
+  for (const auto& p : d.removed) fib.remove(p);
+  for (const auto& e : d.added) fib.add(e.prefix, e.next_hop);
+  for (const auto& e : d.rerouted) fib.add(e.prefix, e.next_hop);
 }
 
 // Applies a delta to a lookup suite and notifies a clue port. `SuiteT` is
 // lookup::LookupSuite<A>; `PortT` is core::CluePort<A> (templates avoid a
-// dependency cycle between rib and core).
+// dependency cycle between rib and core). Removals run before adds so no
+// transient state ever widens a prefix: a withdraw-then-announce of nested
+// prefixes must pass through the narrower table, never a wider one.
 template <typename A, typename SuiteT, typename PortT>
 void applyLocalDelta(const FibDelta<A>& d, SuiteT& suite, PortT& port) {
+  if (d.empty()) return;  // refreshAfterChange is O(table); skip clean diffs
   for (const auto& p : d.removed) {
     suite.eraseRoute(p);
     port.onLocalRouteChanged(p);
@@ -71,6 +124,7 @@ void applyLocalDelta(const FibDelta<A>& d, SuiteT& suite, PortT& port) {
 template <typename A, typename PortT>
 void applyNeighborDelta(const FibDelta<A>& d, trie::BinaryTrie<A>& t1,
                         PortT& port) {
+  if (d.empty()) return;
   for (const auto& p : d.removed) {
     t1.erase(p);
     port.onNeighborRouteChanged(p);

@@ -1,0 +1,127 @@
+// The dedicated updater thread of the control-plane/data-plane split: a
+// routing-protocol front end (or a churn generator) enqueues FibDelta
+// batches; this thread consumes them in order and drives
+// VersionedTables::publishLocal / publishNeighbor. Publication is
+// single-threaded by construction — the queue is the only synchronization
+// the control plane needs, and the data plane never blocks on it.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/stats.h"
+#include "rib/fib_diff.h"
+#include "rib/versioned_tables.h"
+
+namespace cluert::rib {
+
+template <typename A>
+class RouteUpdater {
+ public:
+  explicit RouteUpdater(VersionedTables<A>& tables) : tables_(tables) {
+    thread_ = std::thread([this] { run(); });
+  }
+
+  RouteUpdater(const RouteUpdater&) = delete;
+  RouteUpdater& operator=(const RouteUpdater&) = delete;
+
+  ~RouteUpdater() { stop(); }
+
+  // Hands a receiver-side (local) or sender-side (neighbor) delta to the
+  // updater. Returns immediately; the publish happens asynchronously, in
+  // enqueue order.
+  void enqueueLocal(FibDelta<A> d) { enqueue(std::move(d), /*neighbor=*/false); }
+  void enqueueNeighbor(FibDelta<A> d) {
+    enqueue(std::move(d), /*neighbor=*/true);
+  }
+
+  // Drains the queue (every enqueued delta is published) and joins the
+  // thread. Idempotent.
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  // Deltas published so far (reads are racy while the thread runs; exact
+  // after stop()).
+  std::uint64_t published() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return published_;
+  }
+
+  // Enqueue-to-publish latency, nanoseconds per delta. Call after stop().
+  Summary latencyNs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return latency_ns_;
+  }
+
+ private:
+  struct Item {
+    FibDelta<A> delta;
+    bool neighbor = false;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void enqueue(FibDelta<A> d, bool neighbor) {
+    if (d.empty()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      CLUERT_CHECK(!stopping_) << "enqueue after RouteUpdater::stop()";
+      queue_.push_back(
+          Item{std::move(d), neighbor, std::chrono::steady_clock::now()});
+    }
+    cv_.notify_one();
+  }
+
+  void run() {
+    for (;;) {
+      Item item;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping and drained
+        item = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      // Publish outside the lock: the grace-period wait must never hold the
+      // queue mutex (enqueuers would stall behind slow readers).
+      if (item.neighbor) {
+        tables_.publishNeighbor(item.delta);
+      } else {
+        tables_.publishLocal(item.delta);
+      }
+      const auto done = std::chrono::steady_clock::now();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++published_;
+        latency_ns_.add(static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                done - item.enqueued)
+                .count()));
+      }
+    }
+  }
+
+  VersionedTables<A>& tables_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Item> queue_;
+  bool stopping_ = false;
+  std::uint64_t published_ = 0;
+  Summary latency_ns_;
+  std::thread thread_;
+};
+
+using RouteUpdater4 = RouteUpdater<ip::Ip4Addr>;
+
+}  // namespace cluert::rib

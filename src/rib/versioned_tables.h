@@ -1,0 +1,485 @@
+// Epoch-versioned table publication: the control-plane/data-plane split that
+// lets route updates run while pipeline workers keep forwarding (the
+// dynamics the paper's §3.4 assumes but never spells out).
+//
+// Scheme (left-right double buffering + epoch-based reclamation):
+//
+//   * Two TableVersion buffers. One is *live* — reachable through an atomic
+//     pointer, immutable by contract, read by every worker. The other is the
+//     *shadow*, owned exclusively by the updater thread.
+//   * publishLocal()/publishNeighbor() apply a FibDelta to the shadow
+//     (incrementally — one engine rebuild per batch, not per route — or via
+//     full rebuild past the churn threshold), stamp a fresh sequence number,
+//     and swap the live pointer. The retired buffer then waits out a grace
+//     period, is validated against the invariant checkers in debug builds,
+//     and finally catches up by replaying the same delta — becoming the next
+//     shadow. Steady-state cost per publish is O(delta + affected clue
+//     entries), never O(two full tables).
+//   * Workers pin a version per PacketBatch with pin(worker): the per-worker
+//     epoch counter goes odd (pinned) before the live pointer is read, and
+//     even again when the ReadGuard drops. The grace period waits only for
+//     slots that were odd at swap time to *change* — readers that pinned the
+//     new version never block the updater.
+//
+// Memory-ordering argument (the classic store-buffering pair):
+//   reader: epoch.fetch_add(seq_cst);  live.load(seq_cst)
+//   writer: live.store(seq_cst) [via exchange];  epoch.load(seq_cst)
+// Sequential consistency on the four accesses forbids the outcome where the
+// reader holds the retired version but the writer saw its slot quiescent.
+// The guard's exit is a release so the version's reads happen-before the
+// counter change the updater observes.
+//
+// Correctness across swaps for in-flight clues (the Simple-analysis
+// argument, spelled out in DESIGN.md §7): a packet's clue was computed
+// against *some* sender table, but every entry of a published version is
+// derived purely from that version's receiver table; for any clue that is a
+// prefix of the destination, Simple analysis yields exactly
+// BMP_receiver(dest), so a clue that straddles a swap is never wrong —
+// merely a version older or newer than the sender intended, each
+// self-consistent. Advance adds Claim-1 pruning against the sender's table,
+// which is only safe when the sender's view is the one the clue was built
+// from — so under *sender*-side churn with in-flight packets, run Simple.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "check/clue_check.h"
+#include "check/fib_check.h"
+#include "check/report.h"
+#include "check/trie_check.h"
+#include "common/check.h"
+#include "core/clue_table.h"
+#include "core/distributed_lookup.h"
+#include "lookup/factory.h"
+#include "obs/hooks.h"
+#include "obs/trace.h"
+#include "rib/fib.h"
+#include "rib/fib_diff.h"
+
+namespace cluert::rib {
+
+// One immutable-once-published snapshot of everything a data-plane worker
+// reads: the receiver's lookup structures, the clue table derived from them,
+// and the sender's prefix view the Advance analysis consulted.
+template <typename A>
+struct TableVersion {
+  std::uint64_t seq = 0;
+  Fib<A> local;     // receiver table this version was built from
+  Fib<A> neighbor;  // sender table (the clue universe)
+  trie::BinaryTrie<A> neighbor_trie;
+  std::unique_ptr<lookup::LookupSuite<A>> suite;
+  core::HashClueTable<A> clues{0};
+  lookup::Method method = lookup::Method::kPatricia;
+  lookup::ClueMode mode = lookup::ClueMode::kSimple;
+  NeighborIndex neighbor_index = 0;
+};
+
+// Re-derives every invariant of a version from scratch: FIB well-formedness,
+// FIB <-> trie agreement, trie structure, and field-by-field clue-entry
+// consistency (FD/Ptr/Claim-1, probe chains, continuation anchors — the
+// anchor checks are what catch a stale engine pointer surviving a rebuild).
+// Run on every *retired* version in debug builds before its buffer is
+// reused, so a publication bug is caught one swap after it happens.
+template <typename A>
+check::Report validateVersion(const TableVersion<A>& v) {
+  check::Report report = check::validate(v.local);
+  report.merge(check::validateConsistent(v.local, v.suite->binaryTrie()));
+  report.merge(check::validate(v.suite->binaryTrie()));
+  report.merge(check::validate(v.suite->patricia()));
+  const trie::BinaryTrie<A>* t1 =
+      v.mode == lookup::ClueMode::kAdvance ? &v.neighbor_trie : nullptr;
+  report.merge(
+      check::validate(v.clues, v.suite->binaryTrie(), t1, &v.suite->patricia()));
+  return report;
+}
+
+template <typename A>
+class VersionedTables {
+ public:
+  using PrefixT = ip::Prefix<A>;
+  using EntryT = typename Fib<A>::EntryT;
+
+  // Upper bound on concurrently pinning workers (one padded epoch slot
+  // each); a hard CLUERT_CHECK, not a silent truncation.
+  static constexpr std::size_t kMaxEpochWorkers = 32;
+
+  struct Options {
+    lookup::Method method = lookup::Method::kPatricia;
+    lookup::ClueMode mode = lookup::ClueMode::kSimple;
+    NeighborIndex neighbor_index = 0;
+    // Deltas touching more than this fraction of the receiver table fall
+    // back to a full rebuild: past that point re-deriving everything is
+    // cheaper than patching, and it sheds accumulated §3.4-inactive slots.
+    double full_rebuild_fraction = 0.25;
+    // Run validateVersion() on every retired version (defaults on in debug
+    // builds, off in NDEBUG — it re-derives every clue entry).
+#ifdef NDEBUG
+    bool validate_retired = false;
+#else
+    bool validate_retired = true;
+#endif
+    obs::MetricRegistry* registry = nullptr;
+    // Runs on the updater thread immediately after each swap, with the
+    // just-published (live, immutable) version. This is the hook the churn
+    // oracle uses to record expected next hops per sequence number.
+    std::function<void(const TableVersion<A>&)> on_publish;
+  };
+
+  // Builds both buffers from the initial tables (clue entries precomputed
+  // for the sender's full prefix universe, §3.3.2) and publishes seq 1.
+  VersionedTables(const Fib<A>& local, const Fib<A>& neighbor,
+                  const Options& options)
+      : options_(options) {
+    if (options_.registry != nullptr) {
+      churn_obs_ = obs::ChurnObs::bind(*options_.registry);
+    }
+    for (auto& buf : buf_) {
+      buildFull(buf, local, neighbor);
+      buf.seq = 1;
+    }
+    live_.store(&buf_[0], std::memory_order_seq_cst);
+    shadow_ = 1;
+    seq_ = 1;
+    if (churn_obs_.enabled()) churn_obs_.live_seq->set(1.0);
+  }
+
+  VersionedTables(const VersionedTables&) = delete;
+  VersionedTables& operator=(const VersionedTables&) = delete;
+
+  // -- data plane (any worker thread) ---------------------------------------
+
+  // Holds one pinned version; the updater's grace period cannot complete
+  // while a guard from an earlier swap is alive. Scope it to one
+  // PacketBatch: pin, resolve the whole batch against *guard, drop.
+  class ReadGuard {
+   public:
+    ReadGuard() = default;
+    ReadGuard(const TableVersion<A>* v, std::atomic<std::uint64_t>* slot)
+        : v_(v), slot_(slot) {}
+    ReadGuard(ReadGuard&& o) noexcept : v_(o.v_), slot_(o.slot_) {
+      o.v_ = nullptr;
+      o.slot_ = nullptr;
+    }
+    ReadGuard& operator=(ReadGuard&& o) noexcept {
+      if (this != &o) {
+        unpin();
+        v_ = o.v_;
+        slot_ = o.slot_;
+        o.v_ = nullptr;
+        o.slot_ = nullptr;
+      }
+      return *this;
+    }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+    ~ReadGuard() { unpin(); }
+
+    const TableVersion<A>& operator*() const { return *v_; }
+    const TableVersion<A>* operator->() const { return v_; }
+    explicit operator bool() const { return v_ != nullptr; }
+
+   private:
+    void unpin() {
+      // Release: every read of *v_ happens-before the counter turns even.
+      if (slot_ != nullptr) slot_->fetch_add(1, std::memory_order_release);
+    }
+    const TableVersion<A>* v_ = nullptr;
+    std::atomic<std::uint64_t>* slot_ = nullptr;
+  };
+
+  ReadGuard pin(std::size_t worker) {
+    CLUERT_CHECK(worker < kMaxEpochWorkers)
+        << "worker " << worker << " exceeds the " << kMaxEpochWorkers
+        << "-slot epoch array";
+    std::atomic<std::uint64_t>& slot = epochs_[worker].v;
+    // Odd = pinned. seq_cst orders this before the live_ load against the
+    // updater's seq_cst exchange/scan (see file comment).
+    slot.fetch_add(1, std::memory_order_seq_cst);
+    return ReadGuard(live_.load(std::memory_order_seq_cst), &slot);
+  }
+
+  std::uint64_t liveSeq() const {
+    return live_.load(std::memory_order_seq_cst)->seq;
+  }
+
+  // -- control plane (the single updater thread) ----------------------------
+
+  // Applies a receiver-side delta and publishes the next version. Returns
+  // the new sequence number (unchanged when the delta is empty).
+  std::uint64_t publishLocal(const FibDelta<A>& d) {
+    if (d.empty()) return seq_;
+    return publishWith([&](TableVersion<A>& v) { return applyLocal(v, d); });
+  }
+
+  // Sender-side counterpart: maintains the neighbor view and the §3.4
+  // markings (withdrawn clues go inactive, probe chains intact; announced
+  // clues get fresh entries).
+  std::uint64_t publishNeighbor(const FibDelta<A>& d) {
+    if (d.empty()) return seq_;
+    return publishWith([&](TableVersion<A>& v) { return applyNeighbor(v, d); });
+  }
+
+  // Control-plane peek at the live version. Safe from the updater thread
+  // (only it can retire the pointee) or any thread while no publisher runs.
+  const TableVersion<A>& liveVersion() const {
+    return *live_.load(std::memory_order_seq_cst);
+  }
+
+  std::uint64_t swaps() const { return swaps_; }
+  std::uint64_t fullRebuilds() const { return full_rebuilds_; }
+
+ private:
+  struct alignas(64) EpochSlot {
+    std::atomic<std::uint64_t> v{0};
+  };
+
+  // The one publication cycle every update goes through. `apply` mutates a
+  // buffer and reports whether it took the full-rebuild path.
+  template <typename ApplyFn>
+  std::uint64_t publishWith(ApplyFn&& apply) {
+    TableVersion<A>& next = buf_[shadow_];
+    const std::uint64_t t0 = obs::Tracer::nowNs();
+    const bool full = apply(next);
+    next.seq = ++seq_;
+    const std::uint64_t t1 = obs::Tracer::nowNs();
+
+    TableVersion<A>* retired =
+        live_.exchange(&next, std::memory_order_seq_cst);
+    shadow_ ^= 1;
+    ++swaps_;
+    if (full) ++full_rebuilds_;
+    if (options_.on_publish) options_.on_publish(next);
+
+    waitForReaders();
+    const std::uint64_t t2 = obs::Tracer::nowNs();
+
+    if (options_.validate_retired) {
+      const check::Report report = validateVersion(*retired);
+      CLUERT_CHECK(report.ok())
+          << "retired version " << retired->seq
+          << " failed validation:\n" << report.toString();
+      ++retired_validations_;
+      if (churn_obs_.enabled()) churn_obs_.retired_validated->inc();
+    }
+    // Catch the retired buffer up: replaying the identical apply against the
+    // identical predecessor state lands it in the identical state — the two
+    // buffers advance in lockstep, one publish apart.
+    apply(*retired);
+    retired->seq = next.seq;
+
+    if (churn_obs_.enabled()) {
+      churn_obs_.swaps->inc();
+      if (full) churn_obs_.full_rebuilds->inc();
+      churn_obs_.live_seq->set(static_cast<double>(next.seq));
+      churn_obs_.apply_ns->shard(churn_obs_.shard).observe(t1 - t0);
+      churn_obs_.grace_ns->shard(churn_obs_.shard).observe(t2 - t1);
+    }
+    return next.seq;
+  }
+
+  // Grace period: a slot that was odd (pinned) at swap time may still be
+  // reading the retired version; wait until its counter moves. Slots that
+  // are even, or that pin *after* the swap (they see the new live pointer),
+  // never block.
+  // Waiting escalates yield -> sleep: a yielding thread is still runnable,
+  // and on a host with fewer cores than threads it keeps winning timeslices
+  // the pinned reader needs to finish its batch — the sleep hands the core
+  // over outright. Grace is off the data path, so the extra latency is free.
+  void waitForReaders() {
+    for (EpochSlot& s : epochs_) {
+      const std::uint64_t e = s.v.load(std::memory_order_seq_cst);
+      if ((e & 1) == 0) continue;
+      std::uint64_t streak = 0;
+      while (s.v.load(std::memory_order_acquire) == e) {
+        if (++streak < 16) {
+          std::this_thread::yield();
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+      }
+    }
+  }
+
+  void buildFull(TableVersion<A>& v, const Fib<A>& local,
+                 const Fib<A>& neighbor) {
+    v.method = options_.method;
+    v.mode = options_.mode;
+    v.neighbor_index = options_.neighbor_index;
+    v.local = local;
+    v.neighbor = neighbor;
+    v.neighbor_trie = neighbor.buildTrie();
+    const auto entries = local.entries();
+    // Materialise only the engine this version serves: every engine in the
+    // suite's mask is reconstructed per publish, and a versioned table is
+    // pinned to one method for its lifetime — the others would be rebuilt
+    // on every delta and read never.
+    lookup::SuiteOptions sopt;
+    sopt.methods = lookup::methodBit(options_.method);
+    v.suite = std::make_unique<lookup::LookupSuite<A>>(
+        std::vector<EntryT>{entries.begin(), entries.end()}, sopt);
+    if (v.mode == lookup::ClueMode::kAdvance) {
+      v.suite->annotateNeighbor(v.neighbor_index, v.neighbor_trie);
+    }
+    // Fresh clue table over the sender's prefix universe. §3.4-inactive
+    // entries are *dropped* here, not carried over: a missing entry is a
+    // miss, and a miss routes correctly via the common lookup.
+    v.clues = core::HashClueTable<A>(neighbor.size() + 16);
+    for (const PrefixT& c : neighbor.prefixes()) {
+      v.clues.insert(buildEntry(v, c));
+    }
+  }
+
+  core::ClueEntry<A> buildEntry(const TableVersion<A>& v,
+                                const PrefixT& clue) const {
+    return core::buildClueEntry<A>(*v.suite, &v.neighbor_trie, v.method,
+                                   v.mode, clue);
+  }
+
+  static bool related(const PrefixT& clue, const PrefixT& changed) {
+    return clue.isPrefixOf(changed) || changed.isPrefixOf(clue);
+  }
+
+  bool wantsFullRebuild(const TableVersion<A>& v,
+                        const FibDelta<A>& d) const {
+    const double threshold =
+        options_.full_rebuild_fraction *
+        static_cast<double>(v.local.size() > 0 ? v.local.size() : 1);
+    return static_cast<double>(d.size()) > threshold;
+  }
+
+  // Receiver-side apply. Returns true when it took the full-rebuild path.
+  bool applyLocal(TableVersion<A>& v, const FibDelta<A>& d) {
+    if (wantsFullRebuild(v, d)) {
+      Fib<A> local = v.local;
+      applyDelta(local, d);
+      buildFull(v, local, v.neighbor);
+      return true;
+    }
+    applyDelta(v.local, d);
+    std::vector<EntryT> upserts;
+    upserts.reserve(d.added.size() + d.rerouted.size());
+    upserts.insert(upserts.end(), d.added.begin(), d.added.end());
+    upserts.insert(upserts.end(), d.rerouted.begin(), d.rerouted.end());
+    // One engine rebuild for the whole batch (vs one per route through
+    // insertRoute/eraseRoute) — the point of the batched suite API.
+    v.suite->applyRouteDelta(d.removed, upserts);
+    // Refresh clue entries. Entries related to a changed prefix always need
+    // it (their FD or candidate set moved). Case-3 continuation anchors are
+    // method-dependent: kRegular/kPatricia anchor the *tries*, which the
+    // suite patches in place (a structural change at an anchor implies a
+    // related() prefix changed, so the first class already covers it);
+    // kBinary/kMultiway candidate tables are entry-owned shared_ptrs; kLogW
+    // stores only a length bound. Only kStride anchors nodes the engine
+    // rebuild frees — there, *every* case-3 entry must be rebuilt or the
+    // stale anchor is a use-after-free, which is exactly what the
+    // retired-version anchor validation would flag. Keeping the refresh
+    // related()-only for the other methods is what makes a publish
+    // O(delta), not O(clue table).
+    const bool anchors_dangle = v.method == lookup::Method::kStride;
+    v.clues.forEachMutable([&](core::ClueEntry<A>& e) {
+      bool needs = anchors_dangle && e.kase == core::ClueCase::kSearch;
+      if (!needs) {
+        for (const PrefixT& p : d.removed) {
+          if (related(e.clue, p)) {
+            needs = true;
+            break;
+          }
+        }
+      }
+      if (!needs) {
+        for (const EntryT& u : upserts) {
+          if (related(e.clue, u.prefix)) {
+            needs = true;
+            break;
+          }
+        }
+      }
+      if (needs) {
+        const bool was_active = e.active;  // preserve §3.4 marking
+        e = buildEntry(v, e.clue);
+        e.active = was_active;
+      }
+    });
+    return false;
+  }
+
+  // Sender-side apply: update the neighbor view, mark withdrawn clues
+  // inactive (§3.4 — removal would break open-addressing probe chains),
+  // install entries for announcements, and refresh what Claim 1 depended on.
+  bool applyNeighbor(TableVersion<A>& v, const FibDelta<A>& d) {
+    if (wantsFullRebuild(v, d)) {
+      Fib<A> neighbor = v.neighbor;
+      applyDelta(neighbor, d);
+      buildFull(v, v.local, neighbor);
+      return true;
+    }
+    applyDelta(v.neighbor, d);
+    for (const PrefixT& p : d.removed) v.neighbor_trie.erase(p);
+    for (const EntryT& e : d.added) v.neighbor_trie.insert(e.prefix, e.next_hop);
+    for (const EntryT& e : d.rerouted) {
+      v.neighbor_trie.insert(e.prefix, e.next_hop);
+    }
+    if (v.mode == lookup::ClueMode::kAdvance) {
+      // Claim-1 continue bits are per-vertex state on the suite's tries;
+      // recompute them against the moved neighbor view. In-place: engine
+      // anchors stay valid (no engine rebuild happens here).
+      v.suite->annotateNeighbor(v.neighbor_index, v.neighbor_trie);
+    }
+    for (const PrefixT& p : d.removed) v.clues.setActive(p, false);
+    for (const EntryT& e : d.added) {
+      if (core::ClueEntry<A>* slot = v.clues.findMutable(e.prefix)) {
+        *slot = buildEntry(v, e.prefix);  // re-announce: fresh and active
+      } else {
+        v.clues.insert(buildEntry(v, e.prefix));
+      }
+    }
+    if (v.mode == lookup::ClueMode::kAdvance) {
+      // Claim-1 pruning consults the sender's subtree below each clue; any
+      // entry related to a changed prefix may prune differently now.
+      v.clues.forEachMutable([&](core::ClueEntry<A>& e) {
+        bool needs = false;
+        for (const PrefixT& p : d.removed) {
+          if (related(e.clue, p)) {
+            needs = true;
+            break;
+          }
+        }
+        if (!needs) {
+          for (const EntryT& u : d.added) {
+            if (related(e.clue, u.prefix)) {
+              needs = true;
+              break;
+            }
+          }
+        }
+        if (needs) {
+          const bool was_active = e.active;
+          e = buildEntry(v, e.clue);
+          e.active = was_active;
+        }
+      });
+    }
+    return false;
+  }
+
+  Options options_;
+  TableVersion<A> buf_[2];
+  std::atomic<TableVersion<A>*> live_{nullptr};
+  std::size_t shadow_ = 1;       // updater-owned buffer index
+  std::uint64_t seq_ = 0;        // updater-owned sequence counter
+  std::uint64_t swaps_ = 0;
+  std::uint64_t full_rebuilds_ = 0;
+  std::uint64_t retired_validations_ = 0;
+  EpochSlot epochs_[kMaxEpochWorkers];
+  obs::ChurnObs churn_obs_;
+};
+
+using VersionedTables4 = VersionedTables<ip::Ip4Addr>;
+
+}  // namespace cluert::rib

@@ -138,6 +138,75 @@ TEST(ClueCache, ClearedOnRouteChange) {
   EXPECT_GE(acc2.total(), 1u);           // cache was dropped: DRAM again
 }
 
+TEST(ClueCache, CapacityRoundsClampsAndDisables) {
+  // 0 disables outright; tiny requests round up to a power of two; huge
+  // requests (including the SIZE_MAX overflow bait) clamp to kMaxSlots
+  // instead of wrapping bit_ceil around to zero.
+  EXPECT_EQ(ClueCache<A>(0).capacity(), 0u);
+  EXPECT_FALSE(ClueCache<A>(0).enabled());
+  EXPECT_EQ(ClueCache<A>(1).capacity(), 1u);
+  EXPECT_EQ(ClueCache<A>(3).capacity(), 4u);
+  EXPECT_EQ(ClueCache<A>(64).capacity(), 64u);
+  EXPECT_EQ(ClueCache<A>(ClueCache<A>::kMaxSlots).capacity(),
+            ClueCache<A>::kMaxSlots);
+  EXPECT_EQ(ClueCache<A>(ClueCache<A>::kMaxSlots + 1).capacity(),
+            ClueCache<A>::kMaxSlots);
+  EXPECT_EQ(ClueCache<A>(std::numeric_limits<std::size_t>::max()).capacity(),
+            ClueCache<A>::kMaxSlots);
+}
+
+TEST(ClueCache, SetVersionInvalidatesOnlyOnChange) {
+  ClueCache<A> cache(16);
+  ClueEntry<A> e;
+  e.clue = p4("10.0.0.0/8");
+  e.valid = true;
+  e.fd = MatchT{p4("10.0.0.0/8"), 7};
+  cache.fill(e);
+  ASSERT_NE(cache.lookup(e.clue), nullptr);
+
+  const auto gen = cache.generation();
+  cache.setVersion(1);  // first bind: entries predate any version -> flush
+  EXPECT_NE(cache.generation(), gen);
+  EXPECT_EQ(cache.lookup(e.clue), nullptr);
+
+  cache.fill(e);
+  cache.setVersion(1);  // same version re-bound: cache survives
+  ASSERT_NE(cache.lookup(e.clue), nullptr);
+  cache.setVersion(2);  // swap: everything cached under v1 is gone
+  EXPECT_EQ(cache.lookup(e.clue), nullptr);
+  EXPECT_EQ(cache.version(), 2u);
+}
+
+// Regression for the route-churn staleness bug: a withdrawn local route must
+// never be served out of the §3.5 cache afterwards.
+TEST(ClueCache, WithdrawnRouteNotServedFromCache) {
+  trie::BinaryTrie<A> t1;
+  t1.insert(p4("10.1.0.0/16"), 1);
+  LookupSuite<A> suite(
+      {MatchT{p4("10.0.0.0/8"), 3}, MatchT{p4("10.1.0.0/16"), 5}});
+  typename CluePort<A>::Options opt;
+  opt.method = Method::kPatricia;
+  opt.mode = ClueMode::kSimple;
+  opt.cache_entries = 16;
+  CluePort<A> port(suite, &t1, opt);
+  const std::vector<ip::Prefix4> clues{p4("10.1.0.0/16")};
+  port.precompute(clues);
+
+  mem::AccessCounter acc;
+  const auto before = port.process(a4("10.1.2.3"), ClueField::of(16), acc);
+  ASSERT_TRUE(before.match.has_value());
+  ASSERT_EQ(before.match->next_hop, 5u);  // cached now
+
+  ASSERT_TRUE(suite.eraseRoute(p4("10.1.0.0/16")));
+  port.onLocalRouteChanged(p4("10.1.0.0/16"));
+
+  mem::AccessCounter acc2;
+  const auto after = port.process(a4("10.1.2.3"), ClueField::of(16), acc2);
+  ASSERT_TRUE(after.match.has_value());
+  EXPECT_EQ(after.match->next_hop, 3u)
+      << "withdrawn /16's FD served from a stale cache entry";
+}
+
 TEST(ZipfSampler, SkewsTowardLowIndices) {
   Rng rng(1);
   ZipfSampler zipf(100, 1.2);

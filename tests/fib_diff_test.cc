@@ -100,6 +100,149 @@ TEST(FibDiff, ApplyDeltasKeepCluePortTransparent) {
   }
 }
 
+TEST(FibDiff, OutputsAreSortedAndDeterministic) {
+  Rng rng(3005);
+  const auto old_entries = testutil::randomTable4(rng, 300);
+  const auto new_entries = testutil::neighborOf(old_entries, rng, 0.6, 80,
+                                                0.5);
+  Fib4 prev{std::vector<Entry>(old_entries)};
+  Fib4 next{std::vector<Entry>(new_entries)};
+  const auto d = diff(prev, next);
+  const auto sorted = [](const auto& v, auto&& key) {
+    for (std::size_t i = 1; i < v.size(); ++i) {
+      if (!detail::prefixLess<A>(key(v[i - 1]), key(v[i]))) return false;
+    }
+    return true;
+  };
+  EXPECT_TRUE(sorted(d.added, [](const Entry& e) { return e.prefix; }));
+  EXPECT_TRUE(sorted(d.rerouted, [](const Entry& e) { return e.prefix; }));
+  EXPECT_TRUE(sorted(d.removed, [](const ip::Prefix4& p) { return p; }));
+  // A pure function of the two tables: recomputing gives the same vectors.
+  const auto d2 = diff(prev, next);
+  EXPECT_EQ(d.added, d2.added);
+  EXPECT_EQ(d.removed, d2.removed);
+  EXPECT_EQ(d.rerouted, d2.rerouted);
+}
+
+TEST(FibDiff, DuplicatedPrefixesCollapseLastWins) {
+  // add()-built tables can carry duplicates; the later entry must win and a
+  // surviving prefix must never be misreported as added.
+  Fib4 prev;
+  prev.add(p4("10.0.0.0/8"), 1);
+  prev.add(p4("10.0.0.0/8"), 7);  // duplicate, last wins
+  prev.add(p4("20.0.0.0/8"), 2);
+  Fib4 next;
+  next.add(p4("10.0.0.0/8"), 7);  // same as prev's effective route
+  next.add(p4("20.0.0.0/8"), 5);
+  next.add(p4("20.0.0.0/8"), 2);  // duplicate resolving back to 2
+  const auto d = diff(prev, next);
+  EXPECT_TRUE(d.empty()) << "duplicate prefixes double-counted";
+}
+
+TEST(FibDiff, ApplyDeltaRoundTripsOnPlainFib) {
+  Rng rng(3006);
+  const auto old_entries = testutil::randomTable4(rng, 150);
+  const auto new_entries = testutil::neighborOf(old_entries, rng, 0.7, 30,
+                                                0.5);
+  Fib4 prev{std::vector<Entry>(old_entries)};
+  Fib4 next{std::vector<Entry>(new_entries)};
+  Fib4 rebuilt = prev;
+  applyDelta(rebuilt, diff(prev, next));
+  EXPECT_EQ(rebuilt.size(), next.size());
+  for (const auto& e : next.entries()) {
+    EXPECT_TRUE(rebuilt.contains(e.prefix)) << e.prefix.toString();
+  }
+  // Empty-delta fast path: applying a no-op diff leaves the table alone.
+  const auto nothing = diff(next, next);
+  EXPECT_TRUE(nothing.empty());
+  applyDelta(rebuilt, nothing);
+  EXPECT_EQ(rebuilt.size(), next.size());
+}
+
+// Recording doubles for the ordering contract: removals must reach the suite
+// and port strictly before any add/reroute, so no transient state ever
+// widens a prefix.
+struct RecordingSuite {
+  std::vector<std::string> ops;
+  void eraseRoute(const ip::Prefix4& p) { ops.push_back("erase " + p.toString()); }
+  void insertRoute(const ip::Prefix4& p, NextHop) {
+    ops.push_back("insert " + p.toString());
+  }
+};
+struct RecordingPort {
+  std::vector<std::string> ops;
+  void onLocalRouteChanged(const ip::Prefix4& p) {
+    ops.push_back("notify " + p.toString());
+  }
+};
+
+TEST(FibDiff, ApplyLocalDeltaOrdersRemovalsBeforeAdds) {
+  FibDelta4 d;
+  d.removed.push_back(p4("10.1.0.0/16"));
+  d.added.push_back({p4("10.0.0.0/8"), 1});
+  d.rerouted.push_back({p4("30.0.0.0/8"), 2});
+  RecordingSuite suite;
+  RecordingPort port;
+  applyLocalDelta(d, suite, port);
+  ASSERT_EQ(suite.ops.size(), 3u);
+  EXPECT_EQ(suite.ops[0], "erase 10.1.0.0/16");
+  EXPECT_EQ(suite.ops[1], "insert 10.0.0.0/8");
+  EXPECT_EQ(suite.ops[2], "insert 30.0.0.0/8");
+  ASSERT_EQ(port.ops.size(), 3u);
+  EXPECT_EQ(port.ops[0], "notify 10.1.0.0/16");  // withdraw notified first
+
+  // Empty fast path: neither collaborator is touched.
+  RecordingSuite idle_suite;
+  RecordingPort idle_port;
+  applyLocalDelta(FibDelta4{}, idle_suite, idle_port);
+  EXPECT_TRUE(idle_suite.ops.empty());
+  EXPECT_TRUE(idle_port.ops.empty());
+}
+
+TEST(FibDiff, RouterApplyRouteUpdateMatchesFreshRouter) {
+  Rng rng(3007);
+  const auto old_entries = testutil::randomTable4(rng, 150);
+  const auto new_entries = testutil::neighborOf(old_entries, rng, 0.7, 30,
+                                                0.5);
+  const auto sender_entries = testutil::neighborOf(new_entries, rng, 0.8, 20,
+                                                   0.5);
+  trie::BinaryTrie<A> t1;
+  for (const auto& e : sender_entries) t1.insert(e.prefix, e.next_hop);
+
+  net::Router4::Config config;
+  config.method = lookup::Method::kPatricia;
+  config.mode = lookup::ClueMode::kSimple;
+  config.learn = false;
+  net::Router4 updated(0, Fib4{std::vector<Entry>(old_entries)}, config);
+  updated.connectFrom(1, &t1);
+  Fib4 next{std::vector<Entry>(new_entries)};
+  const auto d = updated.applyRouteUpdate(next);
+  EXPECT_FALSE(d.empty());
+  EXPECT_TRUE(updated.applyRouteUpdate(next).empty());  // idempotent
+
+  net::Router4 fresh(0, next, config);
+  fresh.connectFrom(1, &t1);
+  mem::AccessCounter scratch;
+  for (int i = 0; i < 300; ++i) {
+    const auto dest = testutil::coveredAddress<A>(new_entries, rng,
+                                                  testutil::randomAddr4);
+    const auto bmp = t1.lookup(dest, scratch);
+    const auto field = bmp ? core::ClueField::of(bmp->prefix.length())
+                           : core::ClueField::none();
+    net::Packet4 pa, pb;
+    pa.dest = pb.dest = dest;
+    pa.clue = pb.clue = field;
+    mem::AccessCounter acc;
+    const auto ra = updated.forward(pa, 1, acc);
+    const auto rb = fresh.forward(pb, 1, acc);
+    ASSERT_EQ(ra.match.has_value(), rb.match.has_value()) << dest.toString();
+    if (ra.match) {
+      ASSERT_EQ(ra.match->prefix, rb.match->prefix);
+      ASSERT_EQ(ra.match->next_hop, rb.match->next_hop);
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // §5.3b: the clue export filter
 // ---------------------------------------------------------------------------

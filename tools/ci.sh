@@ -10,6 +10,11 @@
 #                           suites)
 #   4. metrics tooling      tools/metrics_diff.py --self-test (the Prometheus
 #                           snapshot comparator that gates perf regressions)
+#   5. churn smoke          bench_churn --smoke: route updates published from
+#                           an updater thread while 4 workers forward, every
+#                           packet checked against a per-version oracle; then
+#                           metrics_diff.py --require-nonzero asserts the
+#                           rib_version_* swap counters actually moved
 #
 # Exits nonzero on the first finding. This is what "CI green" means for this
 # repo; see README "Lint and sanitizer gates".
@@ -19,18 +24,25 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "=== [1/4] -Werror build + full test suite ==="
+echo "=== [1/5] -Werror build + full test suite ==="
 cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCLUERT_WERROR=ON
 cmake --build build-ci -j"$(nproc)"
 ctest --test-dir build-ci --output-on-failure
 
-echo "=== [2/4] clang-tidy ==="
+echo "=== [2/5] clang-tidy ==="
 tools/run_tidy.sh build-ci
 
-echo "=== [3/4] sanitizer matrix ==="
+echo "=== [3/5] sanitizer matrix ==="
 tools/run_sanitizers.sh
 
-echo "=== [4/4] metrics tooling self-test ==="
+echo "=== [4/5] metrics tooling self-test ==="
 python3 tools/metrics_diff.py --self-test
+
+echo "=== [5/5] churn smoke (update-under-traffic oracle) ==="
+cmake --build build-ci -j"$(nproc)" --target bench_churn
+(cd build-ci && ./bench/bench_churn --smoke)
+python3 tools/metrics_diff.py \
+  --require-nonzero 'rib_version_(swaps_total|live_seq)' \
+  build-ci/BENCH_churn.prom
 
 echo "ci.sh: all gates green"

@@ -17,6 +17,14 @@ Usage:
                              latency, where bigger is worse)
       [--min-base VALUE]     ignore series whose baseline is below this
                              (default 1: tiny denominators make noise)
+  tools/metrics_diff.py --require-nonzero REGEX snapshot.prom
+      single-snapshot liveness gate: exits nonzero unless at least one
+      series matching REGEX has a nonzero value. Used by tools/ci.sh to
+      assert the churn smoke run actually exercised the swap path
+      (rib_version_swaps_total > 0) — a zero counter means the bench
+      silently stopped doing its job, which no diff against a baseline
+      would catch. Composes with the two-snapshot diff form (the check
+      then applies to `current`).
   tools/metrics_diff.py --self-test
 
 A series is identified by its full exposition form, e.g.
@@ -95,6 +103,13 @@ def diff(base, cur, threshold_pct, direction, min_base, match):
     return report, regressions
 
 
+def require_nonzero(cur, pattern):
+    """Returns (matched_series, ok): ok iff any match has a nonzero value."""
+    rx = re.compile(pattern)
+    hits = {k: v for k, v in cur.items() if rx.search(k)}
+    return hits, any(v != 0 for v in hits.values())
+
+
 def self_test():
     doc = '''\
 # HELP lookup_accesses Dependent memory accesses per lookup
@@ -135,6 +150,15 @@ up_total{router="1"} 7 1699999999
     _, matched = diff(base, cur, 5.0, 'up', 1.0, match='^a$')
     assert matched == []
 
+    snap = {'rib_version_swaps_total': 120.0, 'rib_version_live_seq': 121.0,
+            'rib_version_full_rebuilds_total': 0.0, 'other': 3.0}
+    hits, ok = require_nonzero(snap, r'rib_version_swaps_total')
+    assert ok and len(hits) == 1
+    hits, ok = require_nonzero(snap, r'full_rebuilds')
+    assert not ok and len(hits) == 1  # present but zero: not alive
+    hits, ok = require_nonzero(snap, r'no_such_series')
+    assert not ok and hits == {}
+
     try:
         parse('!!! not a metric')
     except ValueError:
@@ -158,18 +182,38 @@ def main(argv):
                     default='up', help='which movement is a regression')
     ap.add_argument('--min-base', type=float, default=1.0,
                     help='skip series with |baseline| below this')
+    ap.add_argument('--require-nonzero', default=None, metavar='REGEX',
+                    help='fail unless the current (or only) snapshot has a '
+                         'series matching REGEX with a nonzero value')
     ap.add_argument('--self-test', action='store_true')
     args = ap.parse_args(argv)
 
     if args.self_test:
         return self_test()
-    if not args.baseline or not args.current:
+    # Single-snapshot liveness mode: the one positional is the file to check.
+    if args.require_nonzero and args.baseline and not args.current:
+        args.baseline, args.current = None, args.baseline
+    if not args.current:
         ap.error('baseline and current snapshots are required')
+
+    with open(args.current) as f:
+        cur = parse(f.read())
+    if args.require_nonzero:
+        hits, ok = require_nonzero(cur, args.require_nonzero)
+        if not ok:
+            print('require-nonzero FAILED: no series matching %r with a '
+                  'nonzero value (%d matched)'
+                  % (args.require_nonzero, len(hits)))
+            for key in sorted(hits):
+                print('  %-60s %g' % (key, hits[key]))
+            return 1
+        print('require-nonzero OK: %d series matching %r, nonzero present'
+              % (len(hits), args.require_nonzero))
+    if not args.baseline:
+        return 0
 
     with open(args.baseline) as f:
         base = parse(f.read())
-    with open(args.current) as f:
-        cur = parse(f.read())
     report, regressions = diff(base, cur, args.threshold, args.direction,
                                args.min_base, args.match)
     for line in report:

@@ -24,7 +24,11 @@ cd "$(dirname "$0")/.."
 # pointer-chasing ASan/UBSan should watch. Obs* covers the telemetry layer
 # (src/obs/) — its sharded-counter test hammers one Counter from 8 threads,
 # which is the TSan proof that the relaxed-atomic cell design is race-free.
-DEFAULT_FILTER="SpscRing|Pipeline|LookupBatch|DistributedLookup|RngForThread|AccessCounter|Check|Obs"
+# Versioned*/Churn* cover the epoch-versioned swap scheme
+# (src/rib/versioned_tables.h): ChurnPipeline races a RouteUpdater thread
+# against 4 forwarding workers over 1000+ publishes, the TSan proof of the
+# grace-period/reclamation protocol.
+DEFAULT_FILTER="SpscRing|Pipeline|LookupBatch|DistributedLookup|RngForThread|AccessCounter|Check|Obs|Versioned|Churn"
 
 SANITIZERS=()
 FILTER="$DEFAULT_FILTER"

@@ -280,7 +280,7 @@ class CluePort {
   // entry whose FD or candidate set can depend on `changed` — clues on its
   // path and clues extending it — is recomputed in place.
   void onLocalRouteChanged(const PrefixT& changed) {
-    refreshRelated(changed);
+    refreshRelated(changed, /*engines_rebuilt=*/true);
   }
 
   // Call after the *sender's* table changed (Claim 1 consults it): affected
@@ -293,7 +293,7 @@ class CluePort {
     if (options_.mode == lookup::ClueMode::kAdvance) {
       local_->annotateNeighbor(options_.neighbor_index, *neighbor_trie_);
     }
-    refreshRelated(changed);
+    refreshRelated(changed, /*engines_rebuilt=*/false);
   }
 
   // §3.4: mark a clue out-of-use / back in use without removing it (probe
@@ -516,13 +516,22 @@ class CluePort {
     return clue.isPrefixOf(changed) || changed.isPrefixOf(clue);
   }
 
-  void refreshRelated(const PrefixT& changed) {
+  void refreshRelated(const PrefixT& changed, bool engines_rebuilt) {
     cache_.clear();  // coarse but always safe
+    // Local changes rebuild the suite's engines. kStride continuations
+    // anchor nodes the old engine owned, so every case-3 entry must be
+    // rebuilt there — a stale anchor is a use-after-free. All other
+    // methods' anchors survive the rebuild (tries are patched in place,
+    // candidate tables are entry-owned), so related() suffices; see the
+    // same analysis in VersionedTables::applyLocal.
+    const bool anchors_dangle =
+        engines_rebuilt && options_.method == lookup::Method::kStride;
     // makeEntry returns entries with active=true; a §3.4-marked entry must
     // stay out of use across the refresh (invalidateClue would otherwise be
     // silently undone by any nearby route update).
     const auto refresh = [&](ClueEntry<A>& e) {
-      if (!related(e.clue, changed)) return;
+      const bool dangling = anchors_dangle && e.kase == ClueCase::kSearch;
+      if (!dangling && !related(e.clue, changed)) return;
       const bool was_active = e.active;
       e = makeEntry(e.clue);
       e.active = was_active;

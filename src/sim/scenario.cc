@@ -1,0 +1,37 @@
+#include "sim/scenario.h"
+
+namespace cluert::sim {
+
+std::string_view faultName(Fault f) {
+  switch (f) {
+    case Fault::kNone:
+      return "none";
+    case Fault::kNoClue:
+      return "no-clue";
+    case Fault::kTruncated:
+      return "truncated";
+    case Fault::kJunk:
+      return "junk";
+    case Fault::kStale:
+      return "stale";
+    case Fault::kWrongIndex:
+      return "wrong-index";
+  }
+  return "?";
+}
+
+bool oracleStrict(Fault f, lookup::ClueMode mode) {
+  if (mode != lookup::ClueMode::kAdvance) return true;
+  switch (f) {
+    case Fault::kTruncated:
+    case Fault::kJunk:
+    case Fault::kStale:
+      // These break the "clue == sender's current BMP" contract Claim 1
+      // reasons from; Advance runs them for robustness only.
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace cluert::sim

@@ -1,0 +1,181 @@
+// Scenario shrinker (DESIGN.md §8 "Shrink algorithm"): given a scenario a
+// predicate calls failing, produce a smaller scenario the predicate still
+// calls failing. Greedy delta-debugging: chunked removal passes over every
+// list the scenario owns (packets, churn steps, per-delta routes, receiver
+// and sender entries), then per-packet simplification (zero trailing
+// destination bits, zero the aux draw), iterated to a fixpoint under an
+// evaluation budget.
+//
+// The predicate is arbitrary — the standard one is
+// `[&](const Scenario<A>& s) { return !runScenario(s, opt).ok(); }` — so the
+// shrinker also minimises against sabotaged engines (shrink_test.cc) and
+// crash predicates.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+#include "sim/scenario.h"
+
+namespace cluert::sim {
+
+template <typename A>
+using FailPredicate = std::function<bool(const Scenario<A>&)>;
+
+struct ShrinkOptions {
+  std::size_t max_rounds = 10;   // full fixpoint iterations
+  std::size_t max_evals = 4000;  // total predicate invocations
+};
+
+struct ShrinkStats {
+  std::size_t evals = 0;
+  std::size_t rounds = 0;
+};
+
+namespace detail {
+
+// One chunked-removal sweep over the vector `get(s)` returns: keep every
+// removal under which the scenario still fails. Classic ddmin chunk
+// halving, stopping at single elements.
+template <typename A, typename GetFn>
+bool chunkShrink(Scenario<A>& s, const FailPredicate<A>& fails,
+                 const GetFn& get, ShrinkStats& stats,
+                 const ShrinkOptions& opt) {
+  bool shrunk_any = false;
+  std::size_t chunk = std::max<std::size_t>(1, get(s).size() / 2);
+  while (true) {
+    bool removed = false;
+    std::size_t start = 0;
+    while (start < get(s).size()) {
+      if (stats.evals >= opt.max_evals) return shrunk_any;
+      Scenario<A> candidate = s;
+      auto& vec = get(candidate);
+      const std::size_t end = std::min(vec.size(), start + chunk);
+      vec.erase(vec.begin() + static_cast<std::ptrdiff_t>(start),
+                vec.begin() + static_cast<std::ptrdiff_t>(end));
+      ++stats.evals;
+      if (fails(candidate)) {
+        s = std::move(candidate);
+        removed = true;
+        shrunk_any = true;
+        // Same start: the next chunk slid into this position.
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1 && !removed) return shrunk_any;
+    if (chunk > 1) chunk = std::max<std::size_t>(1, chunk / 2);
+  }
+}
+
+// Tries one whole-scenario mutation; keeps it if still failing.
+template <typename A, typename MutFn>
+bool tryMutation(Scenario<A>& s, const FailPredicate<A>& fails,
+                 const MutFn& mut, ShrinkStats& stats,
+                 const ShrinkOptions& opt) {
+  if (stats.evals >= opt.max_evals) return false;
+  Scenario<A> candidate = s;
+  if (!mut(candidate)) return false;  // mutation not applicable / no-op
+  ++stats.evals;
+  if (!fails(candidate)) return false;
+  s = std::move(candidate);
+  return true;
+}
+
+}  // namespace detail
+
+// Shrinks `failing` (which must satisfy `fails`) toward a minimal failing
+// scenario. Returns the smallest failing scenario found; `stats_out`
+// (optional) reports the work done. The result is guaranteed to still
+// satisfy `fails` — every kept step was re-verified.
+template <typename A>
+Scenario<A> shrinkScenario(Scenario<A> failing, const FailPredicate<A>& fails,
+                           const ShrinkOptions& opt = {},
+                           ShrinkStats* stats_out = nullptr) {
+  ShrinkStats stats;
+  for (std::size_t round = 0; round < opt.max_rounds; ++round) {
+    stats.rounds = round + 1;
+    bool progress = false;
+
+    // Structural passes, coarsest lists first: dropping one packet often
+    // makes whole churn steps and table regions removable.
+    progress |= detail::chunkShrink(
+        failing, fails, [](Scenario<A>& s) -> auto& { return s.packets; },
+        stats, opt);
+    progress |= detail::chunkShrink(
+        failing, fails, [](Scenario<A>& s) -> auto& { return s.churn; },
+        stats, opt);
+    for (std::size_t k = 0; k < failing.churn.size(); ++k) {
+      progress |= detail::chunkShrink(
+          failing, fails,
+          [k](Scenario<A>& s) -> auto& { return s.churn[k].delta.removed; },
+          stats, opt);
+      progress |= detail::chunkShrink(
+          failing, fails,
+          [k](Scenario<A>& s) -> auto& { return s.churn[k].delta.added; },
+          stats, opt);
+      progress |= detail::chunkShrink(
+          failing, fails,
+          [k](Scenario<A>& s) -> auto& { return s.churn[k].delta.rerouted; },
+          stats, opt);
+    }
+    progress |= detail::chunkShrink(
+        failing, fails, [](Scenario<A>& s) -> auto& { return s.receiver; },
+        stats, opt);
+    progress |= detail::chunkShrink(
+        failing, fails, [](Scenario<A>& s) -> auto& { return s.sender; },
+        stats, opt);
+
+    // Pull churn steps toward the front of the stream: packets before a
+    // step's publish point only exist to keep the step applied in time, so
+    // halving after_packet (toward 0) is what lets the packet pass above
+    // delete them.
+    for (std::size_t k = 0; k < failing.churn.size(); ++k) {
+      for (int attempt = 0; attempt < 2; ++attempt) {
+        progress |= detail::tryMutation(
+            failing, fails,
+            [k, attempt](Scenario<A>& s) {
+              std::size_t& ap = s.churn[k].after_packet;
+              const std::size_t target = attempt == 0 ? 0 : ap / 2;
+              if (ap == target) return false;
+              ap = target;
+              return true;
+            },
+            stats, opt);
+      }
+    }
+
+    // Value passes: shorten addresses (zero trailing bits — shorter repro
+    // to read, and often collapses distinct packets) and zero the aux draw.
+    for (std::size_t i = 0; i < failing.packets.size(); ++i) {
+      for (const int keep : {8, 16, 24, 48, 96}) {
+        if (keep >= A::kBits) break;
+        progress |= detail::tryMutation(
+            failing, fails,
+            [i, keep](Scenario<A>& s) {
+              const A cut = ip::Prefix<A>(s.packets[i].dest, keep).addr();
+              if (cut == s.packets[i].dest) return false;
+              s.packets[i].dest = cut;
+              return true;
+            },
+            stats, opt);
+      }
+      progress |= detail::tryMutation(
+          failing, fails,
+          [i](Scenario<A>& s) {
+            if (s.packets[i].aux == 0) return false;
+            s.packets[i].aux = 0;
+            return true;
+          },
+          stats, opt);
+    }
+
+    if (!progress || stats.evals >= opt.max_evals) break;
+  }
+  if (stats_out != nullptr) *stats_out = stats;
+  return failing;
+}
+
+}  // namespace cluert::sim

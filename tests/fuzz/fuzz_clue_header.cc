@@ -1,0 +1,131 @@
+// Fuzz target: clue header decode + the full port decision logic under
+// arbitrary header bytes (present bit, 8-bit length, 16-bit index), IPv4
+// and IPv6. The assertion is the Simple-mode safety contract: whatever the
+// header claims, a Simple port must produce exactly the engine's BMP for
+// the destination. Advance ports run the same stream for no-crash coverage
+// (an arbitrary clue voids the Claim-1 contract, so their result is not
+// asserted — DESIGN.md §8 fault taxonomy).
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/distributed_lookup.h"
+#include "fuzz_util.h"
+#include "rib/table_gen.h"
+
+namespace cluert {
+namespace {
+
+template <typename A>
+struct Fixture {
+  lookup::LookupSuite<A> suite;
+  trie::BinaryTrie<A> neighbor_trie;
+  core::CluePort<A> simple_hash;
+  core::CluePort<A> simple_indexed;
+  core::CluePort<A> advance_hash;
+  core::ClueIndexer<A> indexer;
+
+  static typename core::CluePort<A>::Options options(lookup::ClueMode mode,
+                                                     bool indexed) {
+    typename core::CluePort<A>::Options o;
+    o.method = lookup::Method::kPatricia;
+    o.mode = mode;
+    o.indexed = indexed;
+    o.cache_entries = 16;
+    return o;
+  }
+
+  Fixture(const std::vector<trie::Match<A>>& mine,
+          const std::vector<trie::Match<A>>& theirs)
+      : suite(mine),
+        simple_hash(suite, nullptr,
+                    options(lookup::ClueMode::kSimple, false)),
+        simple_indexed(suite, nullptr,
+                       options(lookup::ClueMode::kSimple, true)),
+        advance_hash(suite, &neighbor_trie,
+                     options(lookup::ClueMode::kAdvance, false)) {
+    for (const auto& e : theirs) neighbor_trie.insert(e.prefix, e.next_hop);
+    std::vector<ip::Prefix<A>> clues;
+    for (const auto& e : theirs) clues.push_back(e.prefix);
+    simple_hash.precompute(clues);
+    simple_indexed.precomputeIndexed(clues, indexer);
+    advance_hash.precompute(clues);
+  }
+};
+
+template <typename A>
+Fixture<A>& fixture() {
+  static Fixture<A>* f = [] {
+    Rng rng(0xf0cca);
+    rib::GenOptions<A> gen;
+    gen.size = 150;
+    const auto mine = rib::TableGen<A>::generate(rng, gen);
+    rib::NeighborOptions<A> nopt;
+    nopt.shared = 100;
+    nopt.fresh = 30;
+    const auto theirs = rib::TableGen<A>::deriveNeighbor(mine, rng, nopt);
+    return new Fixture<A>(
+        {mine.entries().begin(), mine.entries().end()},
+        {theirs.entries().begin(), theirs.entries().end()});
+  }();
+  return *f;
+}
+
+template <typename A>
+A drawAddr(fuzz::ByteReader& in);
+
+template <>
+ip::Ip4Addr drawAddr<ip::Ip4Addr>(fuzz::ByteReader& in) {
+  return ip::Ip4Addr(in.u32());
+}
+template <>
+ip::Ip6Addr drawAddr<ip::Ip6Addr>(fuzz::ByteReader& in) {
+  return ip::Ip6Addr(in.u64(), in.u64());
+}
+
+template <typename A>
+void oneFamily(fuzz::ByteReader& in) {
+  auto& f = fixture<A>();
+  const A dest = drawAddr<A>(in);
+
+  core::ClueField field;
+  field.present = in.boolean();
+  field.length = in.u8();
+  if (in.boolean()) field.index = in.u16();
+
+  mem::AccessCounter acc;
+  const auto want = f.suite.engine(lookup::Method::kPatricia).lookup(dest, acc);
+
+  for (core::CluePort<A>* port : {&f.simple_hash, &f.simple_indexed}) {
+    const auto r = port->process(dest, field, acc);
+    const bool agree =
+        want.has_value() == r.match.has_value() &&
+        (!want || (want->prefix == r.match->prefix &&
+                   want->next_hop == r.match->next_hop));
+    if (!agree) {
+      std::fprintf(stderr,
+                   "Simple violated: dest %s present=%d length=%u index=%d\n",
+                   dest.toString().c_str(), field.present ? 1 : 0,
+                   static_cast<unsigned>(field.length),
+                   field.index ? static_cast<int>(*field.index) : -1);
+      std::abort();
+    }
+  }
+  // Advance with an arbitrary header: must not crash, result unasserted.
+  (void)f.advance_hash.process(dest, field, acc);
+}
+
+}  // namespace
+}  // namespace cluert
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  cluert::fuzz::ByteReader in(data, size);
+  while (!in.exhausted()) {
+    if (in.boolean()) {
+      cluert::oneFamily<cluert::ip::Ip4Addr>(in);
+    } else {
+      cluert::oneFamily<cluert::ip::Ip6Addr>(in);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Standalone driver for fuzz targets when the toolchain has no libFuzzer
+// (-fsanitize=fuzzer is clang-only; the gcc build still wants the targets
+// exercised). Replays corpus files byte-for-byte and/or streams bounded
+// random inputs through LLVMFuzzerTestOneInput:
+//
+//   fuzz_<target> [--rand N] [--seed S] [--max-len L] [file...]
+//
+// Exits nonzero only if the target aborts/crashes (the process dies), so a
+// clean pass is exactly libFuzzer's -runs=N semantics.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  std::size_t rand_runs = 0;
+  std::uint64_t seed = 1;
+  std::size_t max_len = 512;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rand") == 0 && i + 1 < argc) {
+      rand_runs = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--max-len") == 0 && i + 1 < argc) {
+      max_len = std::strtoul(argv[++i], nullptr, 10);
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+
+  std::size_t executed = 0;
+  for (const auto& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return 2;
+    }
+    const std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+    ++executed;
+  }
+
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint8_t> buf;
+  for (std::size_t i = 0; i < rand_runs; ++i) {
+    const std::size_t len = rng() % (max_len + 1);
+    buf.resize(len);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+    LLVMFuzzerTestOneInput(buf.data(), buf.size());
+    ++executed;
+  }
+
+  std::printf("executed %zu inputs (%zu files, %zu random)\n", executed,
+              files.size(), rand_runs);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fuzz target: textual prefix decoding (ip::Prefix::parse) for both
+// families. Arbitrary bytes must parse-or-reject without crashing, and an
+// accepted prefix must round-trip bit-exactly through toString/parse (the
+// canonical-form contract the corpus format relies on).
+#include <cstdio>
+#include <cstdlib>
+
+#include "fuzz_util.h"
+#include "ip/prefix.h"
+
+namespace cluert {
+namespace {
+
+template <typename A>
+void oneFamily(const std::string& text) {
+  const auto p = ip::Prefix<A>::parse(text);
+  if (!p) return;
+  if (p->length() < 0 || p->length() > A::kBits) {
+    std::fprintf(stderr, "accepted out-of-range length %d from %s\n",
+                 p->length(), text.c_str());
+    std::abort();
+  }
+  const auto back = ip::Prefix<A>::parse(p->toString());
+  if (!back || !(*back == *p)) {
+    std::fprintf(stderr, "prefix round-trip broke on %s -> %s\n",
+                 text.c_str(), p->toString().c_str());
+    std::abort();
+  }
+  // Normalization: bits past the prefix length must read as zero.
+  const ip::Prefix<A> renorm(p->addr(), p->length());
+  if (!(renorm == *p)) {
+    std::fprintf(stderr, "parse left dirty host bits in %s\n", text.c_str());
+    std::abort();
+  }
+}
+
+}  // namespace
+}  // namespace cluert
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  cluert::fuzz::ByteReader in(data, size);
+  const std::string text = in.str(64);
+  cluert::oneFamily<cluert::ip::Ip4Addr>(text);
+  cluert::oneFamily<cluert::ip::Ip6Addr>(text);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared plumbing for the fuzz targets: a bounded byte reader that turns
+// the fuzzer's raw input into structured draws (FuzzedDataProvider in
+// spirit, dependency-free in practice). Draws past the end return zeros —
+// deterministic, so a minimized crash input stays a crash.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cluert::fuzz {
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool exhausted() const { return pos_ >= size_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+  std::uint8_t u8() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  std::uint16_t u16() {
+    return static_cast<std::uint16_t>(u8() | (std::uint16_t{u8()} << 8));
+  }
+
+  std::uint32_t u32() { return u16() | (std::uint32_t{u16()} << 16); }
+
+  std::uint64_t u64() { return u32() | (std::uint64_t{u32()} << 32); }
+
+  // A value in [0, bound) — bound 0 yields 0.
+  std::uint32_t below(std::uint32_t bound) {
+    return bound == 0 ? 0 : u32() % bound;
+  }
+
+  bool boolean() { return (u8() & 1) != 0; }
+
+  // Up to `max_len` raw bytes as a string (shorter when input runs out).
+  std::string str(std::size_t max_len) {
+    std::string s;
+    const std::size_t n = std::min(max_len, remaining());
+    s.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      s.push_back(static_cast<char>(u8()));
+    }
+    return s;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cluert::fuzz
+
+// Every target defines the libFuzzer entry point; the standalone driver
+// (fuzz_driver_main.cc) calls the same symbol when libFuzzer is absent.
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);

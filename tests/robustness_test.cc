@@ -139,5 +139,83 @@ TEST(CorruptedHeaders, HashedSimpleReceiverSurvivesJunkLengths) {
   }
 }
 
+// IPv6 port of the corrupted-header properties. The wire encoding is 7 bits
+// (lengths 1..128 stored as length-1, clue.h), so the boundaries worth
+// pinning are 1 (shortest encodable), 64 (half the address), and 128 (whole
+// address); anything above W decodes as clue-absent via cluePrefix.
+TEST(CorruptedHeaders, Ipv6SimpleReceiverSurvivesBoundaryLengths) {
+  using A6 = ip::Ip6Addr;
+  Rng rng(709);
+  const auto sender = testutil::randomTable6(rng, 120);
+  const auto receiver = testutil::neighborOf(sender, rng, 0.8, 25, 0.5);
+  trie::BinaryTrie<A6> t1;
+  for (const auto& e : sender) t1.insert(e.prefix, e.next_hop);
+  LookupSuite<A6> suite(receiver);
+  typename CluePort<A6>::Options opt;
+  opt.method = Method::kPatricia;
+  opt.mode = ClueMode::kSimple;
+  opt.indexed = true;
+  opt.indexed_capacity = 256;
+  CluePort<A6> port(suite, &t1, opt);
+
+  constexpr std::uint8_t kBoundary[] = {1, 63, 64, 65, 127, 128};
+  for (int i = 0; i < 400; ++i) {
+    const auto dest = testutil::coveredAddress<A6>(receiver, rng,
+                                                   testutil::randomAddr6);
+    for (const std::uint8_t len : kBoundary) {
+      ClueField field;
+      field.present = true;
+      field.length = len;
+      if (rng.chance(0.5)) {
+        field.index = static_cast<std::uint16_t>(rng.uniform(0, 65535));
+      }
+      mem::AccessCounter acc;
+      const auto r = port.process(dest, field, acc);
+      const auto expect = testutil::bruteForceBmp(receiver, dest);
+      ASSERT_EQ(expect.has_value(), r.match.has_value())
+          << dest.toString() << " len " << int(len);
+      if (expect) {
+        ASSERT_EQ(expect->prefix, r.match->prefix)
+            << dest.toString() << " len " << int(len);
+      }
+    }
+  }
+}
+
+// Every 8-bit junk encoding 0..255: values in [1, 128] reconstruct a genuine
+// prefix of the destination (safe under Simple by construction), 0 and
+// values above 128 must decode as clue-absent — never a crash, never a wrong
+// next hop.
+TEST(CorruptedHeaders, Ipv6JunkEncodingsNeverMisroute) {
+  using A6 = ip::Ip6Addr;
+  Rng rng(710);
+  const auto receiver = testutil::randomTable6(rng, 80);
+  trie::BinaryTrie<A6> t1;  // empty neighbor view
+  LookupSuite<A6> suite(receiver);
+  typename CluePort<A6>::Options opt;
+  opt.method = Method::kRegular;
+  opt.mode = ClueMode::kSimple;
+  CluePort<A6> port(suite, &t1, opt);
+
+  for (int i = 0; i < 16; ++i) {
+    const auto dest = testutil::coveredAddress<A6>(receiver, rng,
+                                                   testutil::randomAddr6);
+    const auto expect = testutil::bruteForceBmp(receiver, dest);
+    for (int len = 0; len <= 255; ++len) {
+      ClueField field;
+      field.present = true;
+      field.length = static_cast<std::uint8_t>(len);
+      mem::AccessCounter acc;
+      const auto r = port.process(dest, field, acc);
+      ASSERT_EQ(expect.has_value(), r.match.has_value())
+          << dest.toString() << " len " << len;
+      if (expect) {
+        ASSERT_EQ(expect->prefix, r.match->prefix)
+            << dest.toString() << " len " << len;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace cluert

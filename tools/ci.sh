@@ -15,6 +15,11 @@
 #                           packet checked against a per-version oracle; then
 #                           metrics_diff.py --require-nonzero asserts the
 #                           rib_version_* swap counters actually moved
+#   6. sim + fuzz + coverage  corpus replay through the differential oracle
+#                           (tools/sim_run replay tests/corpus), a bounded
+#                           fuzz smoke (30s per target, graceful skip when
+#                           the tree cannot build fuzzers), and the line
+#                           coverage gate (tools/run_coverage.sh --check)
 #
 # Exits nonzero on the first finding. This is what "CI green" means for this
 # repo; see README "Lint and sanitizer gates".
@@ -24,25 +29,60 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "=== [1/5] -Werror build + full test suite ==="
+echo "=== [1/6] -Werror build + full test suite ==="
 cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCLUERT_WERROR=ON
 cmake --build build-ci -j"$(nproc)"
 ctest --test-dir build-ci --output-on-failure
 
-echo "=== [2/5] clang-tidy ==="
+echo "=== [2/6] clang-tidy ==="
 tools/run_tidy.sh build-ci
 
-echo "=== [3/5] sanitizer matrix ==="
+echo "=== [3/6] sanitizer matrix ==="
 tools/run_sanitizers.sh
 
-echo "=== [4/5] metrics tooling self-test ==="
+echo "=== [4/6] metrics tooling self-test ==="
 python3 tools/metrics_diff.py --self-test
 
-echo "=== [5/5] churn smoke (update-under-traffic oracle) ==="
+echo "=== [5/6] churn smoke (update-under-traffic oracle) ==="
 cmake --build build-ci -j"$(nproc)" --target bench_churn
 (cd build-ci && ./bench/bench_churn --smoke)
 python3 tools/metrics_diff.py \
   --require-nonzero 'rib_version_(swaps_total|live_seq)' \
   build-ci/BENCH_churn.prom
+
+echo "=== [6/6] corpus replay + fuzz smoke + coverage gate ==="
+cmake --build build-ci -j"$(nproc)" --target sim_run
+build-ci/tools/sim_run replay tests/corpus
+
+# Bounded fuzz smoke: each target runs a random stream for at most 30s. A
+# timeout (exit 124) is a pass — the bound exists to cap gate time, not to
+# demand the stream finishes; any crash/abort still fails the gate.
+if cmake -B build-fuzz-ci -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+     -DCLUERT_FUZZ=ON >/dev/null; then
+  cmake --build build-fuzz-ci -j"$(nproc)" \
+    --target fuzz_clue_header fuzz_prefix_decode fuzz_snapshot_load \
+             fuzz_fib_delta fuzz_scenario_parse
+  # Flag dialect depends on how the tree was configured: a libFuzzer build
+  # takes -runs=, the standalone driver takes --rand.
+  if grep -q '^CLUERT_HAVE_LIBFUZZER:INTERNAL=1' build-fuzz-ci/CMakeCache.txt; then
+    SMOKE_ARGS=(-runs=200000 -seed=1 -max_len=512)
+  else
+    SMOKE_ARGS=(--rand 200000 --seed 1 --max-len 512)
+  fi
+  for fuzzer in build-fuzz-ci/tests/fuzz/fuzz_*; do
+    [[ -x "$fuzzer" ]] || continue
+    echo "--- fuzz smoke: $(basename "$fuzzer")"
+    rc=0
+    timeout 30 "$fuzzer" "${SMOKE_ARGS[@]}" >/dev/null 2>&1 || rc=$?
+    if [[ $rc -ne 0 && $rc -ne 124 ]]; then
+      echo "fuzz smoke FAILED: $fuzzer (exit $rc)" >&2
+      exit "$rc"
+    fi
+  done
+else
+  echo "fuzz smoke: CLUERT_FUZZ configure failed; skipping" >&2
+fi
+
+tools/run_coverage.sh --check
 
 echo "ci.sh: all gates green"

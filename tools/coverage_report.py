@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Aggregate gcov JSON output into a line-coverage report.
+
+Usage:
+  coverage_report.py --build <build-dir> [--root <repo-root>]
+                     [--check <percent>] [--per-file]
+
+Walks the build directory for .gcda counter files, runs `gcov --json-format`
+on each, and merges execution counts per (source file, line) — an object
+compiled into several targets counts as covered if ANY run hit the line.
+Only files under <root>/src are reported (tests and benches measure the
+product, they are not the product).
+
+--check exits 1 when total line coverage is below the threshold; this is
+ci.sh's gate. The threshold is intentionally set below the measured value
+so the gate catches regressions, not noise.
+"""
+
+import argparse
+import gzip
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from collections import defaultdict
+
+
+def find_gcda(build_dir):
+    for dirpath, _dirnames, filenames in os.walk(build_dir):
+        for name in filenames:
+            if name.endswith(".gcda"):
+                # Absolute: gcov runs from a scratch cwd.
+                yield os.path.abspath(os.path.join(dirpath, name))
+
+
+def run_gcov(gcda_files, scratch):
+    """Runs gcov in JSON mode; yields parsed JSON documents."""
+    # Batch to keep command lines bounded.
+    batch = 128
+    for i in range(0, len(gcda_files), batch):
+        chunk = gcda_files[i : i + batch]
+        subprocess.run(
+            ["gcov", "--json-format"] + chunk,
+            cwd=scratch,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            check=False,
+        )
+        # gcov writes one .gcov.json.gz per input in the cwd.
+        for name in os.listdir(scratch):
+            if not name.endswith(".gcov.json.gz"):
+                continue
+            path = os.path.join(scratch, name)
+            try:
+                with gzip.open(path, "rt") as fh:
+                    yield json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                pass
+            os.remove(path)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build", required=True)
+    ap.add_argument("--root", default=os.getcwd())
+    ap.add_argument("--check", type=float, default=None)
+    ap.add_argument("--per-file", action="store_true")
+    args = ap.parse_args()
+
+    root = os.path.realpath(args.root)
+    src_root = os.path.join(root, "src")
+
+    gcda = sorted(find_gcda(args.build))
+    if not gcda:
+        print(f"no .gcda files under {args.build}; "
+              "build with -DCLUERT_COVERAGE=ON and run the tests first",
+              file=sys.stderr)
+        return 2
+
+    # hits[file][line] = max count seen across objects.
+    hits = defaultdict(lambda: defaultdict(int))
+    with tempfile.TemporaryDirectory() as scratch:
+        for doc in run_gcov(gcda, scratch):
+            for f in doc.get("files", []):
+                path = os.path.realpath(
+                    os.path.join(doc.get("current_working_directory", ""),
+                                 f.get("file", "")))
+                if not path.startswith(src_root + os.sep):
+                    continue
+                rel = os.path.relpath(path, root)
+                for line in f.get("lines", []):
+                    n = line.get("line_number")
+                    c = line.get("count", 0)
+                    if n is None:
+                        continue
+                    hits[rel][n] = max(hits[rel][n], c)
+
+    if not hits:
+        print("gcov produced no data for files under src/", file=sys.stderr)
+        return 2
+
+    per_dir = defaultdict(lambda: [0, 0])  # dir -> [covered, total]
+    total_covered = 0
+    total_lines = 0
+    rows = []
+    for rel in sorted(hits):
+        lines = hits[rel]
+        covered = sum(1 for c in lines.values() if c > 0)
+        total = len(lines)
+        rows.append((rel, covered, total))
+        d = os.path.dirname(rel)
+        per_dir[d][0] += covered
+        per_dir[d][1] += total
+        total_covered += covered
+        total_lines += total
+
+    if args.per_file:
+        for rel, covered, total in rows:
+            print(f"{100.0 * covered / total:6.1f}%  {covered:5d}/{total:<5d}  {rel}")
+        print()
+    for d in sorted(per_dir):
+        covered, total = per_dir[d]
+        print(f"{100.0 * covered / total:6.1f}%  {covered:5d}/{total:<5d}  {d}/")
+    pct = 100.0 * total_covered / total_lines
+    print(f"{pct:6.1f}%  {total_covered:5d}/{total_lines:<5d}  TOTAL")
+
+    if args.check is not None and pct < args.check:
+        print(f"FAIL: line coverage {pct:.1f}% is below the "
+              f"{args.check:.1f}% gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,8 +27,12 @@ cd "$(dirname "$0")/.."
 # Versioned*/Churn* cover the epoch-versioned swap scheme
 # (src/rib/versioned_tables.h): ChurnPipeline races a RouteUpdater thread
 # against 4 forwarding workers over 1000+ publishes, the TSan proof of the
-# grace-period/reclamation protocol.
-DEFAULT_FILTER="SpscRing|Pipeline|LookupBatch|DistributedLookup|RngForThread|AccessCounter|Check|Obs|Versioned|Churn"
+# grace-period/reclamation protocol. Sim*/Shrink/CorpusReplay cover the
+# scenario simulator (src/sim/, DESIGN.md §8): the differential sweeps chase
+# every engine's pointers over generated tables with fault injection
+# (ASan/UBSan), and SimChurn (matched by Churn) re-proves the versioned-swap
+# protocol under TSan with scenario-driven deltas.
+DEFAULT_FILTER="SpscRing|Pipeline|LookupBatch|DistributedLookup|RngForThread|AccessCounter|Check|Obs|Versioned|Churn|Sim(Generator|Faults|Corpus|Differential)|Shrink|CorpusReplay"
 
 SANITIZERS=()
 FILTER="$DEFAULT_FILTER"

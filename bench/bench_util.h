@@ -2,6 +2,8 @@
 // (destination sampling, the 15-way method comparison) and table printing.
 #pragma once
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -9,6 +11,7 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "core/distributed_lookup.h"
@@ -36,12 +39,22 @@ class JsonWriter {
  public:
   explicit JsonWriter(std::ostream& out) : out_(out) {}
 
-  // Opens the root object and stamps the provenance header.
+  // Opens the root object and stamps the provenance header. Hostname and
+  // CPU count identify the machine behind a number — a pps regression that
+  // is really "ran on the small box" should be visible from the artifact
+  // alone.
   void beginDocument(std::string_view bench) {
     beginObject();
     field("bench", bench);
     field("schema_version", static_cast<std::uint64_t>(kBenchSchemaVersion));
     field("git_sha", std::string_view(CLUERT_GIT_SHA));
+    char host[256] = {};
+    if (::gethostname(host, sizeof host - 1) != 0) {
+      std::snprintf(host, sizeof host, "unknown");
+    }
+    field("hostname", std::string_view(host));
+    field("cpus", static_cast<std::uint64_t>(
+                      std::thread::hardware_concurrency()));
   }
   void endDocument() {
     endObject();

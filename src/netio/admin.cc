@@ -1,0 +1,139 @@
+#include "netio/admin.h"
+
+#include <errno.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace cluert::netio {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+std::string_view statusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    default:
+      return "Error";
+  }
+}
+
+}  // namespace
+
+AdminServer::AdminServer(EventLoop& loop, const SockAddr& bind)
+    : loop_(loop), listen_(tcpListen(bind)) {
+  CLUERT_CHECK(listen_.valid()) << "cannot bind admin " << bind.toString();
+  const auto bound = localAddr(listen_.get());
+  CLUERT_CHECK(bound.has_value()) << "getsockname failed";
+  addr_ = *bound;
+  loop_.add(listen_.get(), EPOLLIN, [this](std::uint32_t) { onAccept(); });
+}
+
+AdminServer::~AdminServer() = default;
+
+void AdminServer::route(const std::string& path, Handler handler) {
+  routes_[path] = std::move(handler);
+}
+
+void AdminServer::onAccept() {
+  for (;;) {
+    const int fd = ::accept(listen_.get(), nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient — either way, done for now
+    if (!setNonBlocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd = Fd(fd);
+    conns_[fd] = std::move(conn);
+    loop_.add(fd, EPOLLIN, [this, fd](std::uint32_t ev) { onConn(fd, ev); });
+  }
+}
+
+void AdminServer::onConn(int fd, std::uint32_t events) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& c = *it->second;
+
+  if (c.out.empty() && (events & EPOLLIN) != 0) {
+    char buf[2048];
+    for (;;) {
+      const ssize_t r = ::read(fd, buf, sizeof(buf));
+      if (r > 0) {
+        c.in.append(buf, static_cast<std::size_t>(r));
+        if (c.in.size() > kMaxRequestBytes) {
+          finish(fd);
+          return;
+        }
+        continue;
+      }
+      if (r == 0) {  // peer closed before a full request
+        finish(fd);
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      finish(fd);
+      return;
+    }
+    const std::size_t head_end = c.in.find("\r\n\r\n") != std::string::npos
+                                     ? c.in.find("\r\n\r\n")
+                                     : c.in.find("\n\n");
+    if (head_end == std::string::npos) return;  // keep reading
+    const AdminResponse resp = dispatch(c.in.substr(0, head_end));
+    c.out = "HTTP/1.0 " + std::to_string(resp.status) + " " +
+            std::string(statusText(resp.status)) +
+            "\r\nContent-Type: " + resp.content_type +
+            "\r\nContent-Length: " + std::to_string(resp.body.size()) +
+            "\r\nConnection: close\r\n\r\n" + resp.body;
+    loop_.modify(fd, EPOLLOUT);
+  }
+
+  if (!c.out.empty()) {
+    while (c.written < c.out.size()) {
+      const ssize_t w = ::write(fd, c.out.data() + c.written,
+                                c.out.size() - c.written);
+      if (w > 0) {
+        c.written += static_cast<std::size_t>(w);
+        continue;
+      }
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (w < 0 && errno == EINTR) continue;
+      break;  // peer gone: close below
+    }
+    finish(fd);
+  }
+}
+
+void AdminServer::finish(int fd) {
+  loop_.remove(fd);
+  conns_.erase(fd);  // Fd dtor closes
+}
+
+AdminResponse AdminServer::dispatch(const std::string& request_head) {
+  // "GET /path HTTP/1.x" — method and path are all we look at.
+  const std::size_t sp1 = request_head.find(' ');
+  if (sp1 == std::string::npos) return {400, "text/plain", "bad request\n"};
+  const std::size_t sp2 = request_head.find(' ', sp1 + 1);
+  const std::string method = request_head.substr(0, sp1);
+  const std::string path =
+      sp2 == std::string::npos
+          ? request_head.substr(sp1 + 1)
+          : request_head.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") return {400, "text/plain", "GET only\n"};
+  auto it = routes_.find(path);
+  if (it == routes_.end()) return {404, "text/plain", "not found\n"};
+  return it->second();
+}
+
+}  // namespace cluert::netio

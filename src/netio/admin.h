@@ -1,0 +1,73 @@
+// The TCP admin plane: a deliberately minimal HTTP/1.0 server on the
+// daemon's control EventLoop. It exists to answer four questions —
+//
+//   GET /metrics  → Prometheus text (obs::toPrometheus of a live snapshot)
+//   GET /status   → one JSON object: identity, live table seq, per-shard
+//                   and aggregate datagram counters, drain state
+//   GET /reload   → re-read the route files, diff against the mirrors,
+//                   enqueue the FibDeltas, flush the updater; the response
+//                   reports the new live seq (i.e. it returns only after
+//                   the reload is visible to the data plane)
+//   GET /healthz  → "ok\n"
+//   GET /quit     → begin graceful shutdown (same path as SIGTERM)
+//
+// HTTP handling is the bare minimum for curl / the wire_play `get`
+// subcommand: read until the blank line, parse the request line, write one
+// response, close. Connections are per-fd state machines on the loop;
+// partial writes re-arm EPOLLOUT.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "netio/event_loop.h"
+#include "netio/socket.h"
+
+namespace cluert::netio {
+
+struct AdminResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class AdminServer {
+ public:
+  using Handler = std::function<AdminResponse()>;
+
+  // Binds immediately (so adminAddr() is valid after construction); starts
+  // accepting once `loop` runs. Handlers run on the loop thread.
+  AdminServer(EventLoop& loop, const SockAddr& bind);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  void route(const std::string& path, Handler handler);
+
+  const SockAddr& adminAddr() const { return addr_; }
+
+ private:
+  struct Conn {
+    Fd fd;
+    std::string in;
+    std::string out;
+    std::size_t written = 0;
+  };
+
+  void onAccept();
+  void onConn(int fd, std::uint32_t events);
+  void finish(int fd);  // removes the connection from loop + map
+  AdminResponse dispatch(const std::string& request_head);
+
+  EventLoop& loop_;
+  Fd listen_;
+  SockAddr addr_;
+  std::map<std::string, Handler> routes_;
+  std::map<int, std::unique_ptr<Conn>> conns_;
+};
+
+}  // namespace cluert::netio

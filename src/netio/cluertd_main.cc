@@ -1,0 +1,52 @@
+// cluertd — the clue-routing daemon. Usage:
+//
+//   cluertd --config hopB.conf
+//
+// Runs until SIGTERM/SIGINT (graceful drain) and reloads route files on
+// SIGHUP or GET /reload. See src/netio/config.h for the config format and
+// tools/topo_run.sh for a full multi-hop topology harness.
+#include <cstdio>
+#include <string>
+
+#include "netio/config.h"
+#include "netio/daemon.h"
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--config" && i + 1 < argc) {
+      config_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: cluertd --config FILE\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (config_path.empty()) {
+    std::fprintf(stderr, "usage: cluertd --config FILE\n");
+    return 2;
+  }
+
+  std::string error;
+  const auto config = cluert::netio::loadConfig(config_path, &error);
+  if (!config) {
+    std::fprintf(stderr, "cluertd: bad config: %s\n", error.c_str());
+    return 2;
+  }
+
+  cluert::netio::Daemon::Options options;
+  options.handle_signals = true;
+  cluert::netio::Daemon daemon(*config, options);
+  daemon.start();
+  std::printf("cluertd %s: data %s admin %s (live seq %llu)\n",
+              config->name.c_str(), daemon.dataAddr().toString().c_str(),
+              daemon.adminAddr().toString().c_str(),
+              static_cast<unsigned long long>(daemon.liveSeq()));
+  std::fflush(stdout);
+  daemon.waitShutdown();
+  std::printf("cluertd %s: clean shutdown\n", config->name.c_str());
+  return 0;
+}

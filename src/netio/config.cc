@@ -1,0 +1,145 @@
+#include "netio/config.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace cluert::netio {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool parseU64(std::string_view s, std::uint64_t* out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+std::optional<lookup::Method> methodFromName(std::string_view s) {
+  for (lookup::Method m : lookup::kExtendedMethods) {
+    if (s == lookup::methodName(m)) return m;
+  }
+  return std::nullopt;
+}
+
+std::optional<lookup::ClueMode> modeFromName(std::string_view s) {
+  if (s == "simple" || s == "Simple") return lookup::ClueMode::kSimple;
+  if (s == "advance" || s == "Advance") return lookup::ClueMode::kAdvance;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Config> parseConfig(std::string_view text, std::string* error) {
+  Config c;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + what;
+    }
+    return std::nullopt;
+  };
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) return fail("expected key = value");
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view val = trim(line.substr(eq + 1));
+    if (key.empty() || val.empty()) return fail("empty key or value");
+
+    if (key == "name") {
+      c.name = std::string(val);
+    } else if (key == "router_id") {
+      std::uint64_t v = 0;
+      if (!parseU64(val, &v) || v > 0xffff) return fail("bad router_id");
+      c.router_id = static_cast<std::uint16_t>(v);
+    } else if (key == "listen" || key == "admin") {
+      const auto a = SockAddr::parse(val);
+      if (!a) return fail("bad address (want ip:port)");
+      (key == "listen" ? c.listen : c.admin) = *a;
+    } else if (key == "routes") {
+      c.routes = std::string(val);
+    } else if (key == "neighbor_routes") {
+      c.neighbor_routes = std::string(val);
+    } else if (key == "method") {
+      const auto m = methodFromName(val);
+      if (!m) return fail("unknown method");
+      c.method = *m;
+    } else if (key == "mode") {
+      const auto m = modeFromName(val);
+      if (!m) return fail("mode must be simple or advance");
+      c.mode = *m;
+    } else if (key == "workers") {
+      std::uint64_t v = 0;
+      if (!parseU64(val, &v) || v == 0 || v > 32) return fail("bad workers");
+      c.workers = static_cast<std::size_t>(v);
+    } else if (key == "cache_entries") {
+      std::uint64_t v = 0;
+      if (!parseU64(val, &v)) return fail("bad cache_entries");
+      c.cache_entries = static_cast<std::size_t>(v);
+    } else if (key == "oracle") {
+      if (val != "0" && val != "1") return fail("oracle must be 0 or 1");
+      c.oracle = val == "1";
+    } else if (key == "drain_ms") {
+      std::uint64_t v = 0;
+      if (!parseU64(val, &v) || v > 60000) return fail("bad drain_ms");
+      c.drain_ms = static_cast<std::uint32_t>(v);
+    } else if (key == "rcvbuf") {
+      std::uint64_t v = 0;
+      if (!parseU64(val, &v) || v > (1u << 30)) return fail("bad rcvbuf");
+      c.rcvbuf = static_cast<int>(v);
+    } else if (key == "metrics_out") {
+      c.metrics_out = std::string(val);
+    } else if (key == "peer.default") {
+      const auto a = SockAddr::parse(val);
+      if (!a) return fail("bad peer address");
+      c.default_peer = *a;
+    } else if (key.size() > 5 && key.substr(0, 5) == "peer.") {
+      std::uint64_t nh = 0;
+      if (!parseU64(key.substr(5), &nh)) return fail("bad peer key");
+      const auto a = SockAddr::parse(val);
+      if (!a) return fail("bad peer address");
+      c.peers[static_cast<NextHop>(nh)] = *a;
+    } else {
+      return fail("unknown key '" + std::string(key) + "'");
+    }
+  }
+  line_no = 0;  // config-level (not line-level) complaints below
+  if (c.routes.empty()) return fail("missing required key 'routes'");
+  if (c.mode == lookup::ClueMode::kAdvance && c.neighbor_routes.empty()) {
+    return fail("mode advance requires neighbor_routes");
+  }
+  return c;
+}
+
+std::optional<Config> loadConfig(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parseConfig(ss.str(), error);
+}
+
+}  // namespace cluert::netio

@@ -1,0 +1,244 @@
+#include "netio/daemon.h"
+
+#include <sys/epoll.h>
+#include <sys/signalfd.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "obs/export.h"
+#include "rib/fib_diff.h"
+
+namespace cluert::netio {
+
+namespace {
+
+std::optional<std::string> readWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::optional<rib::Fib<ip::Ip4Addr>> loadFib(const std::string& path) {
+  const auto text = readWholeFile(path);
+  if (!text) return std::nullopt;
+  return rib::Fib<ip::Ip4Addr>::parse(*text);
+}
+
+}  // namespace
+
+Daemon::Daemon(const Config& config) : Daemon(config, Options()) {}
+
+Daemon::Daemon(const Config& config, const Options& options)
+    : config_(config), options_(options) {
+  // Block the handled signals BEFORE any thread exists (RouteUpdater and
+  // the datapaths spawn below and inherit this mask) — otherwise a SIGTERM
+  // can land on a thread with the default disposition and kill the process
+  // instead of reaching the signalfd.
+  if (options_.handle_signals) setupSignals();
+  auto local = loadFib(config_.routes);
+  CLUERT_CHECK(local.has_value())
+      << "cannot load routes file " << config_.routes;
+  local_mirror_ = std::move(*local);
+  if (!config_.neighbor_routes.empty()) {
+    auto neighbor = loadFib(config_.neighbor_routes);
+    CLUERT_CHECK(neighbor.has_value())
+        << "cannot load neighbor_routes file " << config_.neighbor_routes;
+    neighbor_mirror_ = std::move(*neighbor);
+  } else {
+    // Simple mode verifies only the receiver's own table; an empty sender
+    // universe keeps Advance's Claim-1 machinery inert.
+    neighbor_mirror_ = local_mirror_;
+  }
+
+  typename rib::VersionedTables<A>::Options topts;
+  topts.method = config_.method;
+  topts.mode = config_.mode;
+  topts.registry = &registry_;
+  // The daemon swaps tables while the wire is live; re-validating every
+  // retired version on the updater thread is sim/test-tier paranoia that a
+  // router under load cannot afford per delta.
+  topts.validate_retired = false;
+  tables_ = std::make_unique<rib::VersionedTables<A>>(local_mirror_,
+                                                      neighbor_mirror_, topts);
+  updater_ = std::make_unique<rib::RouteUpdater<A>>(*tables_);
+
+  datapaths_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    Config shard_config = config_;
+    // Shards after the first bind the address the first shard got — with
+    // listen port 0 the kernel picks once, and SO_REUSEPORT spreads flows.
+    if (w > 0) shard_config.listen = datapaths_.front()->dataAddr();
+    datapaths_.push_back(std::make_unique<Datapath>(shard_config, w, *tables_,
+                                                    &registry_));
+  }
+
+  admin_ = std::make_unique<AdminServer>(admin_loop_, config_.admin);
+  admin_->route("/metrics", [this] {
+    return AdminResponse{200, "text/plain; version=0.0.4",
+                         obs::toPrometheus(registry_.snapshot())};
+  });
+  admin_->route("/status", [this] { return statusJson(); });
+  admin_->route("/reload", [this] { return reloadResponse(); });
+  admin_->route("/healthz",
+                [] { return AdminResponse{200, "text/plain", "ok\n"}; });
+  admin_->route("/quit", [this] {
+    beginShutdown();
+    return AdminResponse{200, "text/plain", "shutting down\n"};
+  });
+}
+
+Daemon::~Daemon() { stop(); }
+
+void Daemon::start() {
+  started_at_ = std::chrono::steady_clock::now();
+  for (auto& dp : datapaths_) dp->start();
+  admin_thread_ = std::thread([this] { admin_loop_.run(); });
+}
+
+void Daemon::beginShutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+void Daemon::waitShutdown() {
+  {
+    std::unique_lock<std::mutex> lock(shutdown_mu_);
+    shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+    if (torn_down_) return;
+    torn_down_ = true;
+  }
+  draining_.store(true, std::memory_order_relaxed);
+  // Bounded drain: already-accepted datagrams are processed, new arrivals
+  // past drain_ms are the network's problem (it's UDP).
+  for (auto& dp : datapaths_) dp->requestDrain();
+  for (auto& dp : datapaths_) dp->join();
+  // Everything the admin plane enqueued gets published before the tables
+  // die.
+  updater_->stop();
+  if (!config_.metrics_out.empty()) {
+    obs::writeFile(config_.metrics_out,
+                   obs::toPrometheus(registry_.snapshot()));
+  }
+  admin_loop_.stop();
+  if (admin_thread_.joinable()) admin_thread_.join();
+  teardownSignals();
+}
+
+void Daemon::stop() {
+  beginShutdown();
+  waitShutdown();
+}
+
+std::uint64_t Daemon::liveSeq() const { return tables_->liveSeq(); }
+
+std::uint64_t Daemon::reload() {
+  auto local = loadFib(config_.routes);
+  if (!local) return 0;
+  std::optional<rib::Fib<A>> neighbor;
+  if (!config_.neighbor_routes.empty()) {
+    neighbor = loadFib(config_.neighbor_routes);
+    if (!neighbor) return 0;
+  }
+  rib::FibDelta<A> dl;
+  rib::FibDelta<A> dn;
+  {
+    std::lock_guard<std::mutex> lock(fib_mu_);
+    dl = rib::diff(local_mirror_, *local);
+    local_mirror_ = std::move(*local);
+    if (neighbor) {
+      dn = rib::diff(neighbor_mirror_, *neighbor);
+      neighbor_mirror_ = std::move(*neighbor);
+    }
+  }
+  // Neighbor first: a new local route whose clue relies on a new sender
+  // prefix must not go live before that prefix exists in the clue universe.
+  if (!dn.empty()) updater_->enqueueNeighbor(std::move(dn));
+  if (!dl.empty()) updater_->enqueueLocal(std::move(dl));
+  updater_->flush();
+  return liveSeq();
+}
+
+AdminResponse Daemon::statusJson() {
+  std::uint64_t rx = 0, tx = 0, delivered = 0, decode_errors = 0,
+                no_route = 0, ttl_expired = 0, send_errors = 0, oracle = 0;
+  for (const auto& dp : datapaths_) {
+    rx += dp->rxPackets();
+    tx += dp->txPackets();
+    delivered += dp->delivered();
+    decode_errors += dp->decodeErrors();
+    no_route += dp->noRoute();
+    ttl_expired += dp->ttlExpired();
+    send_errors += dp->sendErrors();
+    oracle += dp->oracleMismatches();
+  }
+  const auto uptime = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - started_at_)
+                          .count();
+  std::ostringstream js;
+  js << "{\"name\":\"" << config_.name << "\",\"router_id\":"
+     << config_.router_id << ",\"uptime_ms\":" << uptime
+     << ",\"live_seq\":" << liveSeq() << ",\"workers\":" << datapaths_.size()
+     << ",\"rx_packets\":" << rx << ",\"tx_packets\":" << tx
+     << ",\"delivered\":" << delivered
+     << ",\"decode_errors\":" << decode_errors << ",\"no_route\":" << no_route
+     << ",\"ttl_expired\":" << ttl_expired
+     << ",\"send_errors\":" << send_errors
+     << ",\"oracle_mismatches\":" << oracle << ",\"draining\":"
+     << (draining_.load(std::memory_order_relaxed) ? "true" : "false")
+     << "}\n";
+  return AdminResponse{200, "application/json", js.str()};
+}
+
+AdminResponse Daemon::reloadResponse() {
+  const std::uint64_t seq = reload();
+  if (seq == 0) {
+    return AdminResponse{400, "application/json",
+                         "{\"reloaded\":false}\n"};
+  }
+  std::ostringstream js;
+  js << "{\"reloaded\":true,\"live_seq\":" << seq << "}\n";
+  return AdminResponse{200, "application/json", js.str()};
+}
+
+void Daemon::setupSignals() {
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGTERM);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGHUP);
+  CLUERT_CHECK(pthread_sigmask(SIG_BLOCK, &mask, &old_sigmask_) == 0)
+      << "pthread_sigmask failed";
+  signal_fd_ = Fd(::signalfd(-1, &mask, SFD_NONBLOCK));
+  CLUERT_CHECK(signal_fd_.valid()) << "signalfd failed";
+  signals_active_ = true;
+  admin_loop_.add(signal_fd_.get(), EPOLLIN, [this](std::uint32_t) {
+    signalfd_siginfo si{};
+    while (::read(signal_fd_.get(), &si, sizeof(si)) == sizeof(si)) {
+      if (si.ssi_signo == SIGHUP) {
+        reload();
+      } else {
+        beginShutdown();
+      }
+    }
+  });
+}
+
+void Daemon::teardownSignals() {
+  if (!signals_active_) return;
+  signals_active_ = false;
+  // The admin loop is stopped by the time we get here only on the stop()
+  // path; removing by fd is safe from this thread because the loop has
+  // exited (waitShutdown joins it first).
+  signal_fd_.reset();
+  pthread_sigmask(SIG_SETMASK, &old_sigmask_, nullptr);
+}
+
+}  // namespace cluert::netio

@@ -1,0 +1,272 @@
+#include "netio/datapath.h"
+
+#include <sys/epoll.h>
+
+#include <chrono>
+#include <string>
+
+#include "common/check.h"
+#include "core/distributed_lookup.h"
+
+namespace cluert::netio {
+
+namespace {
+
+std::uint64_t nowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::unique_ptr<core::CluePort<ip::Ip4Addr>> makePort(const Config& c) {
+  typename core::CluePort<ip::Ip4Addr>::Options o;
+  o.method = c.method;
+  o.mode = c.mode;
+  o.cache_entries = c.cache_entries;
+  return std::make_unique<core::CluePort<ip::Ip4Addr>>(o);
+}
+
+}  // namespace
+
+Datapath::Datapath(const Config& config, std::size_t shard,
+                   rib::VersionedTables<A>& tables,
+                   obs::MetricRegistry* registry)
+    : config_(config),
+      shard_(shard),
+      sock_(udpSocket(config.listen, /*reuseport=*/config.workers > 1,
+                      config.rcvbuf)),
+      resolver_(makePort(config), shard),
+      rx_bufs_(pipeline::kMaxBatch) {
+  CLUERT_CHECK(sock_.valid())
+      << "cannot bind UDP " << config.listen.toString();
+  const auto bound = localAddr(sock_.get());
+  CLUERT_CHECK(bound.has_value()) << "getsockname failed";
+  data_addr_ = *bound;
+  resolver_.bindVersions(&tables);
+
+  if (registry != nullptr) {
+    const obs::Labels shard_label = {{"shard", std::to_string(shard_)}};
+    nobs_ = obs::NetioObs::bind(*registry, shard_, shard_label);
+    resolver_.port().attachObs(obs::LookupObs::bind(*registry, shard_));
+    for (std::uint16_t s = 0; s <= kMaxSrcLabel; ++s) {
+      const std::string label =
+          s < kMaxSrcLabel ? std::to_string(s) : std::string("other");
+      rx_by_src_[s] =
+          &registry
+               ->counter("netio_peer_rx_packets_total",
+                         "Ingress datagrams by the wire header's source "
+                         "router id",
+                         {{"src", label}})
+               .shard(shard_);
+    }
+    auto bindTx = [&](const std::string& peer_label) {
+      return &registry
+                  ->counter("netio_peer_tx_packets_total",
+                            "Egress datagrams by next-hop peer",
+                            {{"peer", peer_label}})
+                  .shard(shard_);
+    };
+    for (const auto& [nh, addr] : config_.peers) {
+      peer_index_[nh] = tx_targets_.size();
+      tx_targets_.push_back(addr);
+      tx_by_peer_.push_back(bindTx(std::to_string(nh)));
+    }
+    if (config_.default_peer) {
+      default_index_ = tx_targets_.size();
+      tx_targets_.push_back(*config_.default_peer);
+      tx_by_peer_.push_back(bindTx("default"));
+    }
+  } else {
+    for (const auto& [nh, addr] : config_.peers) {
+      peer_index_[nh] = tx_targets_.size();
+      tx_targets_.push_back(addr);
+      tx_by_peer_.push_back(nullptr);
+    }
+    if (config_.default_peer) {
+      default_index_ = tx_targets_.size();
+      tx_targets_.push_back(*config_.default_peer);
+      tx_by_peer_.push_back(nullptr);
+    }
+  }
+
+  loop_.add(sock_.get(), EPOLLIN, [this](std::uint32_t) { onReadable(); });
+}
+
+Datapath::~Datapath() { join(); }
+
+void Datapath::start() {
+  thread_ = std::thread([this] { loop_.run(); });
+}
+
+void Datapath::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Datapath::requestDrain() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) return;
+  loop_.post([this] {
+    const std::uint64_t deadline =
+        nowNs() + std::uint64_t{config_.drain_ms} * 1000000ULL;
+    drainStep(deadline);
+  });
+}
+
+void Datapath::drainStep(std::uint64_t deadline_ns) {
+  // Drain already-accepted datagrams: keep pulling until the kernel buffer
+  // is dry (no loss for anything the socket took before the SIGTERM) or the
+  // drain budget runs out, whichever is first.
+  while (nowNs() < deadline_ns) {
+    if (processBatch() == 0) break;
+  }
+  loop_.stop();
+}
+
+obs::CounterCell* Datapath::rxCellFor(std::uint16_t src_id) {
+  return rx_by_src_[src_id < kMaxSrcLabel ? src_id : kMaxSrcLabel];
+}
+
+void Datapath::onReadable() {
+  // Level-triggered: processing a bounded number of rounds per callback
+  // keeps posted tasks and timers responsive under sustained load.
+  for (int round = 0; round < 4; ++round) {
+    if (processBatch() < static_cast<int>(pipeline::kMaxBatch)) break;
+  }
+}
+
+int Datapath::processBatch() {
+  const int n = recvBatch(sock_.get(), rx_bufs_.data(),
+                          static_cast<int>(pipeline::kMaxBatch));
+  if (n <= 0) return 0;
+
+  // Decode pass: valid packets compact into the resolve arrays; the decode
+  // buffer stays alive (payload spans alias it) until the send below.
+  std::array<WirePacket<A>, pipeline::kMaxBatch> pkts;
+  std::array<A, pipeline::kMaxBatch> dests;
+  std::array<core::ClueField, pipeline::kMaxBatch> clues;
+  std::array<core::CluePort<A>::Result, pipeline::kMaxBatch> results;
+  std::size_t valid = 0;
+  std::uint64_t rx_bytes = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto r = decode<A>({rx_bufs_[i].data.data(), rx_bufs_[i].len});
+    if (!r.ok()) {
+      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (nobs_.enabled()) nobs_.decode_errors->inc();
+      continue;
+    }
+    if (nobs_.enabled()) {
+      auto* cell = rxCellFor(r.packet.src_id);
+      if (cell != nullptr) cell->inc();
+    }
+    rx_bytes += rx_bufs_[i].len;
+    pkts[valid] = r.packet;
+    dests[valid] = r.packet.dest;
+    clues[valid] = r.packet.clue;
+    ++valid;
+  }
+  rx_.fetch_add(valid, std::memory_order_relaxed);
+  if (nobs_.enabled()) {
+    nobs_.rx_packets->inc(valid);
+    nobs_.rx_bytes->inc(rx_bytes);
+  }
+  if (valid == 0) return n;
+
+  // One pinned version for the whole batch; the optional differential
+  // oracle runs inside the guard so it reads the *same* version the port
+  // answered from.
+  resolver_.resolve(
+      {dests.data(), valid}, {clues.data(), valid}, {results.data(), valid},
+      acc_, [&](const rib::TableVersion<A>* version) {
+        if (!config_.oracle || version == nullptr) return;
+        const auto& engine = version->suite->engine(version->method);
+        for (std::size_t i = 0; i < valid; ++i) {
+          const auto expect = engine.lookup(dests[i], oracle_acc_);
+          const auto& got = results[i].match;
+          const bool mismatch =
+              expect.has_value() != got.has_value() ||
+              (expect.has_value() &&
+               (expect->next_hop != got->next_hop ||
+                expect->prefix != got->prefix));
+          if (mismatch) {
+            oracle_mismatch_.fetch_add(1, std::memory_order_relaxed);
+            if (nobs_.enabled()) nobs_.oracle_mismatch->inc();
+          }
+        }
+      });
+
+  // Forwarding pass: re-encode toward peers, settle the drop taxonomy.
+  std::array<OutDatagram, pipeline::kMaxBatch> out;
+  std::array<std::size_t, pipeline::kMaxBatch> out_peer_idx;
+  std::size_t n_out = 0;
+  std::uint64_t tx_bytes = 0;
+  for (std::size_t i = 0; i < valid; ++i) {
+    const auto& m = results[i].match;
+    if (!m.has_value()) {
+      no_route_.fetch_add(1, std::memory_order_relaxed);
+      if (nobs_.enabled()) nobs_.no_route->inc();
+      continue;
+    }
+    std::size_t peer_idx = 0;
+    {
+      auto it = peer_index_.find(m->next_hop);
+      if (it != peer_index_.end()) {
+        peer_idx = it->second;
+      } else if (default_index_) {
+        peer_idx = *default_index_;
+      } else {
+        delivered_.fetch_add(1, std::memory_order_relaxed);
+        if (nobs_.enabled()) nobs_.delivered->inc();
+        continue;
+      }
+    }
+    if (pkts[i].ttl <= 1) {
+      ttl_expired_.fetch_add(1, std::memory_order_relaxed);
+      if (nobs_.enabled()) nobs_.ttl_expired->inc();
+      continue;
+    }
+    WirePacket<A> fwd;
+    fwd.dest = pkts[i].dest;
+    // §2: the clue this router sends downstream is its own BMP — the length
+    // of the prefix it matched. (A default-route match has length 0, which
+    // encodes as "no clue": the downstream falls back to a common lookup.)
+    fwd.clue = m->prefix.length() > 0 ? core::ClueField::of(m->prefix.length())
+                                      : core::ClueField::none();
+    fwd.ttl = static_cast<std::uint8_t>(pkts[i].ttl - 1);
+    fwd.src_id = config_.router_id;
+    fwd.payload = pkts[i].payload;
+    const std::size_t len = encode(fwd, tx_bufs_[n_out]);
+    if (len == 0) {
+      send_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (nobs_.enabled()) nobs_.send_errors->inc();
+      continue;
+    }
+    out[n_out] = OutDatagram{tx_bufs_[n_out].data(), len,
+                             tx_targets_[peer_idx]};
+    out_peer_idx[n_out] = peer_idx;
+    tx_bytes += len;
+    ++n_out;
+  }
+  if (n_out > 0) {
+    const int sent = sendBatch(sock_.get(), out.data(),
+                               static_cast<int>(n_out));
+    const std::size_t ok = sent < 0 ? 0 : static_cast<std::size_t>(sent);
+    tx_.fetch_add(ok, std::memory_order_relaxed);
+    const std::size_t dropped = n_out - ok;
+    if (dropped > 0) {
+      send_errors_.fetch_add(dropped, std::memory_order_relaxed);
+    }
+    if (nobs_.enabled()) {
+      nobs_.tx_packets->inc(ok);
+      nobs_.tx_bytes->inc(tx_bytes);
+      if (dropped > 0) nobs_.send_errors->inc(dropped);
+      for (std::size_t i = 0; i < ok; ++i) {
+        auto* cell = tx_by_peer_[out_peer_idx[i]];
+        if (cell != nullptr) cell->inc();
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace cluert::netio

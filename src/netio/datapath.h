@@ -1,0 +1,132 @@
+// One data-plane shard of cluertd: an event loop, a UDP socket, and the
+// same PinnedResolver the in-process pipeline workers use — so a packet
+// that arrives from the wire takes *exactly* the per-batch pin → bindVersion
+// → processBatch path the repo's experiments measure (DESIGN.md §9).
+//
+// Receive flow, per EPOLLIN: recvmmsg a batch (≤ kMaxBatch datagrams),
+// decode each through the wire codec (rejects counted, never fatal), pin
+// ONE table version for the whole batch, resolve, then for each packet:
+//   no BMP            → drop, netio_no_route_total
+//   TTL ≤ 1           → drop, netio_ttl_expired_total
+//   peer for next hop → re-encode with THIS router's clue (the matched
+//                       prefix length — §2: the clue a router sends is its
+//                       own BMP information) and TTL-1, sendmmsg out
+//   no peer           → netio_delivered_total: last clue-speaking hop
+//
+// With `oracle` on, every packet is double-checked inside the read guard
+// against the pinned version's plain engine — the wire-path equivalent of
+// the simulator's per-packet differential oracle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ip/ip_address.h"
+#include "mem/access_counter.h"
+#include "netio/config.h"
+#include "netio/event_loop.h"
+#include "netio/socket.h"
+#include "netio/wire.h"
+#include "obs/hooks.h"
+#include "obs/metrics.h"
+#include "pipeline/packet_batch.h"
+#include "pipeline/pinned_resolver.h"
+#include "rib/versioned_tables.h"
+
+namespace cluert::netio {
+
+class Datapath {
+ public:
+  using A = ip::Ip4Addr;
+
+  // Rx datagrams are attributed per source router id up to this many ids;
+  // higher ids fold into one "other" cell, bounding label cardinality no
+  // matter what src_id bytes arrive off the wire.
+  static constexpr std::uint16_t kMaxSrcLabel = 16;
+
+  Datapath(const Config& config, std::size_t shard,
+           rib::VersionedTables<A>& tables, obs::MetricRegistry* registry);
+  ~Datapath();
+
+  Datapath(const Datapath&) = delete;
+  Datapath& operator=(const Datapath&) = delete;
+
+  // Spawns the shard thread (binds the socket first, so dataAddr() is valid
+  // as soon as the constructor returned).
+  void start();
+
+  // Asks the shard to drain: keep processing already-accepted datagrams
+  // until the socket runs dry or drain_ms elapses, then stop the loop.
+  // Returns immediately; join() to wait.
+  void requestDrain();
+
+  void join();
+
+  const SockAddr& dataAddr() const { return data_addr_; }
+  EventLoop& loop() { return loop_; }
+
+  // Totals mirrored into plain atomics for the /status JSON (the registry
+  // snapshot serves /metrics; these avoid re-parsing it).
+  std::uint64_t rxPackets() const { return rx_.load(std::memory_order_relaxed); }
+  std::uint64_t txPackets() const { return tx_.load(std::memory_order_relaxed); }
+  std::uint64_t delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t decodeErrors() const {
+    return decode_errors_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t noRoute() const {
+    return no_route_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t ttlExpired() const {
+    return ttl_expired_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sendErrors() const {
+    return send_errors_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t oracleMismatches() const {
+    return oracle_mismatch_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void onReadable();
+  // Processes one received batch end-to-end. Returns datagram count.
+  int processBatch();
+  void drainStep(std::uint64_t deadline_ns);
+
+  obs::CounterCell* rxCellFor(std::uint16_t src_id);
+
+  Config config_;
+  std::size_t shard_;
+  EventLoop loop_;
+  Fd sock_;
+  SockAddr data_addr_;
+  pipeline::PinnedResolver<A> resolver_;
+  mem::AccessCounter acc_;
+  mem::AccessCounter oracle_acc_;
+  obs::NetioObs nobs_;
+  // rx per source router id: [0, kMaxSrcLabel) exact + one "other".
+  std::array<obs::CounterCell*, kMaxSrcLabel + 1> rx_by_src_{};
+  // tx per configured peer endpoint, indexed like tx_targets_. The last
+  // entry (when present) is peer.default.
+  std::vector<obs::CounterCell*> tx_by_peer_;
+  std::vector<SockAddr> tx_targets_;
+  std::map<NextHop, std::size_t> peer_index_;
+  std::optional<std::size_t> default_index_;
+
+  // Receive/transmit scratch, sized once (kMaxBatch datagrams per round).
+  std::vector<DatagramBuf> rx_bufs_;
+  std::array<std::array<std::uint8_t, kMaxDatagram>, pipeline::kMaxBatch>
+      tx_bufs_;
+
+  std::thread thread_;
+  std::atomic<bool> draining_{false};
+
+  std::atomic<std::uint64_t> rx_{0}, tx_{0}, delivered_{0}, decode_errors_{0},
+      no_route_{0}, ttl_expired_{0}, send_errors_{0}, oracle_mismatch_{0};
+};
+
+}  // namespace cluert::netio

@@ -1,0 +1,213 @@
+#define _GNU_SOURCE 1  // recvmmsg/sendmmsg (CMAKE_CXX_EXTENSIONS is OFF)
+
+#include "netio/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+
+namespace cluert::netio {
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<SockAddr> SockAddr::parse(std::string_view s) {
+  const auto colon = s.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 >= s.size()) {
+    return std::nullopt;
+  }
+  const std::string host(s.substr(0, colon));
+  in_addr ia{};
+  if (::inet_pton(AF_INET, host.c_str(), &ia) != 1) return std::nullopt;
+  const std::string_view port_sv = s.substr(colon + 1);
+  std::uint32_t port = 0;
+  const auto [ptr, ec] =
+      std::from_chars(port_sv.data(), port_sv.data() + port_sv.size(), port);
+  if (ec != std::errc{} || ptr != port_sv.data() + port_sv.size() ||
+      port > 0xffff) {
+    return std::nullopt;
+  }
+  SockAddr a;
+  a.ip = ntohl(ia.s_addr);
+  a.port = static_cast<std::uint16_t>(port);
+  return a;
+}
+
+std::string SockAddr::toString() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u:%u", (ip >> 24) & 0xff,
+                (ip >> 16) & 0xff, (ip >> 8) & 0xff, ip & 0xff, port);
+  return buf;
+}
+
+sockaddr_in SockAddr::toSockaddrIn() const {
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_addr.s_addr = htonl(ip);
+  sin.sin_port = htons(port);
+  return sin;
+}
+
+SockAddr SockAddr::fromSockaddrIn(const sockaddr_in& sin) {
+  SockAddr a;
+  a.ip = ntohl(sin.sin_addr.s_addr);
+  a.port = ntohs(sin.sin_port);
+  return a;
+}
+
+bool setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+Fd udpSocket(const SockAddr& bind, bool reuseport, int rcvbuf) {
+  Fd fd(::socket(AF_INET, SOCK_DGRAM, 0));
+  if (!fd.valid()) return {};
+  if (reuseport) {
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+  }
+  if (rcvbuf > 0) {
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  }
+  const sockaddr_in sin = bind.toSockaddrIn();
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&sin),
+             sizeof(sin)) != 0) {
+    return {};
+  }
+  if (!setNonBlocking(fd.get())) return {};
+  return fd;
+}
+
+Fd tcpListen(const SockAddr& bind, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return {};
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const sockaddr_in sin = bind.toSockaddrIn();
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&sin),
+             sizeof(sin)) != 0) {
+    return {};
+  }
+  if (::listen(fd.get(), backlog) != 0) return {};
+  if (!setNonBlocking(fd.get())) return {};
+  return fd;
+}
+
+std::optional<SockAddr> localAddr(int fd) {
+  sockaddr_in sin{};
+  socklen_t len = sizeof(sin);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sin), &len) != 0 ||
+      sin.sin_family != AF_INET) {
+    return std::nullopt;
+  }
+  return SockAddr::fromSockaddrIn(sin);
+}
+
+int recvBatch(int fd, DatagramBuf* bufs, int max) {
+#if defined(__linux__)
+  // One mmsghdr per slot; all fixed-size, so the arrays live on the stack.
+  constexpr int kChunk = 64;
+  if (max > kChunk) max = kChunk;
+  mmsghdr msgs[kChunk];
+  iovec iovs[kChunk];
+  sockaddr_in froms[kChunk];
+  ::memset(msgs, 0, sizeof(mmsghdr) * static_cast<std::size_t>(max));
+  for (int i = 0; i < max; ++i) {
+    iovs[i].iov_base = bufs[i].data.data();
+    iovs[i].iov_len = bufs[i].data.size();
+    msgs[i].msg_hdr.msg_iov = &iovs[i];
+    msgs[i].msg_hdr.msg_iovlen = 1;
+    msgs[i].msg_hdr.msg_name = &froms[i];
+    msgs[i].msg_hdr.msg_namelen = sizeof(froms[i]);
+  }
+  const int n = ::recvmmsg(fd, msgs, static_cast<unsigned>(max), 0, nullptr);
+  if (n < 0) {
+    return (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) ? 0
+                                                                       : -1;
+  }
+  for (int i = 0; i < n; ++i) {
+    bufs[i].len = msgs[i].msg_len;
+    bufs[i].from = SockAddr::fromSockaddrIn(froms[i]);
+  }
+  return n;
+#else
+  int n = 0;
+  while (n < max) {
+    sockaddr_in from{};
+    socklen_t from_len = sizeof(from);
+    const ssize_t r = ::recvfrom(fd, bufs[n].data.data(), bufs[n].data.size(),
+                                 0, reinterpret_cast<sockaddr*>(&from),
+                                 &from_len);
+    if (r < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      return n > 0 ? n : -1;
+    }
+    bufs[n].len = static_cast<std::size_t>(r);
+    bufs[n].from = SockAddr::fromSockaddrIn(from);
+    ++n;
+  }
+  return n;
+#endif
+}
+
+int sendBatch(int fd, const OutDatagram* out, int n) {
+#if defined(__linux__)
+  constexpr int kChunk = 64;
+  int sent_total = 0;
+  while (sent_total < n) {
+    const int chunk = std::min(n - sent_total, kChunk);
+    mmsghdr msgs[kChunk];
+    iovec iovs[kChunk];
+    sockaddr_in tos[kChunk];
+    ::memset(msgs, 0, sizeof(mmsghdr) * static_cast<std::size_t>(chunk));
+    for (int i = 0; i < chunk; ++i) {
+      const OutDatagram& d = out[sent_total + i];
+      iovs[i].iov_base = const_cast<std::uint8_t*>(d.data);
+      iovs[i].iov_len = d.len;
+      tos[i] = d.to.toSockaddrIn();
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+      msgs[i].msg_hdr.msg_name = &tos[i];
+      msgs[i].msg_hdr.msg_namelen = sizeof(tos[i]);
+    }
+    const int sent = ::sendmmsg(fd, msgs, static_cast<unsigned>(chunk), 0);
+    if (sent < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        return sent_total;
+      }
+      return sent_total;
+    }
+    sent_total += sent;
+    if (sent < chunk) return sent_total;  // kernel backpressure: stop here
+  }
+  return sent_total;
+#else
+  int sent = 0;
+  for (int i = 0; i < n; ++i) {
+    const sockaddr_in to = out[i].to.toSockaddrIn();
+    const ssize_t r =
+        ::sendto(fd, out[i].data, out[i].len, 0,
+                 reinterpret_cast<const sockaddr*>(&to), sizeof(to));
+    if (r < 0) break;
+    ++sent;
+  }
+  return sent;
+#endif
+}
+
+}  // namespace cluert::netio

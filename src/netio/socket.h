@@ -1,0 +1,104 @@
+// Thin, checked wrappers over the Linux socket calls cluertd uses: RAII fd
+// ownership, IPv4 endpoint parsing, non-blocking UDP/TCP setup, and batched
+// datagram I/O (recvmmsg/sendmmsg with a portable fallback). Everything
+// returns errors by value — the daemon decides what is fatal; this layer
+// never aborts on a transient EAGAIN.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "netio/wire.h"
+
+namespace cluert::netio {
+
+// Owning file descriptor. Move-only; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+// An IPv4 endpoint. The daemon's data plane is IPv4 (matching the repo's
+// Ip4Addr-instantiated pipeline); the *payload* wire format still carries
+// either family.
+struct SockAddr {
+  std::uint32_t ip = 0;  // host byte order
+  std::uint16_t port = 0;
+
+  static std::optional<SockAddr> parse(std::string_view s);  // "a.b.c.d:port"
+  std::string toString() const;
+  sockaddr_in toSockaddrIn() const;
+  static SockAddr fromSockaddrIn(const sockaddr_in& sin);
+
+  bool operator==(const SockAddr&) const = default;
+};
+
+// One received datagram plus its provenance. Sized for the largest wire
+// packet; anything bigger is truncated and will fail decode (kBadLength).
+struct DatagramBuf {
+  std::array<std::uint8_t, kMaxDatagram + 64> data;
+  std::size_t len = 0;
+  SockAddr from;
+};
+
+bool setNonBlocking(int fd);
+
+// Non-blocking UDP socket bound to `bind` (port 0 ⇒ kernel-assigned; read it
+// back with localAddr). reuseport allows several datapath shards to bind the
+// same endpoint and let the kernel spray flows across them.
+Fd udpSocket(const SockAddr& bind, bool reuseport = false, int rcvbuf = 0);
+
+// Non-blocking listening TCP socket (admin plane).
+Fd tcpListen(const SockAddr& bind, int backlog = 16);
+
+std::optional<SockAddr> localAddr(int fd);
+
+// Receives up to `max` datagrams in one syscall where the kernel supports
+// it. Returns the count, 0 on EAGAIN, -1 on hard error.
+int recvBatch(int fd, DatagramBuf* bufs, int max);
+
+// One outgoing datagram (non-owning view; `data` must stay alive through
+// sendBatch).
+struct OutDatagram {
+  const std::uint8_t* data = nullptr;
+  std::size_t len = 0;
+  SockAddr to;
+};
+
+// Sends `n` datagrams, batched. Returns how many the kernel accepted
+// (short counts happen under EAGAIN; callers account the rest as
+// send_errors — UDP, so retrying is a policy choice, not a requirement).
+int sendBatch(int fd, const OutDatagram* out, int n);
+
+}  // namespace cluert::netio

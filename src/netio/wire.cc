@@ -1,0 +1,23 @@
+#include "netio/wire.h"
+
+namespace cluert::netio {
+
+std::string_view decodeErrorName(DecodeError e) {
+  switch (e) {
+    case DecodeError::kOk:
+      return "ok";
+    case DecodeError::kTooShort:
+      return "too_short";
+    case DecodeError::kBadMagic:
+      return "bad_magic";
+    case DecodeError::kBadVersion:
+      return "bad_version";
+    case DecodeError::kFamilyMismatch:
+      return "family_mismatch";
+    case DecodeError::kBadLength:
+      return "bad_length";
+  }
+  return "unknown";
+}
+
+}  // namespace cluert::netio

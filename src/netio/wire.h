@@ -1,0 +1,236 @@
+// The clue protocol on the wire (DESIGN.md §9): the versioned datagram
+// format two cluertd processes speak. One datagram = one packet.
+//
+// Layout (little-endian multi-byte fields except the destination, which is
+// network byte order like any IP header):
+//
+//   offset size field
+//   0      4    magic 0x43 0x4C 0x55 0x45 ("CLUE" on the wire)
+//   4      1    version (kWireVersion)
+//   5      1    flags: bit0 clue present, bit1 index present, bit2 family
+//               (0 = IPv4, 1 = IPv6)
+//   6      1    TTL
+//   7      1    clue length, encoded as length-1 (§2: the clue is fully
+//               described by the number of leading destination bits; 5 bits
+//               suffice for IPv4, 7 for IPv6 — a whole byte keeps the header
+//               byte-aligned and versioned for both families)
+//   8      2    clue index (§3.3.1 indexing technique; meaningful iff bit1)
+//   10     2    source router id (stamps per-peer rx accounting)
+//   12     2    payload length
+//   14     4|16 destination address, network byte order
+//   ...    n    payload (opaque to the router; the test harness rides
+//               sequence numbers and send timestamps in it)
+//
+// Decode is strict about framing (magic, version, family, exact datagram
+// length) and deliberately *lenient* about the clue value itself: an
+// out-of-range clue length decodes as "no clue", because a bogus clue must
+// degrade to the common-lookup path, never to a drop — the same no-clue
+// fallback the simulator's fault matrix (sim::oracleStrict) holds Simple
+// mode strictly to. Everything that decodes re-encodes to a canonical form
+// that decodes identically (the reject-or-fixpoint contract fuzz_wire_header
+// asserts).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+
+#include "core/clue.h"
+#include "ip/ip_address.h"
+
+namespace cluert::netio {
+
+inline constexpr std::uint32_t kWireMagic = 0x434C5545u;  // "CLUE"
+inline constexpr std::uint8_t kWireVersion = 1;
+
+// Bytes before the destination address.
+inline constexpr std::size_t kWireFixed = 14;
+
+inline constexpr std::uint8_t kFlagClue = 1u << 0;
+inline constexpr std::uint8_t kFlagIndex = 1u << 1;
+inline constexpr std::uint8_t kFlagFamily6 = 1u << 2;
+
+inline constexpr std::size_t kMaxPayload = 1200;
+inline constexpr std::size_t kMaxDatagram = kWireFixed + 16 + kMaxPayload;
+
+inline constexpr std::uint8_t kDefaultTtl = 16;
+
+template <typename A>
+constexpr std::size_t addrBytes() {
+  return static_cast<std::size_t>(A::kBits) / 8;
+}
+
+// Smallest valid datagram for family A (empty payload).
+template <typename A>
+constexpr std::size_t headerBytes() {
+  return kWireFixed + addrBytes<A>();
+}
+
+enum class DecodeError : std::uint8_t {
+  kOk = 0,
+  kTooShort,        // fewer bytes than the fixed header
+  kBadMagic,
+  kBadVersion,
+  kFamilyMismatch,  // family flag does not match this decoder's A
+  kBadLength,       // payload length > kMaxPayload, or datagram size does
+                    // not equal header + payload exactly
+};
+
+std::string_view decodeErrorName(DecodeError e);
+
+template <typename A>
+struct WirePacket {
+  A dest{};
+  core::ClueField clue;            // absent ⇒ common lookup at the receiver
+  std::uint8_t ttl = kDefaultTtl;
+  std::uint16_t src_id = 0;        // sending router's id
+  std::span<const std::uint8_t> payload{};  // view into the decode buffer
+};
+
+template <typename A>
+struct DecodeResult {
+  DecodeError error = DecodeError::kOk;
+  WirePacket<A> packet;
+  bool ok() const { return error == DecodeError::kOk; }
+};
+
+namespace detail {
+
+inline void putU16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v & 0xff);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+inline std::uint16_t getU16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (std::uint16_t{p[1]} << 8));
+}
+inline void putU32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v & 0xff);
+  p[1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+  p[2] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+  p[3] = static_cast<std::uint8_t>((v >> 24) & 0xff);
+}
+inline std::uint32_t getU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline void putAddr(std::uint8_t* p, const ip::Ip4Addr& a) {
+  const std::uint32_t v = a.value();
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+  p[2] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+  p[3] = static_cast<std::uint8_t>(v & 0xff);
+}
+inline void putAddr(std::uint8_t* p, const ip::Ip6Addr& a) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::uint8_t>((a.hi() >> (56 - 8 * i)) & 0xff);
+    p[8 + i] = static_cast<std::uint8_t>((a.lo() >> (56 - 8 * i)) & 0xff);
+  }
+}
+inline void getAddr(const std::uint8_t* p, ip::Ip4Addr* out) {
+  *out = ip::Ip4Addr((static_cast<std::uint32_t>(p[0]) << 24) |
+                     (static_cast<std::uint32_t>(p[1]) << 16) |
+                     (static_cast<std::uint32_t>(p[2]) << 8) |
+                     static_cast<std::uint32_t>(p[3]));
+}
+inline void getAddr(const std::uint8_t* p, ip::Ip6Addr* out) {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (int i = 0; i < 8; ++i) {
+    hi = (hi << 8) | p[i];
+    lo = (lo << 8) | p[8 + i];
+  }
+  *out = ip::Ip6Addr(hi, lo);
+}
+
+template <typename A>
+constexpr bool isFamily6() {
+  return A::kBits == 128;
+}
+
+}  // namespace detail
+
+// Serializes `p` into `out`. Returns the datagram size, or 0 when `out` is
+// too small or the payload exceeds kMaxPayload. A clue whose length is
+// outside [1, A::kBits] is encoded as absent (the canonical form of the
+// no-clue fallback, keeping encode∘decode a fixpoint).
+template <typename A>
+std::size_t encode(const WirePacket<A>& p, std::span<std::uint8_t> out) {
+  const std::size_t need = headerBytes<A>() + p.payload.size();
+  if (p.payload.size() > kMaxPayload || out.size() < need) return 0;
+  const bool clue_ok =
+      p.clue.present && p.clue.length >= 1 && p.clue.length <= A::kBits;
+  std::uint8_t* b = out.data();
+  detail::putU32(b, kWireMagic);
+  b[4] = kWireVersion;
+  std::uint8_t flags = 0;
+  if (clue_ok) flags |= kFlagClue;
+  if (clue_ok && p.clue.index.has_value()) flags |= kFlagIndex;
+  if (detail::isFamily6<A>()) flags |= kFlagFamily6;
+  b[5] = flags;
+  b[6] = p.ttl;
+  b[7] = clue_ok ? static_cast<std::uint8_t>(p.clue.length - 1) : 0;
+  detail::putU16(b + 8, clue_ok && p.clue.index ? *p.clue.index : 0);
+  detail::putU16(b + 10, p.src_id);
+  detail::putU16(b + 12, static_cast<std::uint16_t>(p.payload.size()));
+  detail::putAddr(b + kWireFixed, p.dest);
+  if (!p.payload.empty()) {
+    std::memcpy(b + headerBytes<A>(), p.payload.data(), p.payload.size());
+  }
+  return need;
+}
+
+// Parses one datagram. The returned payload span aliases `in` — it is valid
+// only as long as the receive buffer is.
+template <typename A>
+DecodeResult<A> decode(std::span<const std::uint8_t> in) {
+  DecodeResult<A> r;
+  if (in.size() < kWireFixed) {
+    r.error = DecodeError::kTooShort;
+    return r;
+  }
+  const std::uint8_t* b = in.data();
+  if (detail::getU32(b) != kWireMagic) {
+    r.error = DecodeError::kBadMagic;
+    return r;
+  }
+  if (b[4] != kWireVersion) {
+    r.error = DecodeError::kBadVersion;
+    return r;
+  }
+  const std::uint8_t flags = b[5];
+  if (((flags & kFlagFamily6) != 0) != detail::isFamily6<A>()) {
+    r.error = DecodeError::kFamilyMismatch;
+    return r;
+  }
+  const std::size_t payload_len = detail::getU16(b + 12);
+  if (payload_len > kMaxPayload ||
+      in.size() != headerBytes<A>() + payload_len) {
+    r.error = DecodeError::kBadLength;
+    return r;
+  }
+  r.packet.ttl = b[6];
+  r.packet.src_id = detail::getU16(b + 10);
+  detail::getAddr(b + kWireFixed, &r.packet.dest);
+  if ((flags & kFlagClue) != 0) {
+    const int length = static_cast<int>(b[7]) + 1;
+    if (length <= A::kBits) {
+      r.packet.clue = core::ClueField::of(length);
+      if ((flags & kFlagIndex) != 0) {
+        r.packet.clue.index = detail::getU16(b + 8);
+      }
+    }
+    // length > W: a clue this family cannot express — fall back to no clue
+    // (sim fault taxonomy: kJunk decodes as absent), never to a reject.
+  }
+  r.packet.payload = in.subspan(headerBytes<A>(), payload_len);
+  return r;
+}
+
+using WirePacket4 = WirePacket<ip::Ip4Addr>;
+using WirePacket6 = WirePacket<ip::Ip6Addr>;
+
+}  // namespace cluert::netio

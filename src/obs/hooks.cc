@@ -94,6 +94,57 @@ ChurnObs ChurnObs::bind(MetricRegistry& reg, std::size_t shard,
   return o;
 }
 
+NetioObs NetioObs::bind(MetricRegistry& reg, std::size_t shard,
+                        const Labels& extra) {
+  NetioObs o;
+  o.shard = shard;
+  o.rx_packets = &reg.counter("netio_rx_packets_total",
+                              "Clue-tagged datagrams that decoded cleanly",
+                              extra)
+                      .shard(shard);
+  o.rx_bytes =
+      &reg.counter("netio_rx_bytes_total",
+                   "Bytes of cleanly decoded ingress datagrams", extra)
+           .shard(shard);
+  o.tx_packets = &reg.counter("netio_tx_packets_total",
+                              "Datagrams re-emitted toward a next-hop peer",
+                              extra)
+                      .shard(shard);
+  o.tx_bytes = &reg.counter("netio_tx_bytes_total",
+                            "Bytes of egress datagrams", extra)
+                    .shard(shard);
+  o.delivered =
+      &reg.counter("netio_delivered_total",
+                   "Packets routed to a next hop with no configured peer "
+                   "(this router is their last clue-speaking hop)",
+                   extra)
+           .shard(shard);
+  o.decode_errors =
+      &reg.counter("netio_decode_errors_total",
+                   "Ingress datagrams rejected by the wire codec", extra)
+           .shard(shard);
+  o.no_route = &reg.counter("netio_no_route_total",
+                            "Packets dropped because the lookup found no BMP",
+                            extra)
+                    .shard(shard);
+  o.ttl_expired = &reg.counter("netio_ttl_expired_total",
+                               "Packets dropped on TTL reaching zero", extra)
+                       .shard(shard);
+  o.send_errors =
+      &reg.counter("netio_send_errors_total",
+                   "Egress datagrams the kernel refused (sendmsg failure)",
+                   extra)
+           .shard(shard);
+  o.oracle_mismatch =
+      &reg.counter("netio_oracle_mismatch_total",
+                   "Differential-oracle disagreements: the clue-assisted "
+                   "result differed from the plain engine BMP at the pinned "
+                   "version",
+                   extra)
+           .shard(shard);
+  return o;
+}
+
 void publishAccessCounter(MetricRegistry& reg,
                           const mem::AccessCounter& counter,
                           const Labels& extra) {

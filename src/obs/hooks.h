@@ -83,6 +83,31 @@ struct ChurnObs {
                        const Labels& extra = {});
 };
 
+// Per-datapath-shard counters for the wire daemon (src/netio/): datagram
+// ingress/egress, the decode/drop taxonomy, and the differential-oracle
+// mismatch count. Per-peer breakouts (netio_peer_{rx,tx}_packets_total,
+// labelled by the wire header's source id on rx and by the configured
+// next-hop peer on tx) are bound by the datapath itself — the peer set is
+// config-dependent, so the bundle cannot fix it here.
+struct NetioObs {
+  CounterCell* rx_packets = nullptr;   // datagrams that decoded cleanly
+  CounterCell* rx_bytes = nullptr;
+  CounterCell* tx_packets = nullptr;   // datagrams re-emitted toward a peer
+  CounterCell* tx_bytes = nullptr;
+  CounterCell* delivered = nullptr;    // routed, but no peer: this hop sinks
+  CounterCell* decode_errors = nullptr;
+  CounterCell* no_route = nullptr;     // lookup found no BMP
+  CounterCell* ttl_expired = nullptr;
+  CounterCell* send_errors = nullptr;
+  CounterCell* oracle_mismatch = nullptr;  // port result != engine BMP
+  std::size_t shard = 0;
+
+  bool enabled() const { return rx_packets != nullptr; }
+
+  static NetioObs bind(MetricRegistry& reg, std::size_t shard,
+                       const Labels& extra = {});
+};
+
 // Publishes a quiesced AccessCounter into the mem_accesses_total{region=...}
 // family (control-plane: called after the pipeline joined, or by
 // single-threaded drivers at end of run).

@@ -21,6 +21,7 @@
 #include "core/distributed_lookup.h"
 #include "obs/hooks.h"
 #include "pipeline/packet_batch.h"
+#include "pipeline/pinned_resolver.h"
 #include "pipeline/spsc_ring.h"
 #include "rib/versioned_tables.h"
 
@@ -37,13 +38,13 @@ class Worker {
       : id_(id),
         rng_(Rng::forThread(pipeline_seed, id)),
         ring_(ring_capacity_batches),
-        port_(std::move(port)),
+        resolver_(std::move(port), id),
         backoff_sleep_us_(backoff_sleep_us) {}
 
   std::size_t id() const { return id_; }
   SpscRing<PacketBatch<A>>& ring() { return ring_; }
-  PortT& port() { return *port_; }
-  const PortT& port() const { return *port_; }
+  PortT& port() { return resolver_.port(); }
+  const PortT& port() const { return resolver_.port(); }
   const mem::AccessCounter& accesses() const { return acc_; }
   std::uint64_t packets() const { return packets_; }
   std::uint64_t batches() const { return batches_; }
@@ -61,12 +62,12 @@ class Worker {
     }
     if (registry != nullptr) {
       wobs_ = obs::WorkerObs::bind(*registry, id_);
-      port_->attachObs(obs::LookupObs::bind(*registry, id_, tracer_.get()));
+      port().attachObs(obs::LookupObs::bind(*registry, id_, tracer_.get()));
     } else if (tracer_ != nullptr) {
       obs::LookupObs lo;
       lo.shard = id_;
       lo.tracer = tracer_.get();
-      port_->attachObs(lo);
+      port().attachObs(lo);
     }
   }
 
@@ -76,24 +77,24 @@ class Worker {
   // observes a half-applied delta, and the §3.5 cache invalidates itself on
   // the version change.
   void bindVersions(rib::VersionedTables<A>* versions) {
-    versions_ = versions;
+    resolver_.bindVersions(versions);
   }
 
   // Swaps observed by this shard: batches whose pinned version differed
   // from the previous batch's. Read after join.
-  std::uint64_t versionChanges() const { return version_changes_; }
+  std::uint64_t versionChanges() const { return resolver_.versionChanges(); }
 
   // Zeroes the per-run counters so a reused shard reports this run only
-  // (Pipeline::run calls it before spawning the thread). `last_seq_` is
-  // deliberately kept: a version swap that happened *between* runs still
-  // counts as a change on the next run's first batch.
+  // (Pipeline::run calls it before spawning the thread). The resolver's
+  // last-seen sequence is deliberately kept: a version swap that happened
+  // *between* runs still counts as a change on the next run's first batch.
   void resetRunCounters() {
     acc_.reset();
     packets_ = 0;
     batches_ = 0;
-    version_changes_ = 0;
+    resolver_.resetVersionChanges();
     batch_ns_ = Summary{};
-    port_->resetStats();
+    port().resetStats();
   }
 
   // Post-join access to the shard's trace rings (null when tracing is off).
@@ -142,28 +143,19 @@ class Worker {
         dests[i] = (*batch)[i].dest;
         clues[i] = (*batch)[i].clue;
       }
-      // Pin one version for the whole batch. The guard spans the resolve
-      // and the out[] writes; its destruction (end of this iteration) is
-      // what lets the updater's grace period complete.
-      typename rib::VersionedTables<A>::ReadGuard guard;
-      if (versions_ != nullptr) {
-        guard = versions_->pin(id_);
-        if (guard->seq != last_seq_) {
-          last_seq_ = guard->seq;
-          ++version_changes_;
-        }
-        port_->bindVersion(guard->seq, *guard->suite, guard->clues,
-                           &guard->neighbor_trie);
-      }
-      port_->processBatch({dests.data(), n}, {clues.data(), n},
-                          {results.data(), n}, acc_);
-      const std::uint64_t seq = guard ? guard->seq : 0;
-      for (std::size_t i = 0; i < n; ++i) {
-        const auto& m = results[i].match;
-        out[(*batch)[i].seq] = m ? m->next_hop : kNoNextHop;
-        if (!version_out.empty()) version_out[(*batch)[i].seq] = seq;
-      }
-      guard = typename rib::VersionedTables<A>::ReadGuard();
+      // Pin one version for the whole batch (PinnedResolver). The guard
+      // spans the resolve and the out[] writes — its release is what lets
+      // the updater's grace period complete.
+      resolver_.resolve(
+          {dests.data(), n}, {clues.data(), n}, {results.data(), n}, acc_,
+          [&](const rib::TableVersion<A>* version) {
+            const std::uint64_t seq = version != nullptr ? version->seq : 0;
+            for (std::size_t i = 0; i < n; ++i) {
+              const auto& m = results[i].match;
+              out[(*batch)[i].seq] = m ? m->next_hop : kNoNextHop;
+              if (!version_out.empty()) version_out[(*batch)[i].seq] = seq;
+            }
+          });
       packets_ += n;
       ++batches_;
       if (spans) {
@@ -209,7 +201,7 @@ class Worker {
   std::size_t id_;
   Rng rng_;
   SpscRing<PacketBatch<A>> ring_;
-  std::unique_ptr<PortT> port_;
+  PinnedResolver<A> resolver_;
   std::uint32_t backoff_sleep_us_ = 50;
   mem::AccessCounter acc_;
   std::uint64_t packets_ = 0;
@@ -217,9 +209,6 @@ class Worker {
   std::unique_ptr<obs::Tracer> tracer_;  // owned here: single-writer ring
   obs::WorkerObs wobs_;
   Summary batch_ns_;
-  rib::VersionedTables<A>* versions_ = nullptr;
-  std::uint64_t last_seq_ = 0;
-  std::uint64_t version_changes_ = 0;
 };
 
 }  // namespace cluert::pipeline

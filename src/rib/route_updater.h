@@ -40,6 +40,15 @@ class RouteUpdater {
     enqueue(std::move(d), /*neighbor=*/true);
   }
 
+  // Blocks until every delta enqueued before the call has been published
+  // (queue empty and no publish in flight). The synchronization primitive a
+  // config-reload path needs to answer "is the new table live yet" — the
+  // cluertd admin endpoint and the reload tests both wait on it.
+  void flush() {
+    std::unique_lock<std::mutex> lock(mu_);
+    flushed_cv_.wait(lock, [this] { return queue_.empty() && !publishing_; });
+  }
+
   // Drains the queue (every enqueued delta is published) and joins the
   // thread. Idempotent.
   void stop() {
@@ -89,9 +98,13 @@ class RouteUpdater {
       {
         std::unique_lock<std::mutex> lock(mu_);
         cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-        if (queue_.empty()) return;  // stopping and drained
+        if (queue_.empty()) {
+          flushed_cv_.notify_all();
+          return;  // stopping and drained
+        }
         item = std::move(queue_.front());
         queue_.pop_front();
+        publishing_ = true;
       }
       // Publish outside the lock: the grace-period wait must never hold the
       // queue mutex (enqueuers would stall behind slow readers).
@@ -103,20 +116,24 @@ class RouteUpdater {
       const auto done = std::chrono::steady_clock::now();
       {
         std::lock_guard<std::mutex> lock(mu_);
+        publishing_ = false;
         ++published_;
         latency_ns_.add(static_cast<double>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 done - item.enqueued)
                 .count()));
       }
+      flushed_cv_.notify_all();
     }
   }
 
   VersionedTables<A>& tables_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  std::condition_variable flushed_cv_;
   std::deque<Item> queue_;
   bool stopping_ = false;
+  bool publishing_ = false;
   std::uint64_t published_ = 0;
   Summary latency_ns_;
   std::thread thread_;

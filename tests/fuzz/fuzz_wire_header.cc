@@ -1,0 +1,232 @@
+// Fuzz target: the wire header (netio/wire.h) under arbitrary bytes. Two
+// drive modes per input chunk:
+//
+//   * raw: the fuzzer's bytes ARE the datagram. decode<A> must either
+//     reject (malformed magic / version / truncation / length) or yield a
+//     packet that re-encodes canonically and re-decodes to the same fields
+//     — the reject-or-fixpoint contract from the sim fault matrix.
+//   * structured: draw a WirePacket (arbitrary clue, including out-of-range
+//     lengths that must encode as absent), encode it, and require the decode
+//     to round-trip.
+//
+// Every packet that decodes is additionally pushed through a Simple-mode
+// CluePort: whatever clue the wire claimed, Simple must produce exactly the
+// engine's BMP for the destination (the oracleStrict no-clue fallback
+// semantics — a junk clue degrades to common lookup, never to a wrong
+// route). Advance runs the same stream for no-crash coverage only.
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/distributed_lookup.h"
+#include "fuzz_util.h"
+#include "netio/wire.h"
+#include "rib/table_gen.h"
+
+namespace cluert {
+namespace {
+
+template <typename A>
+struct Fixture {
+  lookup::LookupSuite<A> suite;
+  trie::BinaryTrie<A> neighbor_trie;
+  core::CluePort<A> simple;
+  core::CluePort<A> advance;
+
+  static typename core::CluePort<A>::Options options(lookup::ClueMode mode) {
+    typename core::CluePort<A>::Options o;
+    o.method = lookup::Method::kPatricia;
+    o.mode = mode;
+    o.cache_entries = 16;
+    return o;
+  }
+
+  Fixture(const std::vector<trie::Match<A>>& mine,
+          const std::vector<trie::Match<A>>& theirs)
+      : suite(mine),
+        simple(suite, nullptr, options(lookup::ClueMode::kSimple)),
+        advance(suite, &neighbor_trie, options(lookup::ClueMode::kAdvance)) {
+    for (const auto& e : theirs) neighbor_trie.insert(e.prefix, e.next_hop);
+    std::vector<ip::Prefix<A>> clues;
+    for (const auto& e : theirs) clues.push_back(e.prefix);
+    simple.precompute(clues);
+    advance.precompute(clues);
+  }
+};
+
+template <typename A>
+Fixture<A>& fixture() {
+  static Fixture<A>* f = [] {
+    Rng rng(0x31e7);
+    rib::GenOptions<A> gen;
+    gen.size = 150;
+    if constexpr (A::kBits == 32) {
+      gen.histogram = rib::internetLengths1999();
+    } else {
+      gen.histogram = rib::internetLengths6();
+    }
+    const auto mine = rib::TableGen<A>::generate(rng, gen);
+    rib::NeighborOptions<A> nopt;
+    nopt.shared = 100;
+    nopt.fresh = 30;
+    const auto theirs = rib::TableGen<A>::deriveNeighbor(mine, rng, nopt);
+    return new Fixture<A>(
+        {mine.entries().begin(), mine.entries().end()},
+        {theirs.entries().begin(), theirs.entries().end()});
+  }();
+  return *f;
+}
+
+template <typename A>
+A drawAddr(fuzz::ByteReader& in);
+
+template <>
+ip::Ip4Addr drawAddr<ip::Ip4Addr>(fuzz::ByteReader& in) {
+  return ip::Ip4Addr(in.u32());
+}
+template <>
+ip::Ip6Addr drawAddr<ip::Ip6Addr>(fuzz::ByteReader& in) {
+  return ip::Ip6Addr(in.u64(), in.u64());
+}
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "fuzz_wire_header: %s\n", what);
+  std::abort();
+}
+
+bool sameClue(const core::ClueField& a, const core::ClueField& b) {
+  return a.present == b.present &&
+         (!a.present ||
+          (a.length == b.length && a.index == b.index));
+}
+
+// The decoded packet must re-encode and re-decode to identical fields, and
+// the canonical bytes must be a byte-level fixpoint of encode∘decode.
+template <typename A>
+void assertFixpoint(const netio::WirePacket<A>& p) {
+  std::array<std::uint8_t, netio::kMaxDatagram> buf1{};
+  const std::size_t n1 = netio::encode<A>(p, buf1);
+  if (n1 == 0) die("decoded packet failed to re-encode");
+  const auto again =
+      netio::decode<A>(std::span<const std::uint8_t>(buf1.data(), n1));
+  if (!again.ok()) die("canonical encoding rejected by decode");
+  const auto& q = again.packet;
+  if (!(q.dest == p.dest) || q.ttl != p.ttl || q.src_id != p.src_id ||
+      !sameClue(q.clue, p.clue) ||
+      q.payload.size() != p.payload.size() ||
+      (p.payload.size() != 0 &&
+       std::memcmp(q.payload.data(), p.payload.data(), p.payload.size()) !=
+           0)) {
+    die("re-decode disagrees with original decode");
+  }
+  std::array<std::uint8_t, netio::kMaxDatagram> buf2{};
+  const std::size_t n2 = netio::encode<A>(q, buf2);
+  if (n2 != n1 || std::memcmp(buf1.data(), buf2.data(), n1) != 0) {
+    die("canonical bytes are not an encode fixpoint");
+  }
+}
+
+// Whatever the wire said, Simple mode must equal the engine BMP (a junk or
+// stale clue falls back to common lookup, never to a wrong answer). Advance
+// gets the same stream for crash coverage; with an arbitrary clue its
+// Claim-1 contract is void, so its result is unasserted.
+template <typename A>
+void assertPortContract(const netio::WirePacket<A>& p) {
+  auto& f = fixture<A>();
+  mem::AccessCounter acc;
+  const auto want =
+      f.suite.engine(lookup::Method::kPatricia).lookup(p.dest, acc);
+  const auto r = f.simple.process(p.dest, p.clue, acc);
+  const bool agree =
+      want.has_value() == r.match.has_value() &&
+      (!want || (want->prefix == r.match->prefix &&
+                 want->next_hop == r.match->next_hop));
+  if (!agree) {
+    std::fprintf(stderr,
+                 "Simple violated: dest %s present=%d length=%u\n",
+                 p.dest.toString().c_str(), p.clue.present ? 1 : 0,
+                 static_cast<unsigned>(p.clue.length));
+    std::abort();
+  }
+  (void)f.advance.process(p.dest, p.clue, acc);
+}
+
+template <typename A>
+void onDecoded(const netio::WirePacket<A>& p) {
+  assertFixpoint<A>(p);
+  assertPortContract<A>(p);
+}
+
+// Raw mode: the chunk is the datagram. Both family decoders see it (the
+// family flag must route it to exactly one of them).
+void rawDatagram(fuzz::ByteReader& in) {
+  const std::size_t len = std::min<std::size_t>(
+      in.remaining(), in.u16() % (netio::kMaxDatagram + 17));
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) bytes.push_back(in.u8());
+  const std::span<const std::uint8_t> view(bytes.data(), bytes.size());
+  const auto r4 = netio::decode<ip::Ip4Addr>(view);
+  const auto r6 = netio::decode<ip::Ip6Addr>(view);
+  if (r4.ok() && r6.ok()) die("one datagram decoded as both families");
+  if (r4.ok()) onDecoded<ip::Ip4Addr>(r4.packet);
+  if (r6.ok()) onDecoded<ip::Ip6Addr>(r6.packet);
+}
+
+// Structured mode: an arbitrary WirePacket (clue length unbounded — values
+// outside [1, W] must encode as absent) must round-trip through the wire.
+template <typename A>
+void structuredPacket(fuzz::ByteReader& in) {
+  netio::WirePacket<A> p;
+  p.dest = drawAddr<A>(in);
+  p.clue.present = in.boolean();
+  p.clue.length = in.u8();
+  if (in.boolean()) p.clue.index = in.u16();
+  p.ttl = in.u8();
+  p.src_id = in.u16();
+  std::array<std::uint8_t, 64> payload{};
+  const std::size_t plen = in.below(static_cast<std::uint32_t>(payload.size()));
+  for (std::size_t i = 0; i < plen; ++i) payload[i] = in.u8();
+  p.payload = std::span<const std::uint8_t>(payload.data(), plen);
+
+  std::array<std::uint8_t, netio::kMaxDatagram> buf{};
+  const std::size_t n = netio::encode<A>(p, buf);
+  if (n == 0) die("in-range packet failed to encode");
+  const auto r =
+      netio::decode<A>(std::span<const std::uint8_t>(buf.data(), n));
+  if (!r.ok()) die("encoded packet rejected by decode");
+  const bool in_range =
+      p.clue.present && p.clue.length >= 1 && p.clue.length <= A::kBits;
+  if (in_range != r.packet.clue.present) {
+    die("clue presence did not canonicalize (out-of-range must drop)");
+  }
+  if (in_range &&
+      (r.packet.clue.length != p.clue.length ||
+       r.packet.clue.index != p.clue.index)) {
+    die("in-range clue did not round-trip");
+  }
+  onDecoded<A>(r.packet);
+}
+
+}  // namespace
+}  // namespace cluert
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  cluert::fuzz::ByteReader in(data, size);
+  while (!in.exhausted()) {
+    switch (in.u8() % 3) {
+      case 0:
+        cluert::rawDatagram(in);
+        break;
+      case 1:
+        cluert::structuredPacket<cluert::ip::Ip4Addr>(in);
+        break;
+      default:
+        cluert::structuredPacket<cluert::ip::Ip6Addr>(in);
+        break;
+    }
+  }
+  return 0;
+}

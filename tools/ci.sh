@@ -20,6 +20,12 @@
 #                           fuzz smoke (30s per target, graceful skip when
 #                           the tree cannot build fuzzers), and the line
 #                           coverage gate (tools/run_coverage.sh --check)
+#   7. wire topology smoke  cluertd on the wire: tools/topo_run.sh --smoke
+#                           drives a 3-daemon line topology on loopback
+#                           (10k packets end-to-end, differential oracle on
+#                           every hop, clean SIGTERM drain), then
+#                           metrics_diff.py --require-nonzero asserts the
+#                           per-peer netio counters moved
 #
 # Exits nonzero on the first finding. This is what "CI green" means for this
 # repo; see README "Lint and sanitizer gates".
@@ -29,28 +35,28 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "=== [1/6] -Werror build + full test suite ==="
+echo "=== [1/7] -Werror build + full test suite ==="
 cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCLUERT_WERROR=ON
 cmake --build build-ci -j"$(nproc)"
 ctest --test-dir build-ci --output-on-failure
 
-echo "=== [2/6] clang-tidy ==="
+echo "=== [2/7] clang-tidy ==="
 tools/run_tidy.sh build-ci
 
-echo "=== [3/6] sanitizer matrix ==="
+echo "=== [3/7] sanitizer matrix ==="
 tools/run_sanitizers.sh
 
-echo "=== [4/6] metrics tooling self-test ==="
+echo "=== [4/7] metrics tooling self-test ==="
 python3 tools/metrics_diff.py --self-test
 
-echo "=== [5/6] churn smoke (update-under-traffic oracle) ==="
+echo "=== [5/7] churn smoke (update-under-traffic oracle) ==="
 cmake --build build-ci -j"$(nproc)" --target bench_churn
 (cd build-ci && ./bench/bench_churn --smoke)
 python3 tools/metrics_diff.py \
   --require-nonzero 'rib_version_(swaps_total|live_seq)' \
   build-ci/BENCH_churn.prom
 
-echo "=== [6/6] corpus replay + fuzz smoke + coverage gate ==="
+echo "=== [6/7] corpus replay + fuzz smoke + coverage gate ==="
 cmake --build build-ci -j"$(nproc)" --target sim_run
 build-ci/tools/sim_run replay tests/corpus
 
@@ -60,7 +66,7 @@ build-ci/tools/sim_run replay tests/corpus
 if cmake -B build-fuzz-ci -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
      -DCLUERT_FUZZ=ON >/dev/null; then
   cmake --build build-fuzz-ci -j"$(nproc)" \
-    --target fuzz_clue_header fuzz_prefix_decode fuzz_snapshot_load \
+    --target fuzz_clue_header fuzz_wire_header fuzz_prefix_decode fuzz_snapshot_load \
              fuzz_fib_delta fuzz_scenario_parse
   # Flag dialect depends on how the tree was configured: a libFuzzer build
   # takes -runs=, the standalone driver takes --rand.
@@ -84,5 +90,12 @@ else
 fi
 
 tools/run_coverage.sh --check
+
+echo "=== [7/7] wire topology smoke (cluertd line topology) ==="
+cmake --build build-ci -j"$(nproc)" --target cluertd wire_play
+# topo_run asserts delivery, zero oracle mismatches, nonzero case-1 and
+# per-peer netio_peer_{rx,tx}_packets_total on every hop (metrics_diff.py
+# --require-nonzero against each /metrics scrape), and exit-0 SIGTERM drains.
+BUILD_DIR=build-ci tools/topo_run.sh --smoke
 
 echo "ci.sh: all gates green"

@@ -1,0 +1,171 @@
+#!/usr/bin/env bash
+# topo_run.sh — spin up a line topology of cluertd daemons on loopback,
+# inject clue-tagged traffic at one end, and assert end-to-end behavior:
+#
+#   injector → hop1 → hop2 → ... → hopN → collector
+#
+# Each hop runs the clue protocol: it looks the packet up at a pinned table
+# version (differential oracle on), re-stamps its own BMP as the clue, and
+# forwards. The script asserts:
+#   * the collector received every injected packet, all decoding cleanly;
+#   * zero oracle mismatches on every hop (/status);
+#   * per-hop case-1 lookups > 0 and live per-peer rx/tx counters
+#     (tools/metrics_diff.py --require-nonzero on the /metrics scrape);
+#   * every daemon exits 0 on SIGTERM (bounded drain, no crash).
+#
+# Usage:
+#   tools/topo_run.sh [--smoke]           # 3 hops, 10k packets (CI gate 7)
+#   tools/topo_run.sh --hops N --count M [--mode simple|advance] \
+#                     [--method Patricia] [--size S] [--seed X] [--keep]
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+ROOT=$(pwd)
+BUILD=${BUILD_DIR:-build}
+CLUERTD="$ROOT/$BUILD/src/cluertd"
+WIRE_PLAY="$ROOT/$BUILD/tools/wire_play"
+METRICS_DIFF="$ROOT/tools/metrics_diff.py"
+
+HOPS=3
+COUNT=10000
+MODE=advance
+METHOD=Patricia
+SIZE=4000
+SEED=7
+KEEP=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --smoke) HOPS=3; COUNT=10000 ;;
+    --hops) HOPS=$2; shift ;;
+    --count) COUNT=$2; shift ;;
+    --mode) MODE=$2; shift ;;
+    --method) METHOD=$2; shift ;;
+    --size) SIZE=$2; shift ;;
+    --seed) SEED=$2; shift ;;
+    --keep) KEEP=1 ;;
+    *) echo "topo_run: unknown option $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+for bin in "$CLUERTD" "$WIRE_PLAY"; do
+  if [ ! -x "$bin" ]; then
+    echo "topo_run: missing $bin (build the '$BUILD' tree first)" >&2
+    exit 1
+  fi
+done
+
+DIR=$(mktemp -d /tmp/topo_run.XXXXXX)
+PIDS=""
+cleanup() {
+  for pid in $PIDS; do kill -KILL "$pid" 2>/dev/null; done
+  [ "$KEEP" = 1 ] && echo "topo_run: artifacts kept in $DIR" || rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+fail() { echo "topo_run: FAIL: $*" >&2; exit 1; }
+
+# Ports: a random base well above the ephemeral floor collision zone.
+BASE=$(( (RANDOM % 2000) + 21000 ))
+data_port() { echo $((BASE + $1)); }
+admin_port() { echo $((BASE + 100 + $1)); }
+COLLECT_PORT=$((BASE + 99))
+
+echo "topo_run: $HOPS hops, $COUNT packets, mode=$MODE method=$METHOD (base port $BASE)"
+
+# 1. Tables: a neighbor-derived chain (inj.routes is hop1's neighbor).
+"$WIRE_PLAY" gen --out "$DIR" --hops "$HOPS" --size "$SIZE" --seed "$SEED" \
+  || fail "table generation"
+
+# 2. Configs + daemons. hopK forwards everything to hop(K+1); the last hop
+#    forwards to the collector.
+for k in $(seq 1 "$HOPS"); do
+  if [ "$k" = "$HOPS" ]; then
+    next_port=$COLLECT_PORT
+  else
+    next_port=$(data_port $((k + 1)))
+  fi
+  {
+    echo "name = hop$k"
+    echo "router_id = $k"
+    echo "listen = 127.0.0.1:$(data_port "$k")"
+    echo "admin = 127.0.0.1:$(admin_port "$k")"
+    echo "routes = $DIR/hop$k.routes"
+    if [ "$k" = 1 ]; then
+      echo "neighbor_routes = $DIR/inj.routes"
+    else
+      echo "neighbor_routes = $DIR/hop$((k - 1)).routes"
+    fi
+    echo "peer.default = 127.0.0.1:$next_port"
+    echo "method = $METHOD"
+    echo "mode = $MODE"
+    echo "oracle = 1"
+    echo "drain_ms = 2000"
+  } > "$DIR/hop$k.conf"
+  "$CLUERTD" --config "$DIR/hop$k.conf" > "$DIR/hop$k.log" 2>&1 &
+  PIDS="$PIDS $!"
+done
+
+# Wait until every admin plane answers.
+for k in $(seq 1 "$HOPS"); do
+  ok=0
+  for _ in $(seq 1 50); do
+    if "$WIRE_PLAY" get "127.0.0.1:$(admin_port "$k")" /healthz \
+        >/dev/null 2>&1; then
+      ok=1; break
+    fi
+    sleep 0.1
+  done
+  [ "$ok" = 1 ] || { cat "$DIR/hop$k.log" >&2; fail "hop$k did not start"; }
+done
+
+# 3. Collector at the end of the line, then inject at the head.
+"$WIRE_PLAY" collect --listen "127.0.0.1:$COLLECT_PORT" --expect "$COUNT" \
+  --timeout-ms 60000 --out "$DIR/collect.txt" > /dev/null 2>&1 &
+COLLECT_PID=$!
+PIDS="$PIDS $COLLECT_PID"
+sleep 0.2
+
+TABLES="$DIR/inj.routes"
+for k in $(seq 1 "$HOPS"); do TABLES="$TABLES,$DIR/hop$k.routes"; done
+"$WIRE_PLAY" inject --to "127.0.0.1:$(data_port 1)" --tables "$TABLES" \
+  --count "$COUNT" --seed "$SEED" --src-id 0 --pps 15000 \
+  || fail "injection"
+
+wait "$COLLECT_PID"
+COLLECT_RC=$?
+PIDS=$(echo "$PIDS" | sed "s/ $COLLECT_PID//")
+cat "$DIR/collect.txt"
+[ "$COLLECT_RC" = 0 ] || fail "collector: $(cat "$DIR/collect.txt")"
+
+# 4. Per-hop assertions from the admin plane.
+for k in $(seq 1 "$HOPS"); do
+  addr="127.0.0.1:$(admin_port "$k")"
+  "$WIRE_PLAY" get "$addr" /status > "$DIR/hop$k.status.json" \
+    || fail "hop$k /status"
+  "$WIRE_PLAY" get "$addr" /metrics > "$DIR/hop$k.prom" \
+    || fail "hop$k /metrics"
+  grep -q '"oracle_mismatches":0,' "$DIR/hop$k.status.json" \
+    || fail "hop$k reported oracle mismatches: $(cat "$DIR/hop$k.status.json")"
+  python3 "$METRICS_DIFF" --require-nonzero 'lookup_case_total\{case="1"\}' \
+    "$DIR/hop$k.prom" || fail "hop$k: no case-1 lookups"
+  python3 "$METRICS_DIFF" --require-nonzero 'netio_peer_rx_packets_total' \
+    "$DIR/hop$k.prom" || fail "hop$k: per-peer rx counters dead"
+  python3 "$METRICS_DIFF" --require-nonzero 'netio_peer_tx_packets_total' \
+    "$DIR/hop$k.prom" || fail "hop$k: per-peer tx counters dead"
+  rx=$(sed -n 's/.*"rx_packets":\([0-9]*\),.*/\1/p' "$DIR/hop$k.status.json")
+  echo "topo_run: hop$k ok (rx=$rx)"
+done
+
+# 5. Graceful shutdown: SIGTERM each daemon, require exit 0 (clean drain).
+for pid in $PIDS; do kill -TERM "$pid" 2>/dev/null; done
+RC_ALL=0
+for pid in $PIDS; do
+  wait "$pid"
+  rc=$?
+  [ "$rc" = 0 ] || { echo "topo_run: pid $pid exit $rc" >&2; RC_ALL=1; }
+done
+PIDS=""
+[ "$RC_ALL" = 0 ] || fail "unclean shutdown"
+
+echo "topo_run: PASS ($HOPS hops, $COUNT packets end-to-end, 0 oracle mismatches)"

@@ -20,12 +20,12 @@
 #include <chrono>
 #include <cstring>
 #include <fstream>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "bench_util.h"
+#include "common/mutex.h"
 #include "obs/export.h"
 #include "pipeline/pipeline.h"
 #include "rib/route_updater.h"
@@ -147,7 +147,7 @@ int run(const Params& pp) {
   // The main thread verifies each run right after it completes, so the map
   // is shared across threads mid-churn — hence the mutex. Contention is one
   // lock per publish plus a few per run; invisible next to the lookups.
-  std::mutex oracle_mu;
+  sync::Mutex oracle_mu;
   std::unordered_map<std::uint64_t, std::vector<NextHop>> oracle;
   const auto record = [&](const rib::TableVersion<A>& v) {
     std::vector<NextHop> row(dests.size(), kNoNextHop);
@@ -157,7 +157,7 @@ int run(const Params& pp) {
       const auto m = engine.lookup(dests[i], acc);
       if (m) row[i] = m->next_hop;
     }
-    std::lock_guard<std::mutex> lk(oracle_mu);
+    sync::MutexLock lk(oracle_mu);
     oracle.emplace(v.seq, std::move(row));
   };
   // A worker can pin a version in the window between the live-pointer swap
@@ -166,7 +166,7 @@ int run(const Params& pp) {
   const auto fetchRow = [&](std::uint64_t seq) -> std::vector<NextHop> {
     for (;;) {
       {
-        std::lock_guard<std::mutex> lk(oracle_mu);
+        sync::MutexLock lk(oracle_mu);
         const auto it = oracle.find(seq);
         if (it != oracle.end()) return it->second;
       }

@@ -1,0 +1,34 @@
+// Clang thread-safety annotations, spelled CLUERT_* and compiled to nothing
+// on every other compiler. Conventions (DESIGN.md §10):
+//
+//   * Every mutex-protected field names its mutex with CLUERT_GUARDED_BY.
+//   * Private helpers that assume the lock is held say CLUERT_REQUIRES.
+//   * Public entry points that take the lock themselves say CLUERT_EXCLUDES
+//     (catches self-deadlock at compile time).
+//   * The annotations only check anything when the capability is an
+//     annotated type — use cluert::sync::Mutex / MutexLock (common/mutex.h),
+//     not bare std::mutex, for any new locked state.
+//
+// `-Wthread-safety` is folded into clang builds by the top-level
+// CMakeLists, so under CLUERT_WERROR=ON a violated contract fails the
+// build; tools/ci.sh gate 8 documents the degradation on non-clang hosts.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define CLUERT_TSA(x) __attribute__((x))
+#else
+#define CLUERT_TSA(x)  // no-op off clang
+#endif
+
+#define CLUERT_CAPABILITY(x) CLUERT_TSA(capability(x))
+#define CLUERT_SCOPED_CAPABILITY CLUERT_TSA(scoped_lockable)
+#define CLUERT_GUARDED_BY(x) CLUERT_TSA(guarded_by(x))
+#define CLUERT_PT_GUARDED_BY(x) CLUERT_TSA(pt_guarded_by(x))
+#define CLUERT_REQUIRES(...) CLUERT_TSA(requires_capability(__VA_ARGS__))
+#define CLUERT_ACQUIRE(...) CLUERT_TSA(acquire_capability(__VA_ARGS__))
+#define CLUERT_RELEASE(...) CLUERT_TSA(release_capability(__VA_ARGS__))
+#define CLUERT_TRY_ACQUIRE(...) CLUERT_TSA(try_acquire_capability(__VA_ARGS__))
+#define CLUERT_EXCLUDES(...) CLUERT_TSA(locks_excluded(__VA_ARGS__))
+#define CLUERT_ASSERT_CAPABILITY(x) CLUERT_TSA(assert_capability(x))
+#define CLUERT_RETURN_CAPABILITY(x) CLUERT_TSA(lock_returned(x))
+#define CLUERT_NO_TSA CLUERT_TSA(no_thread_safety_analysis)

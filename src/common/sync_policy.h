@@ -1,0 +1,31 @@
+// The atomics policy seam that makes the lock-free cores model-checkable.
+//
+// SpscRing and the epoch publication protocol (rib/epoch.h) take a `Policy`
+// template parameter and spell every atomic through
+// `Policy::template Atomic<T>` and every wait through `Policy::yield()` /
+// `Policy::sleepUs()`. Production instantiates StdSyncPolicy — a zero-cost
+// pass-through to std::atomic / std::this_thread — while the model checker
+// (src/mc/) instantiates mc::ModelPolicy, whose Atomic is an instrumented
+// shim that announces each access to a schedule-exploring scheduler. The
+// point of the seam: the *production protocol code* is what gets checked,
+// not a hand-maintained copy of it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace cluert::sync {
+
+struct StdSyncPolicy {
+  template <typename T>
+  using Atomic = std::atomic<T>;
+
+  static void yield() { std::this_thread::yield(); }
+
+  static void sleepUs(unsigned us) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+};
+
+}  // namespace cluert::sync

@@ -1,0 +1,228 @@
+// The instrumentation face of the model checker: drop-in `mc::Atomic<T>`
+// (the std::atomic subset the lock-free cores use) and race-checked
+// `mc::Var<T>` for the data those atomics are supposed to protect.
+//
+// `ModelPolicy` satisfies the same policy concept as sync::StdSyncPolicy, so
+//
+//   pipeline::SpscRing<mc::Var<std::uint64_t>, mc::ModelPolicy>
+//   rib::EpochPublication<Payload, 2, mc::ModelPolicy>
+//
+// instantiate the *production templates* with every atomic access routed
+// through the scheduler (model.h) — a scheduling point plus a store-history
+// read — and every payload access race-checked against the vector clocks.
+//
+// `WeakenedPolicy<W>` is the seeded-mutant knob: it demotes chosen memory
+// orders (seq_cst→relaxed, release→relaxed, acquire→relaxed) before they
+// reach the model, so tests can assert the checker actually reports the
+// violation each ordering exists to prevent. The production source is not
+// touched; the demotion happens in this shim.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+#include "mc/model.h"
+
+namespace cluert::mc {
+
+namespace detail {
+
+template <typename T>
+std::uint64_t toWord(T v) {
+  if constexpr (std::is_pointer_v<T>) {
+    return reinterpret_cast<std::uintptr_t>(v);
+  } else {
+    return static_cast<std::uint64_t>(v);
+  }
+}
+
+template <typename T>
+T fromWord(std::uint64_t w) {
+  if constexpr (std::is_pointer_v<T>) {
+    return reinterpret_cast<T>(static_cast<std::uintptr_t>(w));
+  } else {
+    return static_cast<T>(w);
+  }
+}
+
+}  // namespace detail
+
+// Which orderings a WeakenedPolicy demotes to relaxed. Each value models one
+// "delete a fence the code relies on" mutation from the ISSUE: the checker
+// must find a counterexample for every one of them.
+enum class Weaken : std::uint8_t {
+  kNone,
+  kSeqCstToRelaxed,   // epoch SB pair loses its store-buffering guard
+  kReleaseToRelaxed,  // publication stores stop carrying their payload
+  kAcquireToRelaxed,  // consumers stop synchronising with publications
+};
+
+constexpr std::memory_order demote(std::memory_order mo, Weaken w) {
+  switch (w) {
+    case Weaken::kNone:
+      return mo;
+    case Weaken::kSeqCstToRelaxed:
+      return mo == std::memory_order_seq_cst ? std::memory_order_relaxed : mo;
+    case Weaken::kReleaseToRelaxed:
+      return (mo == std::memory_order_release ||
+              mo == std::memory_order_acq_rel)
+                 ? std::memory_order_relaxed
+                 : mo;
+    case Weaken::kAcquireToRelaxed:
+      return (mo == std::memory_order_acquire ||
+              mo == std::memory_order_acq_rel)
+                 ? std::memory_order_relaxed
+                 : mo;
+  }
+  return mo;
+}
+
+// The std::atomic subset SpscRing and EpochPublication use, backed by the
+// scheduler's store-history model. Values are modelled as 64-bit words
+// (integers, bool, pointers).
+template <typename T, Weaken W = Weaken::kNone>
+class Atomic {
+  static_assert(sizeof(T) <= sizeof(std::uint64_t),
+                "mc::Atomic models word-sized values only");
+
+ public:
+// gcc's -Wmaybe-uninitialized misfires here: `this` is registered as an
+// identity key only, never dereferenced, but the pointer escapes before the
+// (empty) object is considered initialized.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+  Atomic() { detail::atomicInit(this, detail::toWord(T{})); }
+  explicit Atomic(T v) { detail::atomicInit(this, detail::toWord(v)); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  ~Atomic() { detail::atomicDestroy(this); }
+
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  T load(std::memory_order mo) const {
+    return detail::fromWord<T>(
+        detail::atomicLoad(this, static_cast<int>(demote(mo, W))));
+  }
+
+  void store(T v, std::memory_order mo) {
+    detail::atomicStore(this, static_cast<int>(demote(mo, W)),
+                        detail::toWord(v));
+  }
+
+  T exchange(T v, std::memory_order mo) {
+    const std::uint64_t w = detail::toWord(v);
+    return detail::fromWord<T>(detail::atomicRmw(
+        this, static_cast<int>(demote(mo, W)),
+        [w](std::uint64_t) { return w; }));
+  }
+
+  template <typename U = T,
+            typename = std::enable_if_t<std::is_integral_v<U>>>
+  T fetch_add(T delta, std::memory_order mo) {
+    const std::uint64_t d = detail::toWord(delta);
+    return detail::fromWord<T>(detail::atomicRmw(
+        this, static_cast<int>(demote(mo, W)),
+        [d](std::uint64_t old) { return old + d; }));
+  }
+
+  bool compare_exchange_strong(T& expected, T desired, std::memory_order mo) {
+    // Modelled as a single RMW that only mutates on match (still one
+    // modification-order event either way, which is conservative-correct
+    // for the failure case: a failed CAS performs a load).
+    const std::uint64_t want = detail::toWord(expected);
+    const std::uint64_t next = detail::toWord(desired);
+    const std::uint64_t old = detail::atomicRmw(
+        this, static_cast<int>(demote(mo, W)),
+        [want, next](std::uint64_t cur) { return cur == want ? next : cur; });
+    if (old == want) return true;
+    expected = detail::fromWord<T>(old);
+    return false;
+  }
+
+ private:
+  // Identity only; the scheduler owns the modelled value.
+};
+
+// Race-checked non-atomic cell: the model's stand-in for payload data (ring
+// slot contents, table entries behind the epoch). Every access is validated
+// against the vector clocks — a pair of conflicting accesses with no
+// happens-before edge is reported as a data race with the schedule that
+// produced it. Accesses are deliberately NOT scheduling points: race-ness
+// is a property of the clocks, not of where the access lands in the
+// interleaving, so instrumenting them would only inflate the search space.
+template <typename T>
+class Var {
+ public:
+  Var() : v_{} {
+    detail::varInit(this);
+    detail::varWrite(this);
+  }
+  explicit Var(T v) : v_(std::move(v)) {
+    detail::varInit(this);
+    detail::varWrite(this);
+  }
+  ~Var() { detail::varDestroy(this); }
+
+  Var(const Var& o) : v_() {
+    detail::varInit(this);
+    detail::varRead(&o);
+    v_ = o.v_;
+    detail::varWrite(this);
+  }
+  // Copy/move are deliberately not noexcept: access checks may report a
+  // race (which unwinds the harness), and slot hand-off via move-assign is
+  // exactly where a broken publish/consume pairing surfaces.
+  Var(Var&& o) : v_() {
+    detail::varInit(this);
+    detail::varRead(&o);
+    v_ = std::move(o.v_);
+    detail::varWrite(this);
+  }
+  Var& operator=(const Var& o) {
+    detail::varRead(&o);
+    const T tmp = o.v_;
+    detail::varWrite(this);
+    v_ = tmp;
+    return *this;
+  }
+  Var& operator=(Var&& o) {
+    detail::varRead(&o);
+    T tmp = std::move(o.v_);
+    detail::varWrite(this);
+    v_ = std::move(tmp);
+    return *this;
+  }
+
+  T get() const {
+    detail::varRead(this);
+    return v_;
+  }
+  void set(T v) {
+    detail::varWrite(this);
+    v_ = std::move(v);
+  }
+
+ private:
+  T v_;
+};
+
+// Policy concept for the production templates. yield()/sleepUs() are no-ops:
+// the spin loops they pace are bounded by the scheduler's progress forcing
+// (model.h), so busy-waiting costs nothing and cannot hang the checker
+// silently — a genuinely stuck spin is reported as a hang violation.
+template <Weaken W>
+struct WeakenedPolicy {
+  template <typename T>
+  using Atomic = mc::Atomic<T, W>;
+  static void yield() {}
+  static void sleepUs(unsigned) {}
+};
+
+using ModelPolicy = WeakenedPolicy<Weaken::kNone>;
+
+}  // namespace cluert::mc

@@ -1,0 +1,282 @@
+// Bounded model-checking harnesses over the *production* concurrency cores.
+//
+// Each harness is a small closed scenario (2–3 model threads, a handful of
+// operations) instantiating the very templates the data plane runs —
+// pipeline::SpscRing and rib::EpochPublication — with mc::ModelPolicy, so
+// the checker enumerates interleavings of the shipped algorithms, not of a
+// transcription. The checked invariants are the ones DESIGN.md §10 states:
+//
+//   * ring: no lost items, no duplicated items, FIFO order, close() really
+//     means drained, reopen() under the quiescence contract loses nothing;
+//   * epoch: a reader never observes a retired version being rewritten
+//     (that is a data race on the payload Vars), and the updater's grace
+//     wait always terminates (a lost wakeup would be reported as a hang).
+//
+// Every harness is parameterised by Policy so tests can re-run it with a
+// WeakenedPolicy mutant and assert the checker *finds* the violation the
+// demoted ordering was preventing. harnessRegistry() exposes the named set
+// (correct + mutants) for tests and tools/mc_run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mc/atomic.h"
+#include "mc/model.h"
+#include "pipeline/spsc_ring.h"
+#include "rib/epoch.h"
+
+namespace cluert::mc {
+
+// -- ring: plain push/pop transfer ------------------------------------------
+
+// Producer pushes 1..N through a capacity-2 ring (forcing wrap-around and
+// backpressure), consumer pops until it has N. FIFO + no loss + no dup.
+template <typename Policy, int N = 3>
+void ringTransferHarness(Context& ctx) {
+  pipeline::SpscRing<Var<std::uint64_t>, Policy> ring(2);
+  const int producer = ctx.spawn([&ring]() {
+    for (int i = 1; i <= N; ++i) {
+      Var<std::uint64_t> item(static_cast<std::uint64_t>(i));
+      while (!ring.tryPush(std::move(item))) {
+        if (abandoned()) return;
+      }
+    }
+  });
+  std::uint64_t got[N] = {};
+  int n_got = 0;
+  const int consumer = ctx.spawn([&ring, &got, &n_got]() {
+    Var<std::uint64_t> out;
+    while (n_got < N) {
+      if (ring.tryPop(out)) got[n_got++] = out.get();
+      if (abandoned()) return;
+    }
+  });
+  ctx.join(producer);
+  ctx.join(consumer);
+  for (int i = 0; i < N; ++i) {
+    ctx.check(got[i] == static_cast<std::uint64_t>(i + 1),
+              "ring delivered item " + std::to_string(got[i]) +
+                  " at position " + std::to_string(i) +
+                  " (lost/duplicated/reordered)");
+  }
+}
+
+// -- ring: zero-copy claim/publish + front/release --------------------------
+
+template <typename Policy, int N = 3>
+void ringZeroCopyHarness(Context& ctx) {
+  pipeline::SpscRing<Var<std::uint64_t>, Policy> ring(2);
+  const int producer = ctx.spawn([&ring]() {
+    for (int i = 1; i <= N; ++i) {
+      Var<std::uint64_t>* slot = nullptr;
+      while ((slot = ring.claim()) == nullptr) {
+        if (abandoned()) return;
+      }
+      slot->set(static_cast<std::uint64_t>(i));
+      ring.publish();
+    }
+  });
+  std::uint64_t got[N] = {};
+  int n_got = 0;
+  const int consumer = ctx.spawn([&ring, &got, &n_got]() {
+    while (n_got < N) {
+      Var<std::uint64_t>* slot = ring.front();
+      if (slot == nullptr) {
+        if (abandoned()) return;
+        continue;
+      }
+      got[n_got++] = slot->get();
+      ring.release();
+    }
+  });
+  ctx.join(producer);
+  ctx.join(consumer);
+  for (int i = 0; i < N; ++i) {
+    ctx.check(got[i] == static_cast<std::uint64_t>(i + 1),
+              "zero-copy ring delivered item " + std::to_string(got[i]) +
+                  " at position " + std::to_string(i));
+  }
+}
+
+// -- ring: close / reopen under the pipeline's quiescence contract ----------
+
+// The Pipeline reuses each worker's ring across run() calls: workers are
+// joined, reopen() runs while everything is quiescent, fresh workers are
+// spawned. This harness follows that contract exactly — drain-to-close
+// consumer, join, reopen, second stream, second consumer — so its
+// exhaustive pass is the proof that reopen()'s relaxed store is sufficient
+// *under the contract* (the join/spawn edges order it before every new
+// consumer's acquire). See spsc_ring.h reopen() and DESIGN.md §10.
+template <typename Policy>
+void ringCloseReopenQuiescentHarness(Context& ctx) {
+  pipeline::SpscRing<Var<std::uint64_t>, Policy> ring(2);
+  std::uint64_t got[2] = {};
+  int n_got = 0;
+  auto drainer = [&ring, &got, &n_got]() {
+    Var<std::uint64_t> out;
+    for (;;) {
+      if (abandoned()) return;
+      if (ring.tryPop(out)) {
+        if (n_got < 2) got[n_got] = out.get();
+        ++n_got;
+      } else if (ring.closed()) {
+        // closed() is an acquire; a true here means every pre-close push
+        // is visible, so a failed tryPop really is "drained".
+        if (!ring.tryPop(out)) break;
+        if (n_got < 2) got[n_got] = out.get();
+        ++n_got;
+      }
+    }
+  };
+
+  Var<std::uint64_t> a(11);
+  while (!ring.tryPush(std::move(a))) {
+    if (abandoned()) return;
+  }
+  ring.close();
+  const int c1 = ctx.spawn(drainer);
+  ctx.join(c1);
+
+  ring.reopen();  // quiescent: c1 joined, c2 not yet spawned
+
+  Var<std::uint64_t> b(22);
+  while (!ring.tryPush(std::move(b))) {
+    if (abandoned()) return;
+  }
+  ring.close();
+  const int c2 = ctx.spawn(drainer);
+  ctx.join(c2);
+
+  ctx.check(n_got == 2, "close/reopen cycle delivered " +
+                            std::to_string(n_got) + " items, expected 2");
+  ctx.check(got[0] == 11 && got[1] == 22,
+            "close/reopen cycle delivered wrong items");
+}
+
+// -- ring: reopen with the contract BROKEN ----------------------------------
+
+// Same protocol, but the consumer stays live across reopen(). The checker
+// finds the lost-item schedule: the consumer drains stream 1, observes
+// closed()==true and exits exactly while the producer is between reopen()
+// and the second close() — item 22 is never consumed. Crucially the
+// counterexample needs no weak-memory stale read at all (it appears under
+// plain sequential interleaving), which is the demonstration that promoting
+// reopen() to release would NOT fix a contract violation; only quiescence
+// does. tests/mc_test.cc commits the minimized schedule as a regression.
+template <typename Policy>
+void ringReopenRacyHarness(Context& ctx) {
+  pipeline::SpscRing<Var<std::uint64_t>, Policy> ring(2);
+  std::uint64_t got[2] = {};
+  int n_got = 0;
+  const int consumer = ctx.spawn([&ring, &got, &n_got]() {
+    Var<std::uint64_t> out;
+    for (;;) {
+      if (abandoned()) return;
+      if (ring.tryPop(out)) {
+        if (n_got < 2) got[n_got] = out.get();
+        ++n_got;
+      } else if (ring.closed()) {
+        if (!ring.tryPop(out)) break;
+        if (n_got < 2) got[n_got] = out.get();
+        ++n_got;
+      }
+    }
+  });
+
+  Var<std::uint64_t> a(11);
+  while (!ring.tryPush(std::move(a))) {
+    if (abandoned()) return;
+  }
+  ring.close();
+  ring.reopen();  // NOT quiescent: the consumer is still running
+  Var<std::uint64_t> b(22);
+  while (!ring.tryPush(std::move(b))) {
+    if (abandoned()) return;
+  }
+  ring.close();
+  ctx.join(consumer);
+  ctx.check(n_got == 2, "consumer lost an item across a racy reopen (saw " +
+                            std::to_string(n_got) + " of 2)");
+}
+
+// -- epoch: publish / pin / grace -------------------------------------------
+
+// One reader pinning and reading the live payload, one updater doing the
+// full VersionedTables publish cycle: write the spare buffer, swap it live,
+// wait out the grace period, then rewrite the retired buffer (the catch-up
+// write that makes the two buffers converge). The invariants fall out of
+// the instrumentation itself:
+//   * "no read of a retired version" == the catch-up set() must not race
+//     the reader's get() — a violated grace period IS a data race here;
+//   * "no grace-wait hang" == waitForReaders() must terminate — a lost
+//     unpin wakeup would park the updater forever and be reported as hang.
+template <typename Policy>
+void epochPublishHarness(Context& ctx) {
+  struct Payload {
+    Var<std::uint64_t> val;
+  };
+  Payload buf[2];
+  buf[0].val.set(1);
+  buf[1].val.set(0);
+  rib::EpochPublication<Payload, 2, Policy> epoch;
+  epoch.storeLive(&buf[0]);
+
+  const int reader = ctx.spawn([&epoch, &ctx]() {
+    auto guard = epoch.pin(0);
+    const std::uint64_t v = guard->val.get();
+    ctx.check(v == 1 || v == 2,
+              "reader observed half-written payload " + std::to_string(v));
+  });
+  const int updater = ctx.spawn([&epoch, &buf]() {
+    buf[1].val.set(2);  // prepare the spare buffer (not yet live)
+    Payload* retired = epoch.exchangeLive(&buf[1]);
+    epoch.waitForReaders();
+    // Catch-up write: races with the reader's get() iff grace was broken.
+    retired->val.set(3);
+  });
+  ctx.join(reader);
+  ctx.join(updater);
+  ctx.check(buf[0].val.get() == 3, "catch-up write lost");
+}
+
+// -- registry ----------------------------------------------------------------
+
+struct NamedHarness {
+  std::string name;
+  Harness fn;
+  // Mutant harnesses (weakened orderings / broken contracts) are *expected*
+  // to produce a violation; the correct ones must pass exhaustively.
+  bool expect_violation;
+  std::string note;
+};
+
+inline const std::vector<NamedHarness>& harnessRegistry() {
+  using WeakSc = WeakenedPolicy<Weaken::kSeqCstToRelaxed>;
+  using WeakRel = WeakenedPolicy<Weaken::kReleaseToRelaxed>;
+  using WeakAcq = WeakenedPolicy<Weaken::kAcquireToRelaxed>;
+  static const std::vector<NamedHarness> kRegistry = {
+      {"ring_transfer", ringTransferHarness<ModelPolicy, 2>, false,
+       "SPSC push/pop transfer: FIFO, no loss, no dup"},
+      {"ring_zero_copy", ringZeroCopyHarness<ModelPolicy, 2>, false,
+       "SPSC claim/publish + front/release paths"},
+      {"ring_close_reopen", ringCloseReopenQuiescentHarness<ModelPolicy>,
+       false, "close/drain/reopen under the pipeline quiescence contract"},
+      {"ring_reopen_racy", ringReopenRacyHarness<ModelPolicy>, true,
+       "reopen with a live consumer: loses an item even under SC"},
+      {"epoch_publish", epochPublishHarness<ModelPolicy>, false,
+       "pin/publish/grace/catch-up over EpochPublication"},
+      {"ring_transfer_weak_release", ringTransferHarness<WeakRel>, true,
+       "mutant: publish/head stores demoted to relaxed -> slot hand-off race"},
+      {"ring_transfer_weak_acquire", ringTransferHarness<WeakAcq>, true,
+       "mutant: index loads demoted to relaxed -> slot hand-off race"},
+      {"epoch_publish_weak_sc", epochPublishHarness<WeakSc>, true,
+       "mutant: SB pair demoted to relaxed -> grace period broken"},
+      {"epoch_publish_weak_release", epochPublishHarness<WeakRel>, true,
+       "mutant: unpin demoted to relaxed -> catch-up write races reader"},
+  };
+  return kRegistry;
+}
+
+}  // namespace cluert::mc

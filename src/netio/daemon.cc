@@ -102,7 +102,7 @@ void Daemon::start() {
 
 void Daemon::beginShutdown() {
   {
-    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    sync::MutexLock lock(shutdown_mu_);
     shutdown_requested_ = true;
   }
   shutdown_cv_.notify_all();
@@ -110,8 +110,11 @@ void Daemon::beginShutdown() {
 
 void Daemon::waitShutdown() {
   {
-    std::unique_lock<std::mutex> lock(shutdown_mu_);
-    shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+    sync::MutexLock lock(shutdown_mu_);
+    shutdown_cv_.wait(shutdown_mu_,
+                      [this]() CLUERT_REQUIRES(shutdown_mu_) {
+                        return shutdown_requested_;
+                      });
     if (torn_down_) return;
     torn_down_ = true;
   }
@@ -150,7 +153,7 @@ std::uint64_t Daemon::reload() {
   rib::FibDelta<A> dl;
   rib::FibDelta<A> dn;
   {
-    std::lock_guard<std::mutex> lock(fib_mu_);
+    sync::MutexLock lock(fib_mu_);
     dl = rib::diff(local_mirror_, *local);
     local_mirror_ = std::move(*local);
     if (neighbor) {

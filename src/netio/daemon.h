@@ -19,15 +19,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <csignal>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "netio/admin.h"
 #include "netio/config.h"
 #include "netio/datapath.h"
@@ -98,9 +97,9 @@ class Daemon {
   Options options_;
   obs::MetricRegistry registry_;
 
-  std::mutex fib_mu_;  // guards the mirrors during reload
-  rib::Fib<A> local_mirror_;
-  rib::Fib<A> neighbor_mirror_;
+  sync::Mutex fib_mu_;  // guards the mirrors during reload
+  rib::Fib<A> local_mirror_ CLUERT_GUARDED_BY(fib_mu_);
+  rib::Fib<A> neighbor_mirror_ CLUERT_GUARDED_BY(fib_mu_);
 
   std::unique_ptr<rib::VersionedTables<A>> tables_;
   std::unique_ptr<rib::RouteUpdater<A>> updater_;
@@ -116,10 +115,10 @@ class Daemon {
 
   std::chrono::steady_clock::time_point started_at_;
 
-  std::mutex shutdown_mu_;
-  std::condition_variable shutdown_cv_;
-  bool shutdown_requested_ = false;
-  bool torn_down_ = false;
+  sync::Mutex shutdown_mu_;
+  sync::CondVar shutdown_cv_;
+  bool shutdown_requested_ CLUERT_GUARDED_BY(shutdown_mu_) = false;
+  bool torn_down_ CLUERT_GUARDED_BY(shutdown_mu_) = false;
   std::atomic<bool> draining_{false};
 };
 

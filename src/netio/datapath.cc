@@ -105,7 +105,10 @@ void Datapath::join() {
 
 void Datapath::requestDrain() {
   bool expected = false;
-  if (!draining_.compare_exchange_strong(expected, true)) return;
+  if (!draining_.compare_exchange_strong(expected, true,
+                                         std::memory_order_seq_cst)) {
+    return;
+  }
   loop_.post([this] {
     const std::uint64_t deadline =
         nowNs() + std::uint64_t{config_.drain_ms} * 1000000ULL;

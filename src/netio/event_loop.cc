@@ -59,7 +59,7 @@ void EventLoop::remove(int fd) {
 
 void EventLoop::post(Task task) {
   {
-    std::lock_guard<std::mutex> lock(post_mu_);
+    sync::MutexLock lock(post_mu_);
     posted_.push_back(std::move(task));
   }
   wakeup();
@@ -111,7 +111,7 @@ void EventLoop::drainWakeup() {
 void EventLoop::runPosted() {
   std::vector<Task> tasks;
   {
-    std::lock_guard<std::mutex> lock(post_mu_);
+    sync::MutexLock lock(post_mu_);
     tasks.swap(posted_);
   }
   for (auto& t : tasks) t();

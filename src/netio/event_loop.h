@@ -14,10 +14,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "netio/socket.h"
 
 namespace cluert::netio {
@@ -89,8 +89,11 @@ class EventLoop {
   // doesn't free the closure the loop is currently invoking.
   std::unordered_map<int, std::shared_ptr<FdCallback>> fds_;
 
-  std::mutex post_mu_;
-  std::vector<Task> posted_;
+  // The only cross-thread state in the loop; everything else is loop-thread
+  // confined (which the analysis cannot see — the mutex boundary is the
+  // part worth proving).
+  sync::Mutex post_mu_;
+  std::vector<Task> posted_ CLUERT_GUARDED_BY(post_mu_);
 
   std::vector<Timer> wheel_[kWheelSlots];
   std::size_t wheel_pos_ = 0;

@@ -29,7 +29,7 @@ MetricRegistry::Entry& MetricRegistry::findOrCreate(std::string_view name,
                                                     Labels labels,
                                                     MetricKind kind) {
   labels = canonical(std::move(labels));
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   for (Entry& e : entries_) {
     if (e.desc.name == name && e.desc.labels == labels) {
       CLUERT_CHECK(e.desc.kind == kind)
@@ -78,7 +78,7 @@ Histogram& MetricRegistry::histogram(std::string_view name,
 
 MetricSnapshot MetricRegistry::snapshot() const {
   MetricSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   snap.samples.reserve(entries_.size());
   for (const Entry& e : entries_) {
     MetricSample s;
@@ -106,7 +106,7 @@ MetricSnapshot MetricRegistry::snapshot() const {
 }
 
 std::size_t MetricRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   return entries_.size();
 }
 

@@ -13,17 +13,30 @@
 // drain remaining items after observing it. Capacity is rounded up to a
 // power of two; one slot is never sacrificed (full/empty are distinguished
 // by index difference, indices increase monotonically and wrap via mask).
+//
+// The `Policy` parameter (common/sync_policy.h) routes every atomic through
+// `Policy::template Atomic<T>`: production uses StdSyncPolicy (plain
+// std::atomic, identical codegen to before), while src/mc/harnesses.h
+// instantiates this very class with mc::ModelPolicy and enumerates its
+// interleavings exhaustively within bounds. Every memory_order below is
+// named explicitly (lint_cluert.py bans implicit seq_cst) and justified in
+// the DESIGN.md §10 ordering table.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <vector>
 
+#include "common/sync_policy.h"
+
 namespace cluert::pipeline {
 
-template <typename T>
+template <typename T, typename Policy = sync::StdSyncPolicy>
 class SpscRing {
  public:
+  using AtomicSize = typename Policy::template Atomic<std::size_t>;
+  using AtomicBool = typename Policy::template Atomic<bool>;
+
   // `capacity` is rounded up to a power of two, minimum 2.
   explicit SpscRing(std::size_t capacity) {
     std::size_t n = 2;
@@ -49,7 +62,7 @@ class SpscRing {
       if (tail - cached_head_ == slots_.size()) return false;
     }
     slots_[tail & mask_] = std::move(value);
-    tail_.store(tail + 1, std::memory_order_release);
+    publishTail(tail + 1);
     return true;
   }
 
@@ -70,7 +83,7 @@ class SpscRing {
   // consumer.
   void publish() {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
-    tail_.store(tail + 1, std::memory_order_release);
+    publishTail(tail + 1);
   }
 
   // Marks end-of-stream. Items pushed before close() are guaranteed visible
@@ -83,6 +96,19 @@ class SpscRing {
   // reuses its shards across run() calls). Only valid while both sides are
   // quiescent — after the consumer drained and joined, before the next
   // producer/consumer pair starts.
+  //
+  // The relaxed store is deliberate and *checked*: it does not pair with the
+  // closed() acquire readers, so a consumer running concurrently with
+  // reopen() could read the stale `true` forever and exit mid-stream — the
+  // model checker exhibits exactly that lost-item schedule when the
+  // quiescence contract is broken (Mc.RingReopenContract\* in
+  // tests/mc_test.cc; promoting this store to release does NOT fix it,
+  // because coherence still allows the stale read). Under the contract the
+  // pipeline actually maintains — workers joined before reopen(), new
+  // workers spawned after — the join/spawn edges give every new consumer
+  // happens-before to this store, and the checker passes the
+  // contract-respecting harness exhaustively. DESIGN.md §10 has the full
+  // argument and the regression schedules.
   void reopen() { closed_.store(false, std::memory_order_relaxed); }
 
   // -- consumer side --------------------------------------------------------
@@ -129,18 +155,32 @@ class SpscRing {
   }
 
  private:
+  // The one producer-side publication point: the release store that hands
+  // slot contents to the consumer's acquire load of tail_.
+  void publishTail(std::size_t next_tail) {
+#ifdef CLUERT_MC_MUTANT_RING_PUBLISH_RELAXED
+    // Seeded mutant (tests/mc_mutant_test.cc only, never defined by any
+    // production target): demotes the publish to relaxed so the model
+    // checker can prove it detects the resulting unsynchronized slot
+    // hand-off as a data race. See ISSUE 7 / DESIGN.md §10.
+    tail_.store(next_tail, std::memory_order_relaxed);
+#else
+    tail_.store(next_tail, std::memory_order_release);
+#endif
+  }
+
   std::vector<T> slots_;
   std::size_t mask_ = 0;
 
   // Producer-owned line: its index plus the cached view of the consumer's.
-  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) AtomicSize tail_{0};
   std::size_t cached_head_ = 0;
 
   // Consumer-owned line.
-  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) AtomicSize head_{0};
   std::size_t cached_tail_ = 0;
 
-  alignas(64) std::atomic<bool> closed_{false};
+  alignas(64) AtomicBool closed_{false};
 };
 
 }  // namespace cluert::pipeline

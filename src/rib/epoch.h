@@ -1,0 +1,147 @@
+// The epoch pin/publish/grace protocol, extracted from VersionedTables so
+// the *same code* runs in production (Policy = sync::StdSyncPolicy, V =
+// TableVersion) and under the model checker (Policy = mc::ModelPolicy, V =
+// a two-field payload) — src/mc/harnesses.h enumerates its interleavings
+// exhaustively within bounds. Nothing here knows about FIBs or clue tables;
+// it is purely the reclamation handshake:
+//
+//   * one atomic `live_` pointer, read by every worker, swapped by the one
+//     updater;
+//   * one padded epoch counter per worker slot; odd = pinned. A reader
+//     increments its slot (seq_cst), then loads `live_` (seq_cst); the
+//     guard's destructor increments again with release.
+//   * the updater publishes with a seq_cst exchange, then waits out the
+//     grace period: any slot that was odd at swap time may still be reading
+//     the retired version — spin (yield -> sleep escalation) until that
+//     slot's counter moves. Slots that pin after the swap read the new
+//     live pointer and never block the updater.
+//
+// Memory-ordering argument (the classic store-buffering pair, checked by
+// the Mc.EpochPublish harness and justified order-by-order in DESIGN.md
+// §10):
+//   reader: epoch.fetch_add(seq_cst);  live.load(seq_cst)
+//   writer: live.exchange(seq_cst);    epoch.load(seq_cst)
+// Sequential consistency on the four accesses forbids the outcome where the
+// reader holds the retired version but the writer saw its slot quiescent.
+// The guard's exit is a release so the version's reads happen-before the
+// counter change the updater observes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/sync_policy.h"
+
+namespace cluert::rib {
+
+template <typename V, std::size_t MaxWorkers = 32,
+          typename Policy = sync::StdSyncPolicy>
+class EpochPublication {
+ public:
+  using AtomicPtr = typename Policy::template Atomic<V*>;
+  using AtomicU64 = typename Policy::template Atomic<std::uint64_t>;
+
+  static constexpr std::size_t kMaxWorkers = MaxWorkers;
+
+  EpochPublication() = default;
+  EpochPublication(const EpochPublication&) = delete;
+  EpochPublication& operator=(const EpochPublication&) = delete;
+
+  // Holds one pinned version; the updater's grace period cannot complete
+  // while a guard from an earlier swap is alive.
+  class ReadGuard {
+   public:
+    ReadGuard() = default;
+    ReadGuard(V* v, AtomicU64* slot) : v_(v), slot_(slot) {}
+    ReadGuard(ReadGuard&& o) noexcept : v_(o.v_), slot_(o.slot_) {
+      o.v_ = nullptr;
+      o.slot_ = nullptr;
+    }
+    ReadGuard& operator=(ReadGuard&& o) noexcept {
+      if (this != &o) {
+        unpin();
+        v_ = o.v_;
+        slot_ = o.slot_;
+        o.v_ = nullptr;
+        o.slot_ = nullptr;
+      }
+      return *this;
+    }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+    ~ReadGuard() { unpin(); }
+
+    const V& operator*() const { return *v_; }
+    const V* operator->() const { return v_; }
+    explicit operator bool() const { return v_ != nullptr; }
+
+   private:
+    void unpin() {
+      // Release: every read of *v_ happens-before the counter turns even.
+      if (slot_ != nullptr) slot_->fetch_add(1, std::memory_order_release);
+    }
+    V* v_ = nullptr;
+    AtomicU64* slot_ = nullptr;
+  };
+
+  // -- data plane (any worker thread) ---------------------------------------
+
+  ReadGuard pin(std::size_t worker) {
+    CLUERT_CHECK(worker < kMaxWorkers)
+        << "worker " << worker << " exceeds the " << kMaxWorkers
+        << "-slot epoch array";
+    AtomicU64& slot = epochs_[worker].v;
+    // Odd = pinned. seq_cst orders this before the live_ load against the
+    // updater's seq_cst exchange/scan (see file comment).
+    slot.fetch_add(1, std::memory_order_seq_cst);
+    return ReadGuard(live_.load(std::memory_order_seq_cst), &slot);
+  }
+
+  // -- control plane (the single updater thread) ----------------------------
+
+  // First publication / control-plane peek. seq_cst: pairs with pin()'s
+  // load (see file comment); lint_cluert.py bans naked live-pointer access
+  // outside this file, PinnedResolver and VersionedTables.
+  void storeLive(V* v) { live_.store(v, std::memory_order_seq_cst); }
+  V* loadLive() const { return live_.load(std::memory_order_seq_cst); }
+
+  // The swap: returns the retired version, which must not be touched until
+  // waitForReaders() returns.
+  V* exchangeLive(V* next) {
+    return live_.exchange(next, std::memory_order_seq_cst);
+  }
+
+  // Grace period: a slot that was odd (pinned) at swap time may still be
+  // reading the retired version; wait until its counter moves. Slots that
+  // are even, or that pin *after* the swap (they see the new live pointer),
+  // never block.
+  // Waiting escalates yield -> sleep: a yielding thread is still runnable,
+  // and on a host with fewer cores than threads it keeps winning timeslices
+  // the pinned reader needs to finish its batch — the sleep hands the core
+  // over outright. Grace is off the data path, so the extra latency is free.
+  void waitForReaders() {
+    for (EpochSlot& s : epochs_) {
+      const std::uint64_t e = s.v.load(std::memory_order_seq_cst);
+      if ((e & 1) == 0) continue;
+      std::uint64_t streak = 0;
+      while (s.v.load(std::memory_order_acquire) == e) {
+        if (++streak < 16) {
+          Policy::yield();
+        } else {
+          Policy::sleepUs(50);
+        }
+      }
+    }
+  }
+
+ private:
+  struct alignas(64) EpochSlot {
+    AtomicU64 v{0};
+  };
+
+  AtomicPtr live_{nullptr};
+  EpochSlot epochs_[kMaxWorkers];
+};
+
+}  // namespace cluert::rib

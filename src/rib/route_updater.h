@@ -7,13 +7,12 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <utility>
 
+#include "common/mutex.h"
 #include "common/stats.h"
 #include "rib/fib_diff.h"
 #include "rib/versioned_tables.h"
@@ -44,16 +43,18 @@ class RouteUpdater {
   // (queue empty and no publish in flight). The synchronization primitive a
   // config-reload path needs to answer "is the new table live yet" — the
   // cluertd admin endpoint and the reload tests both wait on it.
-  void flush() {
-    std::unique_lock<std::mutex> lock(mu_);
-    flushed_cv_.wait(lock, [this] { return queue_.empty() && !publishing_; });
+  void flush() CLUERT_EXCLUDES(mu_) {
+    sync::MutexLock lock(mu_);
+    flushed_cv_.wait(mu_, [this]() CLUERT_REQUIRES(mu_) {
+      return queue_.empty() && !publishing_;
+    });
   }
 
   // Drains the queue (every enqueued delta is published) and joins the
   // thread. Idempotent.
-  void stop() {
+  void stop() CLUERT_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::MutexLock lock(mu_);
       if (stopping_) return;
       stopping_ = true;
     }
@@ -63,14 +64,14 @@ class RouteUpdater {
 
   // Deltas published so far (reads are racy while the thread runs; exact
   // after stop()).
-  std::uint64_t published() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t published() const CLUERT_EXCLUDES(mu_) {
+    sync::MutexLock lock(mu_);
     return published_;
   }
 
   // Enqueue-to-publish latency, nanoseconds per delta. Call after stop().
-  Summary latencyNs() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  Summary latencyNs() const CLUERT_EXCLUDES(mu_) {
+    sync::MutexLock lock(mu_);
     return latency_ns_;
   }
 
@@ -81,10 +82,10 @@ class RouteUpdater {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void enqueue(FibDelta<A> d, bool neighbor) {
+  void enqueue(FibDelta<A> d, bool neighbor) CLUERT_EXCLUDES(mu_) {
     if (d.empty()) return;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::MutexLock lock(mu_);
       CLUERT_CHECK(!stopping_) << "enqueue after RouteUpdater::stop()";
       queue_.push_back(
           Item{std::move(d), neighbor, std::chrono::steady_clock::now()});
@@ -92,12 +93,14 @@ class RouteUpdater {
     cv_.notify_one();
   }
 
-  void run() {
+  void run() CLUERT_EXCLUDES(mu_) {
     for (;;) {
       Item item;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        sync::MutexLock lock(mu_);
+        cv_.wait(mu_, [this]() CLUERT_REQUIRES(mu_) {
+          return stopping_ || !queue_.empty();
+        });
         if (queue_.empty()) {
           flushed_cv_.notify_all();
           return;  // stopping and drained
@@ -115,7 +118,7 @@ class RouteUpdater {
       }
       const auto done = std::chrono::steady_clock::now();
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::MutexLock lock(mu_);
         publishing_ = false;
         ++published_;
         latency_ns_.add(static_cast<double>(
@@ -128,14 +131,14 @@ class RouteUpdater {
   }
 
   VersionedTables<A>& tables_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable flushed_cv_;
-  std::deque<Item> queue_;
-  bool stopping_ = false;
-  bool publishing_ = false;
-  std::uint64_t published_ = 0;
-  Summary latency_ns_;
+  mutable sync::Mutex mu_;
+  sync::CondVar cv_;
+  sync::CondVar flushed_cv_;
+  std::deque<Item> queue_ CLUERT_GUARDED_BY(mu_);
+  bool stopping_ CLUERT_GUARDED_BY(mu_) = false;
+  bool publishing_ CLUERT_GUARDED_BY(mu_) = false;
+  std::uint64_t published_ CLUERT_GUARDED_BY(mu_) = 0;
+  Summary latency_ns_ CLUERT_GUARDED_BY(mu_);
   std::thread thread_;
 };
 

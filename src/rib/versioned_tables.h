@@ -21,13 +21,11 @@
 //     slots that were odd at swap time to *change* — readers that pinned the
 //     new version never block the updater.
 //
-// Memory-ordering argument (the classic store-buffering pair):
-//   reader: epoch.fetch_add(seq_cst);  live.load(seq_cst)
-//   writer: live.store(seq_cst) [via exchange];  epoch.load(seq_cst)
-// Sequential consistency on the four accesses forbids the outcome where the
-// reader holds the retired version but the writer saw its slot quiescent.
-// The guard's exit is a release so the version's reads happen-before the
-// counter change the updater observes.
+// The pin/swap/grace handshake itself lives in rib/epoch.h
+// (EpochPublication): the same protocol code is instantiated here for
+// production and in src/mc/harnesses.h under the model checker, which
+// enumerates its interleavings exhaustively within bounds — see the
+// memory-ordering rationale table in DESIGN.md §10.
 //
 // Correctness across swaps for in-flight clues (the Simple-analysis
 // argument, spelled out in DESIGN.md §7): a packet's clue was computed
@@ -41,12 +39,9 @@
 // from — so under *sender*-side churn with in-flight packets, run Simple.
 #pragma once
 
-#include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <thread>
 #include <vector>
 
 #include "check/clue_check.h"
@@ -59,6 +54,7 @@
 #include "lookup/factory.h"
 #include "obs/hooks.h"
 #include "obs/trace.h"
+#include "rib/epoch.h"
 #include "rib/fib.h"
 #include "rib/fib_diff.h"
 
@@ -107,7 +103,8 @@ class VersionedTables {
 
   // Upper bound on concurrently pinning workers (one padded epoch slot
   // each); a hard CLUERT_CHECK, not a silent truncation.
-  static constexpr std::size_t kMaxEpochWorkers = 32;
+  using EpochT = EpochPublication<TableVersion<A>>;
+  static constexpr std::size_t kMaxEpochWorkers = EpochT::kMaxWorkers;
 
   struct Options {
     lookup::Method method = lookup::Method::kPatricia;
@@ -143,7 +140,7 @@ class VersionedTables {
       buildFull(buf, local, neighbor);
       buf.seq = 1;
     }
-    live_.store(&buf_[0], std::memory_order_seq_cst);
+    epoch_.storeLive(&buf_[0]);
     shadow_ = 1;
     seq_ = 1;
     if (churn_obs_.enabled()) churn_obs_.live_seq->set(1.0);
@@ -157,56 +154,12 @@ class VersionedTables {
   // Holds one pinned version; the updater's grace period cannot complete
   // while a guard from an earlier swap is alive. Scope it to one
   // PacketBatch: pin, resolve the whole batch against *guard, drop.
-  class ReadGuard {
-   public:
-    ReadGuard() = default;
-    ReadGuard(const TableVersion<A>* v, std::atomic<std::uint64_t>* slot)
-        : v_(v), slot_(slot) {}
-    ReadGuard(ReadGuard&& o) noexcept : v_(o.v_), slot_(o.slot_) {
-      o.v_ = nullptr;
-      o.slot_ = nullptr;
-    }
-    ReadGuard& operator=(ReadGuard&& o) noexcept {
-      if (this != &o) {
-        unpin();
-        v_ = o.v_;
-        slot_ = o.slot_;
-        o.v_ = nullptr;
-        o.slot_ = nullptr;
-      }
-      return *this;
-    }
-    ReadGuard(const ReadGuard&) = delete;
-    ReadGuard& operator=(const ReadGuard&) = delete;
-    ~ReadGuard() { unpin(); }
+  // The guard (and the pin protocol) is EpochPublication's — rib/epoch.h.
+  using ReadGuard = typename EpochT::ReadGuard;
 
-    const TableVersion<A>& operator*() const { return *v_; }
-    const TableVersion<A>* operator->() const { return v_; }
-    explicit operator bool() const { return v_ != nullptr; }
+  ReadGuard pin(std::size_t worker) { return epoch_.pin(worker); }
 
-   private:
-    void unpin() {
-      // Release: every read of *v_ happens-before the counter turns even.
-      if (slot_ != nullptr) slot_->fetch_add(1, std::memory_order_release);
-    }
-    const TableVersion<A>* v_ = nullptr;
-    std::atomic<std::uint64_t>* slot_ = nullptr;
-  };
-
-  ReadGuard pin(std::size_t worker) {
-    CLUERT_CHECK(worker < kMaxEpochWorkers)
-        << "worker " << worker << " exceeds the " << kMaxEpochWorkers
-        << "-slot epoch array";
-    std::atomic<std::uint64_t>& slot = epochs_[worker].v;
-    // Odd = pinned. seq_cst orders this before the live_ load against the
-    // updater's seq_cst exchange/scan (see file comment).
-    slot.fetch_add(1, std::memory_order_seq_cst);
-    return ReadGuard(live_.load(std::memory_order_seq_cst), &slot);
-  }
-
-  std::uint64_t liveSeq() const {
-    return live_.load(std::memory_order_seq_cst)->seq;
-  }
+  std::uint64_t liveSeq() const { return epoch_.loadLive()->seq; }
 
   // -- control plane (the single updater thread) ----------------------------
 
@@ -227,18 +180,12 @@ class VersionedTables {
 
   // Control-plane peek at the live version. Safe from the updater thread
   // (only it can retire the pointee) or any thread while no publisher runs.
-  const TableVersion<A>& liveVersion() const {
-    return *live_.load(std::memory_order_seq_cst);
-  }
+  const TableVersion<A>& liveVersion() const { return *epoch_.loadLive(); }
 
   std::uint64_t swaps() const { return swaps_; }
   std::uint64_t fullRebuilds() const { return full_rebuilds_; }
 
  private:
-  struct alignas(64) EpochSlot {
-    std::atomic<std::uint64_t> v{0};
-  };
-
   // The one publication cycle every update goes through. `apply` mutates a
   // buffer and reports whether it took the full-rebuild path.
   template <typename ApplyFn>
@@ -249,14 +196,13 @@ class VersionedTables {
     next.seq = ++seq_;
     const std::uint64_t t1 = obs::Tracer::nowNs();
 
-    TableVersion<A>* retired =
-        live_.exchange(&next, std::memory_order_seq_cst);
+    TableVersion<A>* retired = epoch_.exchangeLive(&next);
     shadow_ ^= 1;
     ++swaps_;
     if (full) ++full_rebuilds_;
     if (options_.on_publish) options_.on_publish(next);
 
-    waitForReaders();
+    epoch_.waitForReaders();
     const std::uint64_t t2 = obs::Tracer::nowNs();
 
     if (options_.validate_retired) {
@@ -281,29 +227,6 @@ class VersionedTables {
       churn_obs_.grace_ns->shard(churn_obs_.shard).observe(t2 - t1);
     }
     return next.seq;
-  }
-
-  // Grace period: a slot that was odd (pinned) at swap time may still be
-  // reading the retired version; wait until its counter moves. Slots that
-  // are even, or that pin *after* the swap (they see the new live pointer),
-  // never block.
-  // Waiting escalates yield -> sleep: a yielding thread is still runnable,
-  // and on a host with fewer cores than threads it keeps winning timeslices
-  // the pinned reader needs to finish its batch — the sleep hands the core
-  // over outright. Grace is off the data path, so the extra latency is free.
-  void waitForReaders() {
-    for (EpochSlot& s : epochs_) {
-      const std::uint64_t e = s.v.load(std::memory_order_seq_cst);
-      if ((e & 1) == 0) continue;
-      std::uint64_t streak = 0;
-      while (s.v.load(std::memory_order_acquire) == e) {
-        if (++streak < 16) {
-          std::this_thread::yield();
-        } else {
-          std::this_thread::sleep_for(std::chrono::microseconds(50));
-        }
-      }
-    }
   }
 
   void buildFull(TableVersion<A>& v, const Fib<A>& local,
@@ -470,13 +393,12 @@ class VersionedTables {
 
   Options options_;
   TableVersion<A> buf_[2];
-  std::atomic<TableVersion<A>*> live_{nullptr};
+  EpochT epoch_;
   std::size_t shadow_ = 1;       // updater-owned buffer index
   std::uint64_t seq_ = 0;        // updater-owned sequence counter
   std::uint64_t swaps_ = 0;
   std::uint64_t full_rebuilds_ = 0;
   std::uint64_t retired_validations_ = 0;
-  EpochSlot epochs_[kMaxEpochWorkers];
   obs::ChurnObs churn_obs_;
 };
 

@@ -81,7 +81,7 @@ TEST(ObsCounter, ShardIndexWrapsModuloShardCount) {
   c.shard(0).inc(5);
   c.shard(kMetricShards).inc(7);  // same cell as shard 0, still correct
   EXPECT_EQ(c.value(), 12u);
-  EXPECT_EQ(c.shard(0).load(), 12u);
+  EXPECT_EQ(c.shard(0).get(), 12u);
 }
 
 TEST(ObsRegistry, RegistrationIsIdempotentByNameAndLabels) {

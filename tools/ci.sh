@@ -26,6 +26,14 @@
 #                           every hop, clean SIGTERM drain), then
 #                           metrics_diff.py --require-nonzero asserts the
 #                           per-peer netio counters moved
+#   8. concurrency contracts  tools/lint_cluert.py (--self-test, then the
+#                           project lint rules over src/) and a time-bounded
+#                           model-checker smoke (tools/mc_run --smoke) over
+#                           the SpscRing/Epoch harness registry. The clang
+#                           thread-safety analysis (-Wthread-safety) rides
+#                           gate 1 automatically when the compiler is clang;
+#                           on gcc hosts that check is a documented no-op
+#                           (the annotations compile to nothing).
 #
 # Exits nonzero on the first finding. This is what "CI green" means for this
 # repo; see README "Lint and sanitizer gates".
@@ -35,28 +43,28 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "=== [1/7] -Werror build + full test suite ==="
+echo "=== [1/8] -Werror build + full test suite ==="
 cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCLUERT_WERROR=ON
 cmake --build build-ci -j"$(nproc)"
 ctest --test-dir build-ci --output-on-failure
 
-echo "=== [2/7] clang-tidy ==="
+echo "=== [2/8] clang-tidy ==="
 tools/run_tidy.sh build-ci
 
-echo "=== [3/7] sanitizer matrix ==="
+echo "=== [3/8] sanitizer matrix ==="
 tools/run_sanitizers.sh
 
-echo "=== [4/7] metrics tooling self-test ==="
+echo "=== [4/8] metrics tooling self-test ==="
 python3 tools/metrics_diff.py --self-test
 
-echo "=== [5/7] churn smoke (update-under-traffic oracle) ==="
+echo "=== [5/8] churn smoke (update-under-traffic oracle) ==="
 cmake --build build-ci -j"$(nproc)" --target bench_churn
 (cd build-ci && ./bench/bench_churn --smoke)
 python3 tools/metrics_diff.py \
   --require-nonzero 'rib_version_(swaps_total|live_seq)' \
   build-ci/BENCH_churn.prom
 
-echo "=== [6/7] corpus replay + fuzz smoke + coverage gate ==="
+echo "=== [6/8] corpus replay + fuzz smoke + coverage gate ==="
 cmake --build build-ci -j"$(nproc)" --target sim_run
 build-ci/tools/sim_run replay tests/corpus
 
@@ -91,11 +99,21 @@ fi
 
 tools/run_coverage.sh --check
 
-echo "=== [7/7] wire topology smoke (cluertd line topology) ==="
+echo "=== [7/8] wire topology smoke (cluertd line topology) ==="
 cmake --build build-ci -j"$(nproc)" --target cluertd wire_play
 # topo_run asserts delivery, zero oracle mismatches, nonzero case-1 and
 # per-peer netio_peer_{rx,tx}_packets_total on every hop (metrics_diff.py
 # --require-nonzero against each /metrics scrape), and exit-0 SIGTERM drains.
 BUILD_DIR=build-ci tools/topo_run.sh --smoke
+
+echo "=== [8/8] concurrency contracts (lint + model-checker smoke) ==="
+python3 tools/lint_cluert.py --self-test
+python3 tools/lint_cluert.py src/
+cmake --build build-ci -j"$(nproc)" --target mc_run
+# Exhaustive bounded runs for the fast harnesses take ~2 s; the budget is a
+# hard stop so a future harness that blows up the frontier degrades the
+# gate to "bounded smoke" instead of hanging CI. Violations still fail
+# regardless of where the budget lands.
+build-ci/tools/mc_run --smoke 30000
 
 echo "ci.sh: all gates green"

@@ -12,8 +12,15 @@
 // (default 100k) with a sane delivery ratio (UDP on loopback still drops
 // under overrun; forwarding rate is what is asserted, not losslessness).
 //
+// --trace-sample N turns on the DESIGN.md §11 span pipeline inside the
+// daemon (1-in-N ingress sampling) and reports the in-router phase
+// breakdown — decode, lookup, residence — from the drained spans, so the
+// cost and the content of tracing are both visible from the artifact. The
+// default (0, tracing off) is the perf-comparison configuration: its pps
+// must stay within a few percent of the pre-trace datapath.
+//
 // Artifact: BENCH_wire.json (JsonWriter provenance header: schema version,
-// git SHA, hostname, CPU count).
+// git SHA, hostname, CPU count) including log2 latency histograms.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -24,6 +31,7 @@
 
 #include "bench_util.h"
 #include "netio/daemon.h"
+#include "obs/span.h"
 #include "rib/table_gen.h"
 
 namespace {
@@ -38,6 +46,7 @@ struct Params {
   std::size_t count = 400'000;     // datagrams injected
   std::uint64_t seed = 7;
   std::size_t workers = 1;         // acceptance bar is single-daemon, 1 shard
+  std::uint32_t trace_sample = 0;  // 0 = tracing off (the perf baseline)
 };
 
 std::uint64_t minPps() {
@@ -80,6 +89,58 @@ double percentile(std::vector<std::uint64_t>& v, double p) {
   return static_cast<double>(v[idx]);
 }
 
+// Prometheus-style cumulative histogram over latencies in ns: a log2 ladder
+// of `le` bounds in microseconds from 1us to ~32ms plus +Inf, written as an
+// array of {le_us, count} objects. Sorts `ns` in place.
+void writeHistUs(bench::JsonWriter& w, std::string_view key,
+                 std::vector<std::uint64_t>& ns) {
+  std::sort(ns.begin(), ns.end());
+  w.beginArray(key);
+  std::uint64_t bound_ns = 1'000;
+  std::size_t i = 0;
+  for (int b = 0; b < 16; ++b) {
+    while (i < ns.size() && ns[i] <= bound_ns) ++i;
+    char le[24];
+    std::snprintf(le, sizeof le, "%g", static_cast<double>(bound_ns) / 1e3);
+    w.beginObject();
+    w.field("le_us", std::string_view(le));
+    w.field("count", static_cast<std::uint64_t>(i));
+    w.endObject();
+    bound_ns *= 2;
+  }
+  w.beginObject();
+  w.field("le_us", std::string_view("+Inf"));
+  w.field("count", static_cast<std::uint64_t>(ns.size()));
+  w.endObject();
+  w.endArray();
+}
+
+// Per-phase durations recovered from the daemon's drained spans: what the
+// router spent inside this hop, split the way the span model splits it.
+struct HopPhases {
+  std::vector<std::uint64_t> decode;     // rx -> batch decoded
+  std::vector<std::uint64_t> lookup;     // solo pinned lookup
+  std::vector<std::uint64_t> residence;  // rx -> tx (or lookup end)
+  std::uint64_t dropped = 0;
+};
+
+HopPhases drainHopPhases(netio::Daemon& daemon) {
+  HopPhases out;
+  for (std::size_t i = 0; i < daemon.datapathCount(); ++i) {
+    auto& d = daemon.datapath(i);
+    out.dropped += d.spansDropped();
+    for (const obs::PacketSpan& s : d.drainSpans()) {
+      if (s.decode_ns >= s.rx_ns) out.decode.push_back(s.decode_ns - s.rx_ns);
+      if (s.lookup_end_ns >= s.lookup_start_ns) {
+        out.lookup.push_back(s.lookup_end_ns - s.lookup_start_ns);
+      }
+      const std::uint64_t end = s.tx_ns != 0 ? s.tx_ns : s.lookup_end_ns;
+      if (end >= s.rx_ns) out.residence.push_back(end - s.rx_ns);
+    }
+  }
+  return out;
+}
+
 int run(const Params& pp) {
   // Tables: this router's FIB plus the upstream table the clues come from.
   Rng rng(pp.seed);
@@ -118,6 +179,7 @@ int run(const Params& pp) {
   cfg.method = lookup::Method::kPatricia;
   cfg.workers = pp.workers;
   cfg.rcvbuf = 8 << 20;
+  cfg.trace_sample = pp.trace_sample;
   netio::Daemon daemon(cfg);
   daemon.start();
 
@@ -234,8 +296,8 @@ int run(const Params& pp) {
   const double p50_us = percentile(latencies, 0.50) / 1e3;
   const double p99_us = percentile(latencies, 0.99) / 1e3;
 
-  auto& dp = daemon.datapath(0);
-  std::uint64_t rx = 0, fwd = 0, no_route = 0, send_errors = 0, decode_err = 0;
+  std::uint64_t rx = 0, fwd = 0, no_route = 0, send_errors = 0, decode_err = 0,
+                spans_recorded = 0;
   for (std::size_t i = 0; i < daemon.datapathCount(); ++i) {
     auto& d = daemon.datapath(i);
     rx += d.rxPackets();
@@ -243,8 +305,9 @@ int run(const Params& pp) {
     no_route += d.noRoute();
     send_errors += d.sendErrors();
     decode_err += d.decodeErrors();
+    spans_recorded += d.spansRecorded();
   }
-  (void)dp;
+  HopPhases hop = drainHopPhases(daemon);
   daemon.stop();
   for (const auto& p : {droutes, nroutes}) ::unlink(p.c_str());
   ::rmdir(dir);
@@ -259,6 +322,15 @@ int run(const Params& pp) {
       static_cast<unsigned long long>(no_route),
       static_cast<unsigned long long>(send_errors),
       static_cast<unsigned long long>(decode_err));
+  if (pp.trace_sample > 0) {
+    std::printf(
+        "bench_wire: traced 1-in-%u: %zu spans (%llu dropped), hop phases "
+        "decode p99 %.1fus lookup p99 %.1fus residence p99 %.1fus\n",
+        pp.trace_sample, hop.residence.size(),
+        static_cast<unsigned long long>(hop.dropped),
+        percentile(hop.decode, 0.99) / 1e3, percentile(hop.lookup, 0.99) / 1e3,
+        percentile(hop.residence, 0.99) / 1e3);
+  }
 
   {
     std::ofstream json("BENCH_wire.json");
@@ -279,6 +351,23 @@ int run(const Params& pp) {
     w.field("daemon_send_errors", send_errors);
     w.field("daemon_decode_errors", decode_err);
     w.field("sink_decode_errors", sink_decode_errors);
+    writeHistUs(w, "latency_hist_us", latencies);
+    w.field("trace_sample", static_cast<std::uint64_t>(pp.trace_sample));
+    w.key("hop");
+    w.beginObject();
+    w.field("spans", static_cast<std::uint64_t>(hop.residence.size()));
+    w.field("spans_recorded", spans_recorded);
+    w.field("spans_dropped", hop.dropped);
+    w.field("decode_p50_us", percentile(hop.decode, 0.50) / 1e3);
+    w.field("decode_p99_us", percentile(hop.decode, 0.99) / 1e3);
+    w.field("lookup_p50_us", percentile(hop.lookup, 0.50) / 1e3);
+    w.field("lookup_p99_us", percentile(hop.lookup, 0.99) / 1e3);
+    w.field("residence_p50_us", percentile(hop.residence, 0.50) / 1e3);
+    w.field("residence_p99_us", percentile(hop.residence, 0.99) / 1e3);
+    writeHistUs(w, "decode_hist_us", hop.decode);
+    writeHistUs(w, "lookup_hist_us", hop.lookup);
+    writeHistUs(w, "residence_hist_us", hop.residence);
+    w.endObject();
     w.endDocument();
   }
   std::printf("wrote BENCH_wire.json\n");
@@ -319,9 +408,12 @@ int main(int argc, char** argv) {
       pp.count = static_cast<std::size_t>(std::atol(argv[++i]));
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       pp.workers = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--trace-sample") == 0 && i + 1 < argc) {
+      pp.trace_sample = static_cast<std::uint32_t>(std::atol(argv[++i]));
     } else {
       std::fprintf(stderr,
-                   "usage: bench_wire [--smoke] [--count N] [--workers W]\n");
+                   "usage: bench_wire [--smoke] [--count N] [--workers W] "
+                   "[--trace-sample N]\n");
       return 2;
     }
   }

@@ -2,14 +2,44 @@
 //
 //   cluertd --config hopB.conf
 //
-// Runs until SIGTERM/SIGINT (graceful drain) and reloads route files on
-// SIGHUP or GET /reload. See src/netio/config.h for the config format and
+// Runs until SIGTERM/SIGINT (graceful drain), reloads route files on
+// SIGHUP or GET /reload, and dumps the flight recorder on SIGQUIT (and
+// keeps running). See src/netio/config.h for the config format and
 // tools/topo_run.sh for a full multi-hop topology harness.
+#include <csignal>
 #include <cstdio>
 #include <string>
+#include <unistd.h>
 
 #include "netio/config.h"
 #include "netio/daemon.h"
+#include "obs/flight.h"
+
+namespace {
+
+// Last-gasp handler for fatal signals: spill the flight recorder's recent
+// events to stderr with async-signal-safe writes, then re-raise with the
+// default disposition so the process still dies with the right status.
+extern "C" void fatalDump(int signo) {
+  if (auto* r = cluert::obs::FlightRecorder::global(); r != nullptr) {
+    r->dumpTo(STDERR_FILENO);
+  }
+  ::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+
+void installFatalHandlers() {
+  struct sigaction sa{};
+  sa.sa_handler = &fatalDump;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESETHAND: fatalDump restores the default itself after dumping,
+  // so a second fault inside the handler still terminates.
+  for (const int signo : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL}) {
+    ::sigaction(signo, &sa, nullptr);
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string config_path;
@@ -40,6 +70,8 @@ int main(int argc, char** argv) {
   cluert::netio::Daemon::Options options;
   options.handle_signals = true;
   cluert::netio::Daemon daemon(*config, options);
+  cluert::obs::FlightRecorder::installGlobal(&daemon.flight());
+  installFatalHandlers();
   daemon.start();
   std::printf("cluertd %s: data %s admin %s (live seq %llu)\n",
               config->name.c_str(), daemon.dataAddr().toString().c_str(),
@@ -47,6 +79,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(daemon.liveSeq()));
   std::fflush(stdout);
   daemon.waitShutdown();
+  cluert::obs::FlightRecorder::installGlobal(nullptr);
   std::printf("cluertd %s: clean shutdown\n", config->name.c_str());
   return 0;
 }

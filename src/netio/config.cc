@@ -109,6 +109,12 @@ std::optional<Config> parseConfig(std::string_view text, std::string* error) {
       c.rcvbuf = static_cast<int>(v);
     } else if (key == "metrics_out") {
       c.metrics_out = std::string(val);
+    } else if (key == "trace_sample") {
+      std::uint64_t v = 0;
+      if (!parseU64(val, &v) || v > 1000000000) return fail("bad trace_sample");
+      c.trace_sample = static_cast<std::uint32_t>(v);
+    } else if (key == "flight_out") {
+      c.flight_out = std::string(val);
     } else if (key == "peer.default") {
       const auto a = SockAddr::parse(val);
       if (!a) return fail("bad peer address");

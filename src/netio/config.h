@@ -46,6 +46,12 @@ struct Config {
   std::uint32_t drain_ms = 500;  // shutdown: max time draining accepted work
   int rcvbuf = 1 << 20;
   std::string metrics_out;    // write a final .prom snapshot here on exit
+  // Distributed tracing (DESIGN.md §11): 0 disables; N samples every Nth
+  // untraced ingress packet per shard and stamps it with a trace context.
+  // Packets arriving already-traced always propagate regardless.
+  std::uint32_t trace_sample = 0;
+  // SIGQUIT flight-recorder dump destination ("" = the daemon's stderr).
+  std::string flight_out;
 
   // The egress endpoint for a resolved next hop: exact peer.<id> match,
   // else peer.default, else nullopt (deliver locally).

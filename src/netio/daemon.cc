@@ -4,6 +4,7 @@
 #include <sys/signalfd.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -34,7 +35,11 @@ std::optional<rib::Fib<ip::Ip4Addr>> loadFib(const std::string& path) {
 Daemon::Daemon(const Config& config) : Daemon(config, Options()) {}
 
 Daemon::Daemon(const Config& config, const Options& options)
-    : config_(config), options_(options) {
+    : config_(config),
+      options_(options),
+      // One ring per datapath shard + admin/signal thread + route updater:
+      // each ring keeps exactly one writer thread (obs/flight.h contract).
+      flight_(config.workers + 2) {
   // Block the handled signals BEFORE any thread exists (RouteUpdater and
   // the datapaths spawn below and inherit this mask) — otherwise a SIGTERM
   // can land on a thread with the default disposition and kill the process
@@ -63,6 +68,11 @@ Daemon::Daemon(const Config& config, const Options& options)
   // retired version on the updater thread is sim/test-tier paranoia that a
   // router under load cannot afford per delta.
   topts.validate_retired = false;
+  // The updater thread is the publish hook's caller — and the updater
+  // ring's single writer.
+  topts.on_publish = [this](const rib::TableVersion<A>& v) {
+    flight_.ring(updaterRing()).push(obs::FlightKind::kPublish, v.seq);
+  };
   tables_ = std::make_unique<rib::VersionedTables<A>>(local_mirror_,
                                                       neighbor_mirror_, topts);
   updater_ = std::make_unique<rib::RouteUpdater<A>>(*tables_);
@@ -76,6 +86,13 @@ Daemon::Daemon(const Config& config, const Options& options)
     datapaths_.push_back(std::make_unique<Datapath>(shard_config, w, *tables_,
                                                     &registry_));
   }
+  for (std::size_t w = 0; w < datapaths_.size(); ++w) {
+    flight_.ring(w).setWorker(static_cast<std::uint8_t>(w));
+    datapaths_[w]->attachFlight(&flight_.ring(w));
+  }
+  flight_.ring(adminRing()).setWorker(static_cast<std::uint8_t>(adminRing()));
+  flight_.ring(updaterRing())
+      .setWorker(static_cast<std::uint8_t>(updaterRing()));
 
   admin_ = std::make_unique<AdminServer>(admin_loop_, config_.admin);
   admin_->route("/metrics", [this] {
@@ -86,7 +103,18 @@ Daemon::Daemon(const Config& config, const Options& options)
   admin_->route("/reload", [this] { return reloadResponse(); });
   admin_->route("/healthz",
                 [] { return AdminResponse{200, "text/plain", "ok\n"}; });
+  // Route handlers run on the admin loop thread, which is the admin ring's
+  // single writer — the kReload/kShutdown/kSignal pushes below and in the
+  // signalfd handler all come from that one thread.
+  admin_->route("/trace", [this] {
+    return AdminResponse{200, "application/x-ndjson", drainTraceJsonl()};
+  });
+  admin_->route("/debug/flight", [this] {
+    return AdminResponse{200, "application/json",
+                         flight_.toJson(config_.name)};
+  });
   admin_->route("/quit", [this] {
+    flight_.ring(adminRing()).push(obs::FlightKind::kShutdown);
     beginShutdown();
     return AdminResponse{200, "text/plain", "shutting down\n"};
   });
@@ -172,6 +200,7 @@ std::uint64_t Daemon::reload() {
 AdminResponse Daemon::statusJson() {
   std::uint64_t rx = 0, tx = 0, delivered = 0, decode_errors = 0,
                 no_route = 0, ttl_expired = 0, send_errors = 0, oracle = 0;
+  std::uint64_t spans_recorded = 0, spans_dropped = 0;
   for (const auto& dp : datapaths_) {
     rx += dp->rxPackets();
     tx += dp->txPackets();
@@ -181,6 +210,12 @@ AdminResponse Daemon::statusJson() {
     ttl_expired += dp->ttlExpired();
     send_errors += dp->sendErrors();
     oracle += dp->oracleMismatches();
+    spans_recorded += dp->spansRecorded();
+    spans_dropped += dp->spansDropped();
+  }
+  std::uint64_t flight_events = 0;
+  for (std::size_t i = 0; i < flight_.ringCount(); ++i) {
+    flight_events += flight_.ring(i).count();
   }
   const auto uptime = std::chrono::duration_cast<std::chrono::milliseconds>(
                           std::chrono::steady_clock::now() - started_at_)
@@ -194,14 +229,70 @@ AdminResponse Daemon::statusJson() {
      << ",\"decode_errors\":" << decode_errors << ",\"no_route\":" << no_route
      << ",\"ttl_expired\":" << ttl_expired
      << ",\"send_errors\":" << send_errors
-     << ",\"oracle_mismatches\":" << oracle << ",\"draining\":"
+     << ",\"oracle_mismatches\":" << oracle;
+  // The table version each shard pinned for its latest batch — lets an
+  // operator see a reload actually reach the data plane, per worker.
+  js << ",\"pinned_seq\":[";
+  for (std::size_t w = 0; w < datapaths_.size(); ++w) {
+    if (w > 0) js << ',';
+    js << datapaths_[w]->lastPinnedSeq();
+  }
+  js << ']';
+  // Per-peer counters: rx keyed by the upstream router id off the wire
+  // (nonzero cells only; id kMaxSrcLabel folds everything larger), tx by
+  // configured tx-target slot (peer.default last when present).
+  js << ",\"peers_rx\":{";
+  bool first = true;
+  for (std::uint16_t s = 0; s <= Datapath::kMaxSrcLabel; ++s) {
+    std::uint64_t n = 0;
+    for (const auto& dp : datapaths_) n += dp->rxBySrc(s);
+    if (n == 0) continue;
+    if (!first) js << ',';
+    first = false;
+    js << '"' << s << "\":" << n;
+  }
+  js << '}';
+  js << ",\"peers_tx\":[";
+  const std::size_t peer_slots =
+      datapaths_.empty() ? 0 : datapaths_.front()->txPeerCount();
+  for (std::size_t p = 0; p < peer_slots; ++p) {
+    std::uint64_t n = 0;
+    for (const auto& dp : datapaths_) n += dp->txByPeer(p);
+    if (p > 0) js << ',';
+    js << n;
+  }
+  js << ']';
+  js << ",\"trace_sample\":" << config_.trace_sample
+     << ",\"trace_spans_recorded\":" << spans_recorded
+     << ",\"trace_spans_dropped\":" << spans_dropped
+     << ",\"flight_events\":" << flight_events << ",\"draining\":"
      << (draining_.load(std::memory_order_relaxed) ? "true" : "false")
      << "}\n";
   return AdminResponse{200, "application/json", js.str()};
 }
 
+std::string Daemon::drainTraceJsonl() {
+  std::vector<obs::PacketSpan> all;
+  for (auto& dp : datapaths_) {
+    auto spans = dp->drainSpans();
+    all.insert(all.end(), spans.begin(), spans.end());
+  }
+  return obs::spansToJsonl({all.data(), all.size()}, config_.name);
+}
+
+void Daemon::dumpFlight() {
+  const std::string body = flight_.toJson(config_.name);
+  if (config_.flight_out.empty()) {
+    std::fwrite(body.data(), 1, body.size(), stderr);
+    std::fflush(stderr);
+  } else {
+    obs::writeFile(config_.flight_out, body);
+  }
+}
+
 AdminResponse Daemon::reloadResponse() {
   const std::uint64_t seq = reload();
+  flight_.ring(adminRing()).push(obs::FlightKind::kReload, seq);
   if (seq == 0) {
     return AdminResponse{400, "application/json",
                          "{\"reloaded\":false}\n"};
@@ -217,6 +308,7 @@ void Daemon::setupSignals() {
   sigaddset(&mask, SIGTERM);
   sigaddset(&mask, SIGINT);
   sigaddset(&mask, SIGHUP);
+  sigaddset(&mask, SIGQUIT);
   CLUERT_CHECK(pthread_sigmask(SIG_BLOCK, &mask, &old_sigmask_) == 0)
       << "pthread_sigmask failed";
   signal_fd_ = Fd(::signalfd(-1, &mask, SFD_NONBLOCK));
@@ -225,9 +317,16 @@ void Daemon::setupSignals() {
   admin_loop_.add(signal_fd_.get(), EPOLLIN, [this](std::uint32_t) {
     signalfd_siginfo si{};
     while (::read(signal_fd_.get(), &si, sizeof(si)) == sizeof(si)) {
+      auto& ring = flight_.ring(adminRing());
+      ring.push(obs::FlightKind::kSignal, si.ssi_signo);
       if (si.ssi_signo == SIGHUP) {
-        reload();
+        ring.push(obs::FlightKind::kReload, reload());
+      } else if (si.ssi_signo == SIGQUIT) {
+        // Dump-and-continue, like a JVM thread dump: the recorder is for
+        // inspecting a live (or wedged) daemon, not just a dying one.
+        dumpFlight();
       } else {
+        ring.push(obs::FlightKind::kShutdown);
         beginShutdown();
       }
     }

@@ -31,6 +31,7 @@
 #include "netio/config.h"
 #include "netio/datapath.h"
 #include "netio/event_loop.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "rib/fib.h"
 #include "rib/route_updater.h"
@@ -87,15 +88,34 @@ class Daemon {
   Datapath& datapath(std::size_t i) { return *datapaths_[i]; }
   std::size_t datapathCount() const { return datapaths_.size(); }
 
+  // The flight recorder: rings [0, workers) belong to the datapath shards,
+  // ring workers to the admin/signal thread, ring workers+1 to the route
+  // updater (via the on_publish hook).
+  obs::FlightRecorder& flight() { return flight_; }
+
+  // Drains every shard's SpanCollector into one JSONL body — what the
+  // /trace admin endpoint serves.
+  std::string drainTraceJsonl();
+
+  // Writes the flight-recorder JSON to config.flight_out (stderr when
+  // unset). The SIGQUIT dump-and-continue path; also callable by tests.
+  void dumpFlight();
+
  private:
   AdminResponse statusJson();
   AdminResponse reloadResponse();
   void setupSignals();
   void teardownSignals();
 
+  std::size_t adminRing() const { return config_.workers; }
+  std::size_t updaterRing() const { return config_.workers + 1; }
+
   Config config_;
   Options options_;
   obs::MetricRegistry registry_;
+  // Before tables_/datapaths_: writer threads hold ring pointers, so the
+  // rings must outlive them (members destroy in reverse order).
+  obs::FlightRecorder flight_;
 
   sync::Mutex fib_mu_;  // guards the mirrors during reload
   rib::Fib<A> local_mirror_ CLUERT_GUARDED_BY(fib_mu_);

@@ -89,6 +89,7 @@ Datapath::Datapath(const Config& config, std::size_t shard,
       tx_by_peer_.push_back(nullptr);
     }
   }
+  tx_peer_counts_ = std::vector<std::atomic<std::uint64_t>>(tx_targets_.size());
 
   loop_.add(sock_.get(), EPOLLIN, [this](std::uint32_t) { onReadable(); });
 }
@@ -110,6 +111,7 @@ void Datapath::requestDrain() {
     return;
   }
   loop_.post([this] {
+    if (flight_ != nullptr) flight_->push(obs::FlightKind::kDrain);
     const std::uint64_t deadline =
         nowNs() + std::uint64_t{config_.drain_ms} * 1000000ULL;
     drainStep(deadline);
@@ -142,28 +144,61 @@ int Datapath::processBatch() {
   const int n = recvBatch(sock_.get(), rx_bufs_.data(),
                           static_cast<int>(pipeline::kMaxBatch));
   if (n <= 0) return 0;
+  const std::uint64_t rx_ns = nowNs();
+  if (flight_ != nullptr) {
+    flight_->push(obs::FlightKind::kRxBatch, static_cast<std::uint64_t>(n));
+  }
 
   // Decode pass: valid packets compact into the resolve arrays; the decode
-  // buffer stays alive (payload spans alias it) until the send below.
+  // buffer stays alive (payload spans alias it) until the send below. An
+  // untraced packet may pick up a fresh trace context here — the ingress
+  // 1-in-N sample (deterministic: every trace_sample-th untraced arrival
+  // per shard).
   std::array<WirePacket<A>, pipeline::kMaxBatch> pkts;
   std::array<A, pipeline::kMaxBatch> dests;
   std::array<core::ClueField, pipeline::kMaxBatch> clues;
   std::array<core::CluePort<A>::Result, pipeline::kMaxBatch> results;
   std::size_t valid = 0;
   std::uint64_t rx_bytes = 0;
+  bool any_traced = false;
   for (int i = 0; i < n; ++i) {
     const auto r = decode<A>({rx_bufs_[i].data.data(), rx_bufs_[i].len});
     if (!r.ok()) {
       decode_errors_.fetch_add(1, std::memory_order_relaxed);
       if (nobs_.enabled()) nobs_.decode_errors->inc();
+      if (flight_ != nullptr) {
+        flight_->push(obs::FlightKind::kDecodeReject,
+                      static_cast<std::uint64_t>(r.error));
+      }
       continue;
     }
     if (nobs_.enabled()) {
       auto* cell = rxCellFor(r.packet.src_id);
       if (cell != nullptr) cell->inc();
     }
+    rx_src_counts_[r.packet.src_id < kMaxSrcLabel ? r.packet.src_id
+                                                  : kMaxSrcLabel]
+        .fetch_add(1, std::memory_order_relaxed);
     rx_bytes += rx_bufs_[i].len;
     pkts[valid] = r.packet;
+    if (!pkts[valid].trace.has_value() && config_.trace_sample != 0 &&
+        (trace_tick_++ % config_.trace_sample) == 0) {
+      TraceContext tc;
+      // (router_id, shard, sample ordinal) make the id unique across the
+      // topology; the low word carries the origin timestamp for free.
+      tc.id_hi = (std::uint64_t{config_.router_id} << 48) |
+                 (std::uint64_t{static_cast<std::uint32_t>(shard_)} << 32) |
+                 (trace_count_ & 0xffffffffULL);
+      tc.id_lo = rx_ns;
+      tc.hop = 0;
+      tc.origin_ns = rx_ns;
+      ++trace_count_;
+      pkts[valid].trace = tc;
+      if (flight_ != nullptr) {
+        flight_->push(obs::FlightKind::kTraceStart, tc.id_hi, tc.id_lo);
+      }
+    }
+    any_traced = any_traced || pkts[valid].trace.has_value();
     dests[valid] = r.packet.dest;
     clues[valid] = r.packet.clue;
     ++valid;
@@ -174,40 +209,97 @@ int Datapath::processBatch() {
     nobs_.rx_bytes->inc(rx_bytes);
   }
   if (valid == 0) return n;
+  const std::uint64_t decode_ns = any_traced ? nowNs() : rx_ns;
 
   // One pinned version for the whole batch; the optional differential
   // oracle runs inside the guard so it reads the *same* version the port
   // answered from.
-  resolver_.resolve(
-      {dests.data(), valid}, {clues.data(), valid}, {results.data(), valid},
-      acc_, [&](const rib::TableVersion<A>* version) {
-        if (!config_.oracle || version == nullptr) return;
-        const auto& engine = version->suite->engine(version->method);
-        for (std::size_t i = 0; i < valid; ++i) {
-          const auto expect = engine.lookup(dests[i], oracle_acc_);
-          const auto& got = results[i].match;
-          const bool mismatch =
-              expect.has_value() != got.has_value() ||
-              (expect.has_value() &&
-               (expect->next_hop != got->next_hop ||
-                expect->prefix != got->prefix));
-          if (mismatch) {
-            oracle_mismatch_.fetch_add(1, std::memory_order_relaxed);
-            if (nobs_.enabled()) nobs_.oracle_mismatch->inc();
-          }
-        }
-      });
+  const auto oracle_check = [&](const rib::TableVersion<A>* version) {
+    if (!config_.oracle || version == nullptr) return;
+    const auto& engine = version->suite->engine(version->method);
+    for (std::size_t i = 0; i < valid; ++i) {
+      const auto expect = engine.lookup(dests[i], oracle_acc_);
+      const auto& got = results[i].match;
+      const bool mismatch =
+          expect.has_value() != got.has_value() ||
+          (expect.has_value() &&
+           (expect->next_hop != got->next_hop ||
+            expect->prefix != got->prefix));
+      if (mismatch) {
+        oracle_mismatch_.fetch_add(1, std::memory_order_relaxed);
+        if (nobs_.enabled()) nobs_.oracle_mismatch->inc();
+      }
+    }
+  };
 
-  // Forwarding pass: re-encode toward peers, settle the drop taxonomy.
+  std::array<std::uint64_t, pipeline::kMaxBatch> lookup_t0;
+  std::array<std::uint64_t, pipeline::kMaxBatch> lookup_t1;
+  std::array<std::array<std::uint16_t, mem::AccessCounter::kRegions>,
+             pipeline::kMaxBatch>
+      deltas;
+  std::uint64_t seq = 0;
+  if (!any_traced) {
+    seq = resolver_.resolve({dests.data(), valid}, {clues.data(), valid},
+                            {results.data(), valid}, acc_, oracle_check);
+  } else {
+    // Segmented resolve at ONE pinned version: resolve() with empty spans
+    // pins and rebinds the port, then the callback runs every packet while
+    // the guard holds — untraced runs batched (prefetch path intact), each
+    // traced packet solo between two clock reads with a per-Region access
+    // snapshot around it.
+    seq = resolver_.resolve(
+        {}, {}, {}, acc_, [&](const rib::TableVersion<A>* version) {
+          auto& port = resolver_.port();
+          std::size_t seg = 0;
+          for (std::size_t i = 0; i <= valid; ++i) {
+            const bool traced = i < valid && pkts[i].trace.has_value();
+            if (i < valid && !traced) continue;
+            if (i > seg) {
+              port.processBatch({dests.data() + seg, i - seg},
+                                {clues.data() + seg, i - seg},
+                                {results.data() + seg, i - seg}, acc_);
+            }
+            if (i < valid) {
+              std::array<std::uint64_t, mem::AccessCounter::kRegions> before;
+              for (std::size_t reg = 0;
+                   reg < mem::AccessCounter::kRegions; ++reg) {
+                before[reg] = acc_.count(static_cast<mem::Region>(reg));
+              }
+              lookup_t0[i] = nowNs();
+              port.processBatch({dests.data() + i, 1}, {clues.data() + i, 1},
+                                {results.data() + i, 1}, acc_);
+              lookup_t1[i] = nowNs();
+              for (std::size_t reg = 0;
+                   reg < mem::AccessCounter::kRegions; ++reg) {
+                const std::uint64_t d =
+                    acc_.count(static_cast<mem::Region>(reg)) - before[reg];
+                deltas[i][reg] = static_cast<std::uint16_t>(
+                    d > 0xffff ? 0xffff : d);
+              }
+            }
+            seg = i + 1;
+          }
+          oracle_check(version);
+        });
+  }
+  pinned_seq_.store(seq, std::memory_order_relaxed);
+
+  // Forwarding pass: re-encode toward peers, settle the drop taxonomy. A
+  // traced packet propagates its context verbatim with hop+1.
   std::array<OutDatagram, pipeline::kMaxBatch> out;
   std::array<std::size_t, pipeline::kMaxBatch> out_peer_idx;
+  std::array<std::size_t, pipeline::kMaxBatch> out_src;  // out slot → valid i
+  std::array<obs::SpanVerdict, pipeline::kMaxBatch> verdicts;
   std::size_t n_out = 0;
   std::uint64_t tx_bytes = 0;
+  std::uint64_t no_route_batch = 0, ttl_batch = 0, enc_err_batch = 0;
   for (std::size_t i = 0; i < valid; ++i) {
     const auto& m = results[i].match;
     if (!m.has_value()) {
       no_route_.fetch_add(1, std::memory_order_relaxed);
       if (nobs_.enabled()) nobs_.no_route->inc();
+      verdicts[i] = obs::SpanVerdict::kNoRoute;
+      ++no_route_batch;
       continue;
     }
     std::size_t peer_idx = 0;
@@ -220,12 +312,15 @@ int Datapath::processBatch() {
       } else {
         delivered_.fetch_add(1, std::memory_order_relaxed);
         if (nobs_.enabled()) nobs_.delivered->inc();
+        verdicts[i] = obs::SpanVerdict::kDelivered;
         continue;
       }
     }
     if (pkts[i].ttl <= 1) {
       ttl_expired_.fetch_add(1, std::memory_order_relaxed);
       if (nobs_.enabled()) nobs_.ttl_expired->inc();
+      verdicts[i] = obs::SpanVerdict::kTtlExpired;
+      ++ttl_batch;
       continue;
     }
     WirePacket<A> fwd;
@@ -237,27 +332,46 @@ int Datapath::processBatch() {
                                       : core::ClueField::none();
     fwd.ttl = static_cast<std::uint8_t>(pkts[i].ttl - 1);
     fwd.src_id = config_.router_id;
+    fwd.trace = pkts[i].trace;
+    if (fwd.trace.has_value() && fwd.trace->hop < 0xff) ++fwd.trace->hop;
     fwd.payload = pkts[i].payload;
     const std::size_t len = encode(fwd, tx_bufs_[n_out]);
     if (len == 0) {
       send_errors_.fetch_add(1, std::memory_order_relaxed);
       if (nobs_.enabled()) nobs_.send_errors->inc();
+      verdicts[i] = obs::SpanVerdict::kSendError;
+      ++enc_err_batch;
       continue;
     }
     out[n_out] = OutDatagram{tx_bufs_[n_out].data(), len,
                              tx_targets_[peer_idx]};
     out_peer_idx[n_out] = peer_idx;
+    out_src[n_out] = i;
+    verdicts[i] = obs::SpanVerdict::kForwarded;
     tx_bytes += len;
     ++n_out;
   }
+  // Stamped BEFORE the send syscall: the downstream hop's rx_ns is after
+  // the datagram arrived, so pre-send stamping keeps tx(hop k) <= rx(hop
+  // k+1) on a shared monotonic clock — post-send stamping would not.
+  const std::uint64_t tx_ns = any_traced ? nowNs() : 0;
+  std::size_t sent_ok = 0;
   if (n_out > 0) {
     const int sent = sendBatch(sock_.get(), out.data(),
                                static_cast<int>(n_out));
     const std::size_t ok = sent < 0 ? 0 : static_cast<std::size_t>(sent);
+    sent_ok = ok;
     tx_.fetch_add(ok, std::memory_order_relaxed);
     const std::size_t dropped = n_out - ok;
     if (dropped > 0) {
       send_errors_.fetch_add(dropped, std::memory_order_relaxed);
+      // sendmmsg accepts a prefix: everything past `ok` never left.
+      for (std::size_t s = ok; s < n_out; ++s) {
+        verdicts[out_src[s]] = obs::SpanVerdict::kSendError;
+      }
+    }
+    for (std::size_t i = 0; i < ok; ++i) {
+      tx_peer_counts_[out_peer_idx[i]].fetch_add(1, std::memory_order_relaxed);
     }
     if (nobs_.enabled()) {
       nobs_.tx_packets->inc(ok);
@@ -267,6 +381,51 @@ int Datapath::processBatch() {
         auto* cell = tx_by_peer_[out_peer_idx[i]];
         if (cell != nullptr) cell->inc();
       }
+    }
+  }
+  if (flight_ != nullptr) {
+    if (no_route_batch > 0) {
+      flight_->push(obs::FlightKind::kNoRoute, no_route_batch);
+    }
+    if (ttl_batch > 0) flight_->push(obs::FlightKind::kTtlExpired, ttl_batch);
+    const std::uint64_t send_err_batch =
+        enc_err_batch + (n_out - sent_ok);
+    if (send_err_batch > 0) {
+      flight_->push(obs::FlightKind::kSendError, send_err_batch);
+    }
+  }
+
+  // Span pass: one PacketSpan per traced packet, handed to the admin plane
+  // through the collector. Off the hot path — runs only when the batch
+  // carried a traced packet at all.
+  if (any_traced) {
+    for (std::size_t i = 0; i < valid; ++i) {
+      if (!pkts[i].trace.has_value()) continue;
+      const TraceContext& tc = *pkts[i].trace;
+      obs::PacketSpan s;
+      s.trace_hi = tc.id_hi;
+      s.trace_lo = tc.id_lo;
+      s.origin_ns = tc.origin_ns;
+      s.hop = tc.hop;
+      s.router_id = config_.router_id;
+      s.worker = static_cast<std::uint32_t>(shard_);
+      s.dest = pkts[i].dest.value();
+      s.src_id = pkts[i].src_id;
+      s.rx_ns = rx_ns;
+      s.decode_ns = decode_ns;
+      s.lookup_start_ns = lookup_t0[i];
+      s.lookup_end_ns = lookup_t1[i];
+      s.verdict = verdicts[i];
+      const bool went_out = verdicts[i] == obs::SpanVerdict::kForwarded;
+      s.tx_ns = went_out ? tx_ns : 0;
+      s.clue_len = pkts[i].clue.present
+                       ? static_cast<std::int16_t>(pkts[i].clue.length)
+                       : std::int16_t{-1};
+      s.outcome = results[i].outcome;
+      s.claim1_skip = results[i].claim1_skip;
+      s.search_failed = results[i].search_failed;
+      s.accesses = deltas[i];
+      spans_.record(s);
     }
   }
   return n;

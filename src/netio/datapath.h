@@ -16,6 +16,18 @@
 // With `oracle` on, every packet is double-checked inside the read guard
 // against the pinned version's plain engine — the wire-path equivalent of
 // the simulator's per-packet differential oracle.
+//
+// Distributed tracing (DESIGN.md §11): with trace_sample = N, every Nth
+// untraced ingress packet gets a wire trace context; already-traced packets
+// always propagate (hop+1 on re-encode). A batch containing traced packets
+// resolves in segments under ONE pinned version — untraced runs keep the
+// batched prefetch path, each traced packet resolves solo between two clock
+// reads with a per-Region access snapshot around it — and every traced
+// packet leaves a PacketSpan in the shard's SpanCollector for /trace.
+// Batches with no traced packet (and any batch when sampling is off) take
+// exactly the pre-trace resolve path. The always-on flight recorder rides
+// the same loop: batch arrivals, decode rejects and the drop taxonomy push
+// O(ns) events into this shard's lock-free FlightRing.
 #pragma once
 
 #include <atomic>
@@ -30,8 +42,10 @@
 #include "netio/event_loop.h"
 #include "netio/socket.h"
 #include "netio/wire.h"
+#include "obs/flight.h"
 #include "obs/hooks.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "pipeline/packet_batch.h"
 #include "pipeline/pinned_resolver.h"
 #include "rib/versioned_tables.h"
@@ -68,6 +82,16 @@ class Datapath {
   const SockAddr& dataAddr() const { return data_addr_; }
   EventLoop& loop() { return loop_; }
 
+  // Attaches this shard's flight-recorder ring (control-plane, before
+  // start()). The shard is the ring's single writer from then on.
+  void attachFlight(obs::FlightRing* ring) { flight_ = ring; }
+
+  // Drains the hop-spans of traced packets (any thread; the /trace admin
+  // endpoint calls this from the admin loop while the shard runs).
+  std::vector<obs::PacketSpan> drainSpans() { return spans_.drain(); }
+  std::uint64_t spansRecorded() const { return spans_.recorded(); }
+  std::uint64_t spansDropped() const { return spans_.dropped(); }
+
   // Totals mirrored into plain atomics for the /status JSON (the registry
   // snapshot serves /metrics; these avoid re-parsing it).
   std::uint64_t rxPackets() const { return rx_.load(std::memory_order_relaxed); }
@@ -89,6 +113,22 @@ class Datapath {
   }
   std::uint64_t oracleMismatches() const {
     return oracle_mismatch_.load(std::memory_order_relaxed);
+  }
+
+  // The table version seq the last batch pinned (0 before any batch) — the
+  // /status "pinned_seq" field, mirrored like the counters above.
+  std::uint64_t lastPinnedSeq() const {
+    return pinned_seq_.load(std::memory_order_relaxed);
+  }
+
+  // Per-peer mirrors for /status (same indexing as the registry cells:
+  // rx by source router id folded at kMaxSrcLabel, tx by tx-target slot).
+  std::uint64_t rxBySrc(std::size_t i) const {
+    return rx_src_counts_[i].load(std::memory_order_relaxed);
+  }
+  std::size_t txPeerCount() const { return tx_peer_counts_.size(); }
+  std::uint64_t txByPeer(std::size_t i) const {
+    return tx_peer_counts_[i].load(std::memory_order_relaxed);
   }
 
  private:
@@ -127,6 +167,17 @@ class Datapath {
 
   std::atomic<std::uint64_t> rx_{0}, tx_{0}, delivered_{0}, decode_errors_{0},
       no_route_{0}, ttl_expired_{0}, send_errors_{0}, oracle_mismatch_{0};
+  std::atomic<std::uint64_t> pinned_seq_{0};
+  std::array<std::atomic<std::uint64_t>, kMaxSrcLabel + 1> rx_src_counts_{};
+  std::vector<std::atomic<std::uint64_t>> tx_peer_counts_;
+
+  // Distributed tracing (owner-thread state; DESIGN.md §11). trace_tick_
+  // counts untraced ingress packets so sampling is deterministic; ingress
+  // trace ids fold (router_id, shard, sample ordinal) into id_hi.
+  std::uint64_t trace_tick_ = 0;
+  std::uint64_t trace_count_ = 0;
+  obs::SpanCollector spans_;
+  obs::FlightRing* flight_ = nullptr;  // optional; owned by the daemon
 };
 
 }  // namespace cluert::netio

@@ -18,21 +18,29 @@
 //   10     2    source router id (stamps per-peer rx accounting)
 //   12     2    payload length
 //   14     4|16 destination address, network byte order
+//   ...    25   trace context, present iff bit3 (DESIGN.md §11): 16-byte
+//               trace id (two LE u64s), 1-byte hop count, 8-byte LE origin
+//               timestamp (CLOCK_MONOTONIC ns at the sampling ingress).
+//               Sampled 1-in-N at the ingress daemon, propagated verbatim
+//               downstream with only the hop count incremented per hop.
 //   ...    n    payload (opaque to the router; the test harness rides
 //               sequence numbers and send timestamps in it)
 //
 // Decode is strict about framing (magic, version, family, exact datagram
-// length) and deliberately *lenient* about the clue value itself: an
+// length — a trace flag whose 25 bytes are missing is a kBadLength reject,
+// not a guess) and deliberately *lenient* about the clue value itself: an
 // out-of-range clue length decodes as "no clue", because a bogus clue must
 // degrade to the common-lookup path, never to a drop — the same no-clue
 // fallback the simulator's fault matrix (sim::oracleStrict) holds Simple
 // mode strictly to. Everything that decodes re-encodes to a canonical form
 // that decodes identically (the reject-or-fixpoint contract fuzz_wire_header
-// asserts).
+// asserts); pre-trace senders never set bit3, so old-format datagrams keep
+// decoding unchanged.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
+#include <optional>
 #include <span>
 #include <string_view>
 
@@ -50,9 +58,15 @@ inline constexpr std::size_t kWireFixed = 14;
 inline constexpr std::uint8_t kFlagClue = 1u << 0;
 inline constexpr std::uint8_t kFlagIndex = 1u << 1;
 inline constexpr std::uint8_t kFlagFamily6 = 1u << 2;
+inline constexpr std::uint8_t kFlagTrace = 1u << 3;
+
+// Wire size of the optional trace context: trace id (16) + hop (1) +
+// origin timestamp (8).
+inline constexpr std::size_t kTraceBytes = 25;
 
 inline constexpr std::size_t kMaxPayload = 1200;
-inline constexpr std::size_t kMaxDatagram = kWireFixed + 16 + kMaxPayload;
+inline constexpr std::size_t kMaxDatagram =
+    kWireFixed + 16 + kTraceBytes + kMaxPayload;
 
 inline constexpr std::uint8_t kDefaultTtl = 16;
 
@@ -79,12 +93,28 @@ enum class DecodeError : std::uint8_t {
 
 std::string_view decodeErrorName(DecodeError e);
 
+// Distributed-tracing context riding a sampled packet (DESIGN.md §11). The
+// id and origin are stamped once at the ingress daemon and travel verbatim;
+// each forwarding hop bumps `hop`, so a span at hop h sits h routers past
+// the sampling point. `origin_ns` is CLOCK_MONOTONIC, which is system-wide
+// on Linux — cross-daemon deltas are meaningful on the single-host
+// topologies the harness runs.
+struct TraceContext {
+  std::uint64_t id_hi = 0;
+  std::uint64_t id_lo = 0;
+  std::uint8_t hop = 0;
+  std::uint64_t origin_ns = 0;
+
+  bool operator==(const TraceContext&) const = default;
+};
+
 template <typename A>
 struct WirePacket {
   A dest{};
   core::ClueField clue;            // absent ⇒ common lookup at the receiver
   std::uint8_t ttl = kDefaultTtl;
   std::uint16_t src_id = 0;        // sending router's id
+  std::optional<TraceContext> trace;  // present ⇒ this packet is traced
   std::span<const std::uint8_t> payload{};  // view into the decode buffer
 };
 
@@ -115,6 +145,17 @@ inline std::uint32_t getU32(const std::uint8_t* p) {
          (static_cast<std::uint32_t>(p[1]) << 8) |
          (static_cast<std::uint32_t>(p[2]) << 16) |
          (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline void putU64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+  }
+}
+inline std::uint64_t getU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
 }
 
 inline void putAddr(std::uint8_t* p, const ip::Ip4Addr& a) {
@@ -159,7 +200,8 @@ constexpr bool isFamily6() {
 // no-clue fallback, keeping encode∘decode a fixpoint).
 template <typename A>
 std::size_t encode(const WirePacket<A>& p, std::span<std::uint8_t> out) {
-  const std::size_t need = headerBytes<A>() + p.payload.size();
+  const std::size_t trace_len = p.trace.has_value() ? kTraceBytes : 0;
+  const std::size_t need = headerBytes<A>() + trace_len + p.payload.size();
   if (p.payload.size() > kMaxPayload || out.size() < need) return 0;
   const bool clue_ok =
       p.clue.present && p.clue.length >= 1 && p.clue.length <= A::kBits;
@@ -170,6 +212,7 @@ std::size_t encode(const WirePacket<A>& p, std::span<std::uint8_t> out) {
   if (clue_ok) flags |= kFlagClue;
   if (clue_ok && p.clue.index.has_value()) flags |= kFlagIndex;
   if (detail::isFamily6<A>()) flags |= kFlagFamily6;
+  if (p.trace.has_value()) flags |= kFlagTrace;
   b[5] = flags;
   b[6] = p.ttl;
   b[7] = clue_ok ? static_cast<std::uint8_t>(p.clue.length - 1) : 0;
@@ -177,8 +220,16 @@ std::size_t encode(const WirePacket<A>& p, std::span<std::uint8_t> out) {
   detail::putU16(b + 10, p.src_id);
   detail::putU16(b + 12, static_cast<std::uint16_t>(p.payload.size()));
   detail::putAddr(b + kWireFixed, p.dest);
+  if (p.trace.has_value()) {
+    std::uint8_t* t = b + headerBytes<A>();
+    detail::putU64(t, p.trace->id_hi);
+    detail::putU64(t + 8, p.trace->id_lo);
+    t[16] = p.trace->hop;
+    detail::putU64(t + 17, p.trace->origin_ns);
+  }
   if (!p.payload.empty()) {
-    std::memcpy(b + headerBytes<A>(), p.payload.data(), p.payload.size());
+    std::memcpy(b + headerBytes<A>() + trace_len, p.payload.data(),
+                p.payload.size());
   }
   return need;
 }
@@ -207,8 +258,9 @@ DecodeResult<A> decode(std::span<const std::uint8_t> in) {
     return r;
   }
   const std::size_t payload_len = detail::getU16(b + 12);
+  const std::size_t trace_len = (flags & kFlagTrace) != 0 ? kTraceBytes : 0;
   if (payload_len > kMaxPayload ||
-      in.size() != headerBytes<A>() + payload_len) {
+      in.size() != headerBytes<A>() + trace_len + payload_len) {
     r.error = DecodeError::kBadLength;
     return r;
   }
@@ -226,7 +278,16 @@ DecodeResult<A> decode(std::span<const std::uint8_t> in) {
     // length > W: a clue this family cannot express — fall back to no clue
     // (sim fault taxonomy: kJunk decodes as absent), never to a reject.
   }
-  r.packet.payload = in.subspan(headerBytes<A>(), payload_len);
+  if ((flags & kFlagTrace) != 0) {
+    const std::uint8_t* t = b + headerBytes<A>();
+    TraceContext tc;
+    tc.id_hi = detail::getU64(t);
+    tc.id_lo = detail::getU64(t + 8);
+    tc.hop = t[16];
+    tc.origin_ns = detail::getU64(t + 17);
+    r.packet.trace = tc;
+  }
+  r.packet.payload = in.subspan(headerBytes<A>() + trace_len, payload_len);
   return r;
 }
 

@@ -155,6 +155,44 @@ std::string toJsonl(std::span<const TraceEvent> events) {
   return out.str();
 }
 
+std::string spansToJsonl(std::span<const PacketSpan> spans,
+                         const std::string& router) {
+  std::ostringstream out;
+  for (const PacketSpan& s : spans) {
+    char id[33];
+    std::snprintf(id, sizeof(id), "%016" PRIx64 "%016" PRIx64, s.trace_hi,
+                  s.trace_lo);
+    char dest[16];
+    std::snprintf(dest, sizeof(dest), "%u.%u.%u.%u", (s.dest >> 24) & 0xff,
+                  (s.dest >> 16) & 0xff, (s.dest >> 8) & 0xff, s.dest & 0xff);
+    out << "{\"trace_id\":\"" << id << "\",\"hop\":"
+        << static_cast<unsigned>(s.hop) << ",\"router\":\"" << router
+        << "\",\"router_id\":" << s.router_id << ",\"worker\":" << s.worker
+        << ",\"src_id\":" << s.src_id << ",\"dest\":\"" << dest
+        << "\",\"origin_ns\":" << s.origin_ns << ",\"rx_ns\":" << s.rx_ns
+        << ",\"decode_ns\":" << s.decode_ns
+        << ",\"lookup_start_ns\":" << s.lookup_start_ns
+        << ",\"lookup_end_ns\":" << s.lookup_end_ns
+        << ",\"tx_ns\":" << s.tx_ns
+        << ",\"clue_len\":" << static_cast<int>(s.clue_len)
+        << ",\"outcome\":\"" << outcomeName(s.outcome)
+        << "\",\"claim1_skip\":" << (s.claim1_skip ? "true" : "false")
+        << ",\"search_failed\":" << (s.search_failed ? "true" : "false")
+        << ",\"verdict\":\"" << spanVerdictName(s.verdict)
+        << "\",\"accesses\":{";
+    bool first = true;
+    for (std::size_t r = 0; r < s.accesses.size(); ++r) {
+      if (s.accesses[r] == 0) continue;
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << mem::regionName(static_cast<mem::Region>(r)) << "\":"
+          << s.accesses[r];
+    }
+    out << "},\"total_accesses\":" << s.accessTotal() << "}\n";
+  }
+  return out.str();
+}
+
 std::string toChromeTrace(std::span<const TraceEvent> events,
                           std::span<const SpanEvent> spans,
                           const std::string& process_name) {

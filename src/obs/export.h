@@ -14,6 +14,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace cluert::obs {
@@ -23,6 +24,13 @@ std::string toPrometheus(const MetricSnapshot& snapshot);
 
 // One compact JSON object per event, newline separated.
 std::string toJsonl(std::span<const TraceEvent> events);
+
+// One JSON object per hop-span, newline separated — the /trace admin
+// endpoint body and tools/trace_merge.py input. `router` labels the
+// emitting daemon; the 128-bit trace id renders as 32 hex digits so the
+// merge tool can join hops textually.
+std::string spansToJsonl(std::span<const PacketSpan> spans,
+                         const std::string& router);
 
 // chrome://tracing "JSON object format": {"traceEvents": [...]}. Spans
 // become complete ("X") events on tid = worker; sampled lookups become "X"

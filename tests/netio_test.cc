@@ -649,5 +649,248 @@ TEST(DaemonTest, SigtermMidStreamDrainsAcceptedPacketsAndExitsClean) {
   EXPECT_EQ(dp.oracleMismatches(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Distributed tracing (DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+TEST(TraceWireTest, RoundTripFixpoint) {
+  WirePacket<A> p;
+  p.dest = a4("10.1.2.3");
+  p.clue = core::ClueField::of(24);
+  p.ttl = 9;
+  p.src_id = 42;
+  netio::TraceContext tc;
+  tc.id_hi = 0x0102030405060708ULL;
+  tc.id_lo = 0x090a0b0c0d0e0f10ULL;
+  tc.hop = 2;
+  tc.origin_ns = 0xfedcba9876543210ULL;
+  p.trace = tc;
+  const std::uint8_t payload[] = {1, 2, 3};
+  p.payload = {payload, sizeof(payload)};
+
+  std::uint8_t buf[netio::kMaxDatagram];
+  const std::size_t len = netio::encode(p, buf);
+  ASSERT_EQ(len,
+            netio::headerBytes<A>() + netio::kTraceBytes + sizeof(payload));
+  EXPECT_NE(buf[5] & netio::kFlagTrace, 0);
+
+  const auto r = netio::decode<A>({buf, len});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.packet.trace.has_value());
+  EXPECT_EQ(*r.packet.trace, tc);
+  EXPECT_EQ(r.packet.dest, p.dest);
+  ASSERT_EQ(r.packet.payload.size(), sizeof(payload));
+  EXPECT_EQ(std::memcmp(r.packet.payload.data(), payload, sizeof(payload)),
+            0);
+
+  // encode ∘ decode fixpoint: re-encoding the decoded packet is bytewise
+  // identical, trace context included.
+  std::uint8_t buf2[netio::kMaxDatagram];
+  const std::size_t len2 = netio::encode(r.packet, buf2);
+  ASSERT_EQ(len2, len);
+  EXPECT_EQ(std::memcmp(buf, buf2, len), 0);
+
+  // An old-format datagram (no trace flag) still decodes with no context.
+  WirePacket<A> old = p;
+  old.trace.reset();
+  const std::size_t olen = netio::encode(old, buf);
+  ASSERT_EQ(olen, netio::headerBytes<A>() + sizeof(payload));
+  const auto r_old = netio::decode<A>({buf, olen});
+  ASSERT_TRUE(r_old.ok());
+  EXPECT_FALSE(r_old.packet.trace.has_value());
+}
+
+TEST(TraceWireTest, TruncatedContextRejected) {
+  WirePacket<A> p;
+  p.dest = a4("10.1.2.3");
+  p.trace = netio::TraceContext{1, 2, 3, 4};
+  const std::uint8_t payload[] = {9, 9};
+  p.payload = {payload, sizeof(payload)};
+  std::uint8_t buf[netio::kMaxDatagram];
+  const std::size_t len = netio::encode(p, buf);
+  ASSERT_EQ(len,
+            netio::headerBytes<A>() + netio::kTraceBytes + sizeof(payload));
+
+  // Strict framing: any truncation of the trace context (or a trace flag on
+  // a datagram too short to hold one) is kBadLength, not a short context.
+  for (const std::size_t cut :
+       {std::size_t{1}, std::size_t{2}, netio::kTraceBytes,
+        netio::kTraceBytes + sizeof(payload)}) {
+    EXPECT_EQ(netio::decode<A>({buf, len - cut}).error,
+              DecodeError::kBadLength)
+        << "cut=" << cut;
+  }
+
+  // Flag set but zero room for the context at all.
+  WirePacket<A> bare;
+  bare.dest = a4("10.1.2.3");
+  std::uint8_t sbuf[netio::kMaxDatagram];
+  const std::size_t slen = netio::encode(bare, sbuf);
+  sbuf[5] |= netio::kFlagTrace;
+  EXPECT_EQ(netio::decode<A>({sbuf, slen}).error, DecodeError::kBadLength);
+}
+
+TEST(TraceDaemonTest, SamplingDeterminismAndAdminDrain) {
+  const std::string routes = tempPath("trace_sample.routes");
+  writeFileOrDie(routes, "10.0.0.0/8 1\n0.0.0.0/0 9\n");
+  netio::Config c = baseConfig(routes);
+  c.name = "tracer";
+  c.router_id = 5;
+  c.trace_sample = 4;  // every 4th untraced ingress packet, per shard
+  netio::Daemon daemon(c);  // no peer: routed packets are "delivered"
+  daemon.start();
+
+  WirePacket<A> p;
+  p.dest = a4("10.9.9.9");
+  p.clue = core::ClueField::of(8);
+  p.ttl = 5;
+  std::uint8_t buf[netio::kMaxDatagram];
+  const std::size_t len = netio::encode(p, buf);
+  netio::Fd tx = netio::udpSocket(SockAddr{kLoopback, 0});
+  const std::size_t kPackets = 16;
+  for (std::size_t i = 0; i < kPackets; ++i) {
+    const netio::OutDatagram out{buf, len, daemon.dataAddr()};
+    ASSERT_EQ(netio::sendBatch(tx.get(), &out, 1), 1);
+  }
+  for (int i = 0; i < 5000 && daemon.datapath(0).rxPackets() < kPackets;
+       ++i) {
+    ::usleep(1000);
+  }
+  ASSERT_EQ(daemon.datapath(0).rxPackets(), kPackets);
+
+  // Deterministic 1-in-4: exactly ticks 0, 4, 8, 12 sampled, in order.
+  const auto spans = daemon.datapath(0).drainSpans();
+  ASSERT_EQ(spans.size(), 4u);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const auto& s = spans[i];
+    EXPECT_EQ(s.hop, 0);  // ingress-sampled
+    EXPECT_EQ(s.router_id, 5);
+    // id_hi folds (router_id, shard, ordinal); ordinals count samples.
+    EXPECT_EQ(s.trace_hi, (std::uint64_t{5} << 48) | i);
+    EXPECT_EQ(s.origin_ns, s.rx_ns);
+    EXPECT_LE(s.rx_ns, s.decode_ns);
+    EXPECT_LE(s.decode_ns, s.lookup_start_ns);
+    EXPECT_LE(s.lookup_start_ns, s.lookup_end_ns);
+    EXPECT_EQ(s.verdict, obs::SpanVerdict::kDelivered);
+    EXPECT_EQ(s.tx_ns, 0u);
+    EXPECT_EQ(s.clue_len, 8);
+    EXPECT_GT(s.accessTotal(), 0u);
+  }
+  EXPECT_EQ(daemon.datapath(0).spansRecorded(), 4u);
+  EXPECT_EQ(daemon.datapath(0).spansDropped(), 0u);
+
+  // Another round reaches the /trace endpoint instead: 4 more JSONL spans.
+  for (std::size_t i = 0; i < kPackets; ++i) {
+    const netio::OutDatagram out{buf, len, daemon.dataAddr()};
+    ASSERT_EQ(netio::sendBatch(tx.get(), &out, 1), 1);
+  }
+  for (int i = 0; i < 5000 && daemon.datapath(0).spansRecorded() < 8; ++i) {
+    ::usleep(1000);
+  }
+  const std::string jsonl = adminGet(daemon.adminAddr(), "/trace");
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 4);
+  EXPECT_NE(jsonl.find("\"router\":\"tracer\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"verdict\":\"delivered\""), std::string::npos);
+  // Drained means drained: a second scrape is empty.
+  EXPECT_EQ(adminGet(daemon.adminAddr(), "/trace"), "");
+
+  // The always-on flight recorder saw the batches regardless of sampling.
+  const std::string flight = adminGet(daemon.adminAddr(), "/debug/flight");
+  EXPECT_NE(flight.find("\"router\":\"tracer\""), std::string::npos);
+  EXPECT_NE(flight.find("\"kind\":\"rx_batch\""), std::string::npos);
+  EXPECT_NE(flight.find("\"kind\":\"trace_start\""), std::string::npos);
+
+  const std::string status = adminGet(daemon.adminAddr(), "/status");
+  EXPECT_NE(status.find("\"trace_sample\":4"), std::string::npos);
+  EXPECT_NE(status.find("\"trace_spans_recorded\":8"), std::string::npos);
+  EXPECT_NE(status.find("\"pinned_seq\":[1]"), std::string::npos);
+  EXPECT_NE(status.find("\"flight_events\":"), std::string::npos);
+  daemon.stop();
+  EXPECT_EQ(daemon.datapath(0).oracleMismatches(), 0u);
+}
+
+TEST(TraceDaemonTest, HopCountIncrementsAcrossChain) {
+  const std::string routes = tempPath("trace_chain.routes");
+  writeFileOrDie(routes, "10.0.0.0/8 1\n0.0.0.0/0 9\n");
+  SockAddr sink_addr;
+  netio::Fd sink = testSink(&sink_addr);
+
+  // B first (A forwards into it); only A samples — B propagates.
+  netio::Config cb = baseConfig(routes);
+  cb.name = "B";
+  cb.router_id = 2;
+  cb.default_peer = sink_addr;
+  netio::Daemon b(cb);
+  b.start();
+
+  netio::Config ca = baseConfig(routes);
+  ca.name = "A";
+  ca.router_id = 1;
+  ca.trace_sample = 1;  // trace everything: every packet spans both hops
+  ca.default_peer = b.dataAddr();
+  netio::Daemon a(ca);
+  a.start();
+
+  WirePacket<A> p;
+  p.dest = a4("10.7.7.7");
+  p.clue = core::ClueField::of(8);
+  p.ttl = 8;
+  std::uint8_t buf[netio::kMaxDatagram];
+  const std::size_t len = netio::encode(p, buf);
+  netio::Fd tx = netio::udpSocket(SockAddr{kLoopback, 0});
+  const std::size_t kPackets = 8;
+  std::size_t sent = 0;
+  for (std::size_t i = 0; i < kPackets; ++i) {
+    const netio::OutDatagram out{buf, len, a.dataAddr()};
+    if (netio::sendBatch(tx.get(), &out, 1) == 1) ++sent;
+    ::usleep(1000);  // pace: two daemons share the test core
+  }
+  ASSERT_GT(sent, 0u);
+
+  // The sink sees B's re-encode: the context A stamped (hop 0), incremented
+  // once by A's egress and once by B's — hop 2, id preserved verbatim.
+  const auto got = recvAll(sink.get(), sent, 5000);
+  ASSERT_FALSE(got.empty());
+  for (const auto& d : got) {
+    const auto r = netio::decode<A>({d.data.data(), d.len});
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r.packet.trace.has_value());
+    EXPECT_EQ(r.packet.trace->hop, 2);
+    EXPECT_EQ(r.packet.trace->id_hi >> 48, 1u);  // minted by router 1
+  }
+
+  // Join the two hops' spans on the trace id: hop numbers 0 then 1, and
+  // time flows forward across the wire (CLOCK_MONOTONIC is system-wide).
+  // (B records a hop's span just after forwarding it, so give the recorders
+  // a beat to catch up with what the sink already holds.)
+  for (int i = 0; i < 5000 && (a.datapath(0).spansRecorded() < got.size() ||
+                               b.datapath(0).spansRecorded() < got.size());
+       ++i) {
+    ::usleep(1000);
+  }
+  const auto spans_a = a.datapath(0).drainSpans();
+  const auto spans_b = b.datapath(0).drainSpans();
+  ASSERT_GE(spans_a.size(), got.size());
+  ASSERT_GE(spans_b.size(), got.size());
+  for (const auto& sb : spans_b) {
+    EXPECT_EQ(sb.hop, 1);
+    bool joined = false;
+    for (const auto& sa : spans_a) {
+      if (sa.trace_hi != sb.trace_hi || sa.trace_lo != sb.trace_lo) continue;
+      joined = true;
+      EXPECT_EQ(sa.hop, 0);
+      EXPECT_EQ(sa.origin_ns, sb.origin_ns);  // propagated verbatim
+      EXPECT_LE(sa.tx_ns, sb.rx_ns);
+      EXPECT_GT(sa.tx_ns, 0u);
+    }
+    EXPECT_TRUE(joined) << "hop-1 span with no matching hop-0 span";
+  }
+
+  a.stop();
+  b.stop();
+  EXPECT_EQ(a.datapath(0).oracleMismatches(), 0u);
+  EXPECT_EQ(b.datapath(0).oracleMismatches(), 0u);
+}
+
 }  // namespace
 }  // namespace cluert

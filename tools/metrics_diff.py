@@ -25,6 +25,15 @@ Usage:
       silently stopped doing its job, which no diff against a baseline
       would catch. Composes with the two-snapshot diff form (the check
       then applies to `current`).
+  tools/metrics_diff.py baseline.prom current.prom \\
+      --quantile p99:lookup_accesses:10 [--quantile p50:...:5 ...]
+      histogram-aware quantile gate: estimates the given quantile from the
+      metric's cumulative `<metric>_bucket{le="..."}` series on each side
+      (Prometheus-style linear interpolation inside the bucket) and fails
+      when the current estimate exceeds the baseline by more than
+      max_regression percent. Raw bucket diffs are noisy under load shifts
+      — counts move between buckets without the distribution's tail
+      moving — so tail gates should use this, not --threshold.
   tools/metrics_diff.py --self-test
 
 A series is identified by its full exposition form, e.g.
@@ -110,6 +119,80 @@ def require_nonzero(cur, pattern):
     return hits, any(v != 0 for v in hits.values())
 
 
+_LE = re.compile(r'le="([^"]+)"')
+
+
+def histogram_quantile(series, metric, q):
+    """Estimates quantile q (0..1) of histogram `metric` from its cumulative
+    _bucket series, Prometheus-style: find the bucket the rank lands in and
+    interpolate linearly between its bounds. Buckets across distinct label
+    sets (e.g. per-worker) are summed per `le` first. Returns None when the
+    metric has no buckets or no observations."""
+    prefix = metric + '_bucket{'
+    by_le = {}
+    for key, value in series.items():
+        if not key.startswith(prefix):
+            continue
+        m = _LE.search(key)
+        if m is None:
+            continue
+        raw = m.group(1)
+        le = float('inf') if raw == '+Inf' else float(raw)
+        by_le[le] = by_le.get(le, 0.0) + value
+    if float('inf') not in by_le:
+        return None
+    total = by_le[float('inf')]
+    if total <= 0:
+        return None
+    rank = q * total
+    prev_le, prev_cum = 0.0, 0.0
+    for le in sorted(by_le):
+        cum = by_le[le]
+        if cum >= rank:
+            if le == float('inf'):
+                return prev_le  # tail lands past the last finite bound
+            if cum == prev_cum:
+                return le
+            return prev_le + (le - prev_le) * (rank - prev_cum) / (cum - prev_cum)
+        prev_le, prev_cum = le, cum
+    return prev_le
+
+
+def parse_quantile_spec(spec):
+    """'p99:metric:10' -> (0.99, 'metric', 10.0). Raises ValueError."""
+    parts = spec.split(':')
+    if len(parts) != 3 or not parts[0].startswith('p'):
+        raise ValueError('bad --quantile spec %r (want pNN:metric:max_pct)'
+                         % spec)
+    q = float(parts[0][1:]) / 100.0
+    if not 0 < q < 1:
+        raise ValueError('quantile out of range in %r' % spec)
+    return q, parts[1], float(parts[2])
+
+
+def quantile_gate(base, cur, specs):
+    """Returns (report_lines, regression_lines) for --quantile specs."""
+    report, regressions = [], []
+    for spec in specs:
+        q, metric, max_pct = parse_quantile_spec(spec)
+        bq = histogram_quantile(base, metric, q)
+        cq = histogram_quantile(cur, metric, q)
+        label = 'p%g(%s)' % (q * 100, metric)
+        if bq is None or cq is None:
+            regressions.append('%s: missing histogram (%s side)'
+                               % (label, 'baseline' if bq is None else
+                                  'current'))
+            continue
+        if bq == 0:
+            report.append('skip    %s baseline is 0 (-> %g)' % (label, cq))
+            continue
+        pct = (cq - bq) / bq * 100.0
+        line = '%+8.2f%% %-60s %g -> %g (max +%g%%)' % (pct, label, bq, cq,
+                                                        max_pct)
+        (regressions if pct > max_pct else report).append(line)
+    return report, regressions
+
+
 def self_test():
     doc = '''\
 # HELP lookup_accesses Dependent memory accesses per lookup
@@ -159,6 +242,51 @@ up_total{router="1"} 7 1699999999
     hits, ok = require_nonzero(snap, r'no_such_series')
     assert not ok and hits == {}
 
+    # Histogram quantiles: 100 observations, 90 in [0,1], 8 in (1,4],
+    # 2 in (4,+Inf). p50 interpolates inside the first bucket; p99 lands in
+    # the +Inf bucket and clamps to the last finite bound.
+    hist = {
+        'h_bucket{le="1"}': 90.0,
+        'h_bucket{le="4"}': 98.0,
+        'h_bucket{le="+Inf"}': 100.0,
+        'h_sum': 150.0,
+        'h_count': 100.0,
+    }
+    p50 = histogram_quantile(hist, 'h', 0.50)
+    assert abs(p50 - 50.0 / 90.0) < 1e-9, p50
+    p95 = histogram_quantile(hist, 'h', 0.95)
+    assert abs(p95 - (1.0 + 3.0 * 5.0 / 8.0)) < 1e-9, p95
+    assert histogram_quantile(hist, 'h', 0.99) == 4.0
+    assert histogram_quantile(hist, 'missing', 0.99) is None
+    assert histogram_quantile({'h_bucket{le="+Inf"}': 0.0}, 'h', 0.5) is None
+    # Per-worker shards sum before estimating.
+    sharded = {
+        'h_bucket{worker="0",le="1"}': 40.0,
+        'h_bucket{worker="0",le="+Inf"}': 50.0,
+        'h_bucket{worker="1",le="1"}': 50.0,
+        'h_bucket{worker="1",le="+Inf"}': 50.0,
+    }
+    assert abs(histogram_quantile(sharded, 'h', 0.5) - 50.0 / 90.0) < 1e-9
+
+    assert parse_quantile_spec('p99:lookup_accesses:10') == \
+        (0.99, 'lookup_accesses', 10.0)
+    for bad in ('p99:only_two', '99:m:5', 'p0:m:5', 'p100:m:5'):
+        try:
+            parse_quantile_spec(bad)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError('accepted bad spec %r' % bad)
+
+    hist_worse = dict(hist)
+    hist_worse['h_bucket{le="1"}'] = 40.0  # tail mass doubled at p50's level
+    rep, reg = quantile_gate(hist, hist_worse, ['p50:h:10'])
+    assert len(reg) == 1 and 'p50(h)' in reg[0], (rep, reg)
+    rep, reg = quantile_gate(hist, hist, ['p50:h:10', 'p99:h:0'])
+    assert reg == [] and len(rep) == 2, (rep, reg)
+    _, reg = quantile_gate(hist, hist, ['p50:nope:10'])
+    assert len(reg) == 1 and 'missing histogram' in reg[0], reg
+
     try:
         parse('!!! not a metric')
     except ValueError:
@@ -185,6 +313,11 @@ def main(argv):
     ap.add_argument('--require-nonzero', default=None, metavar='REGEX',
                     help='fail unless the current (or only) snapshot has a '
                          'series matching REGEX with a nonzero value')
+    ap.add_argument('--quantile', action='append', default=[],
+                    metavar='pNN:METRIC:MAX_PCT',
+                    help='gate on a histogram quantile estimate: fail when '
+                         'pNN of METRIC regressed more than MAX_PCT percent '
+                         'vs the baseline (repeatable)')
     ap.add_argument('--self-test', action='store_true')
     args = ap.parse_args(argv)
 
@@ -216,6 +349,13 @@ def main(argv):
         base = parse(f.read())
     report, regressions = diff(base, cur, args.threshold, args.direction,
                                args.min_base, args.match)
+    if args.quantile:
+        try:
+            qreport, qregressions = quantile_gate(base, cur, args.quantile)
+        except ValueError as e:
+            ap.error(str(e))
+        report += qreport
+        regressions += qregressions
     for line in report:
         print(line)
     if regressions:

@@ -32,7 +32,10 @@ cd "$(dirname "$0")/.."
 # every engine's pointers over generated tables with fault injection
 # (ASan/UBSan), and SimChurn (matched by Churn) re-proves the versioned-swap
 # protocol under TSan with scenario-driven deltas.
-DEFAULT_FILTER="SpscRing|Pipeline|LookupBatch|DistributedLookup|RngForThread|AccessCounter|Check|Obs|Versioned|Churn|Sim(Generator|Faults|Corpus|Differential)|Shrink|CorpusReplay"
+# Flight/Span/Trace cover the tracing + flight-recorder layer (DESIGN.md
+# §11): FlightRecorder's concurrent reader/writer test is the TSan proof of
+# the single-writer release-publish ring.
+DEFAULT_FILTER="SpscRing|Pipeline|LookupBatch|DistributedLookup|RngForThread|AccessCounter|Check|Obs|Versioned|Churn|Sim(Generator|Faults|Corpus|Differential)|Shrink|CorpusReplay|Flight|Span|Trace"
 
 SANITIZERS=()
 FILTER="$DEFAULT_FILTER"

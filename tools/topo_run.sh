@@ -6,11 +6,17 @@
 #
 # Each hop runs the clue protocol: it looks the packet up at a pinned table
 # version (differential oracle on), re-stamps its own BMP as the clue, and
-# forwards. The script asserts:
+# forwards. Hop 1 also samples 1-in-8 packets into the distributed tracer;
+# downstream hops propagate the trace context. The script asserts:
 #   * the collector received every injected packet, all decoding cleanly;
 #   * zero oracle mismatches on every hop (/status);
 #   * per-hop case-1 lookups > 0 and live per-peer rx/tx counters
 #     (tools/metrics_diff.py --require-nonzero on the /metrics scrape);
+#   * the merged /trace scrapes contain >=1 complete trace covering every
+#     hop with monotone timestamps and per-hop latency percentiles
+#     (tools/trace_merge.py --require-hops);
+#   * SIGQUIT makes every daemon dump a parseable flight-recorder JSON and
+#     keep running;
 #   * every daemon exits 0 on SIGTERM (bounded drain, no crash).
 #
 # Usage:
@@ -101,6 +107,10 @@ for k in $(seq 1 "$HOPS"); do
     echo "mode = $MODE"
     echo "oracle = 1"
     echo "drain_ms = 2000"
+    # Hop 1 is the ingress tracer; the rest only propagate contexts they
+    # receive, so every complete trace spans the full line.
+    [ "$k" = 1 ] && echo "trace_sample = 8"
+    echo "flight_out = $DIR/hop$k.flight.json"
   } > "$DIR/hop$k.conf"
   "$CLUERTD" --config "$DIR/hop$k.conf" > "$DIR/hop$k.log" 2>&1 &
   PIDS="$PIDS $!"
@@ -153,11 +163,71 @@ for k in $(seq 1 "$HOPS"); do
     "$DIR/hop$k.prom" || fail "hop$k: per-peer rx counters dead"
   python3 "$METRICS_DIFF" --require-nonzero 'netio_peer_tx_packets_total' \
     "$DIR/hop$k.prom" || fail "hop$k: per-peer tx counters dead"
+  grep -q '"pinned_seq":\[' "$DIR/hop$k.status.json" \
+    || fail "hop$k /status missing pinned_seq"
+  grep -q '"peers_tx":\[' "$DIR/hop$k.status.json" \
+    || fail "hop$k /status missing peers_tx"
+  spans=$(sed -n 's/.*"trace_spans_recorded":\([0-9]*\),.*/\1/p' \
+    "$DIR/hop$k.status.json")
+  [ -n "$spans" ] && [ "$spans" -gt 0 ] \
+    || fail "hop$k recorded no trace spans"
   rx=$(sed -n 's/.*"rx_packets":\([0-9]*\),.*/\1/p' "$DIR/hop$k.status.json")
-  echo "topo_run: hop$k ok (rx=$rx)"
+  echo "topo_run: hop$k ok (rx=$rx, spans=$spans)"
 done
 
-# 5. Graceful shutdown: SIGTERM each daemon, require exit 0 (clean drain).
+# 5. Distributed-tracing gate: drain every hop's /trace, merge the streams,
+#    and require a complete trace across the whole line with latency stats.
+TRACE_MERGE="$ROOT/tools/trace_merge.py"
+TRACE_FILES=""
+for k in $(seq 1 "$HOPS"); do
+  "$WIRE_PLAY" get "127.0.0.1:$(admin_port "$k")" /trace \
+    > "$DIR/hop$k.trace.jsonl" || fail "hop$k /trace"
+  TRACE_FILES="$TRACE_FILES $DIR/hop$k.trace.jsonl"
+done
+# shellcheck disable=SC2086  # word-splitting the file list is intended
+python3 "$TRACE_MERGE" $TRACE_FILES --require-hops "$HOPS" \
+  --out "$DIR/trace.json" || fail "no complete $HOPS-hop trace merged"
+python3 - "$DIR/trace.json" "$HOPS" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+stats = doc['stats']
+for h in range(int(sys.argv[2])):
+    d = stats['per_hop'][str(h)]
+    assert 0 < d['p50_ns'] <= d['p99_ns'], (h, d)
+e = stats['end_to_end']
+assert 0 < e['p50_ns'] <= e['p99_ns'], e
+PYEOF
+[ $? = 0 ] || fail "merged trace lacks per-hop/end-to-end latency stats"
+echo "topo_run: trace gate ok ($(sed -n 's/.*"traces_complete": \([0-9]*\).*/\1/p' "$DIR/trace.json" | head -1) complete traces)"
+
+# 6. Flight recorder: SIGQUIT is dump-and-continue — every daemon must
+#    write a parseable dump and still answer /healthz afterwards.
+for pid in $PIDS; do kill -QUIT "$pid" 2>/dev/null; done
+for k in $(seq 1 "$HOPS"); do
+  # Poll until the dump exists AND parses (the write is not atomic).
+  ok=0
+  for _ in $(seq 1 50); do
+    if [ -s "$DIR/hop$k.flight.json" ] && python3 -c \
+        'import json,sys; json.load(open(sys.argv[1]))' \
+        "$DIR/hop$k.flight.json" 2>/dev/null; then
+      ok=1; break
+    fi
+    sleep 0.1
+  done
+  [ "$ok" = 1 ] || fail "hop$k wrote no parseable flight dump on SIGQUIT"
+  python3 - "$DIR/hop$k.flight.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc['rings'], 'dump has no rings'
+assert any(r['events'] for r in doc['rings']), 'dump has no events'
+PYEOF
+  [ $? = 0 ] || fail "hop$k flight dump did not parse"
+  "$WIRE_PLAY" get "127.0.0.1:$(admin_port "$k")" /healthz >/dev/null 2>&1 \
+    || fail "hop$k died after SIGQUIT"
+done
+echo "topo_run: flight gate ok (SIGQUIT dumped, daemons alive)"
+
+# 7. Graceful shutdown: SIGTERM each daemon, require exit 0 (clean drain).
 for pid in $PIDS; do kill -TERM "$pid" 2>/dev/null; done
 RC_ALL=0
 for pid in $PIDS; do

@@ -10,13 +10,21 @@
 // Part 2 (skipped with --sweep-only or CLUERT_SWEEP_ONLY=1): the original
 // google-benchmark comparison of the 15 method combinations, confirming the
 // paper's memory-access ordering also holds for modern-CPU wall time.
+//
+// --smoke runs neither part: it is the tools/ci.sh hot-path gate — a fixed
+// deterministic sharded run whose accesses/packet, shard imbalance and
+// steady-state allocation count are written to BENCH_throughput_smoke.prom
+// for metrics_diff.py to gate against the committed baseline.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstring>
 #include <fstream>
+#include <string>
+#include <thread>
 
 #include "bench_util.h"
+#include "mem/alloc_hook.h"
 #include "obs/export.h"
 #include "pipeline/pipeline.h"
 
@@ -98,10 +106,28 @@ std::size_t sweepReps() {
   return 3;
 }
 
+// "requested N workers but only H hardware threads" annotation for a sweep
+// row. Under the default hardware clamp the pipeline already folded the run
+// (stats.workers < requested); with the clamp off the row genuinely
+// oversubscribed. Either way the row is not a clean point for this host's
+// perf trajectory, and the annotation — in the console line and as an
+// `oversubscribed` flag in the JSON — says so instead of letting the row
+// masquerade as an N-core measurement.
+std::string oversubNote(const pipeline::PipelineStats& s, std::size_t hc) {
+  if (hc == 0 || s.requested_workers <= hc) return "";
+  std::string note = "  [oversubscribed: requested " +
+                     std::to_string(s.requested_workers) + "w > " +
+                     std::to_string(hc) + " hw threads; ran " +
+                     std::to_string(s.workers) + "w]";
+  return note;
+}
+
 void runPipelineSweep() {
   Workbench& wb = workbench();
   const std::size_t packets = sweepPackets();
   const std::size_t reps = sweepReps();
+  const std::size_t hc =
+      static_cast<std::size_t>(std::thread::hardware_concurrency());
   const auto clue_universe = wb.sender.prefixes();
 
   // The input stream: the §6 destination sample cycled up to `packets` —
@@ -172,7 +198,8 @@ void runPipelineSweep() {
         row.matches_baseline = row.matches_baseline && got == expect;
         if (rep == 0 || stats.seconds < row.stats.seconds) row.stats = stats;
       }
-      std::printf("%s%s\n", pipeline::formatStats(row.stats).c_str(),
+      std::printf("%s%s%s\n", pipeline::formatStats(row.stats).c_str(),
+                  oversubNote(row.stats, hc).c_str(),
                   row.matches_baseline ? "" : "  !! OUTPUT MISMATCH");
       rows.push_back(std::move(row));
     }
@@ -198,16 +225,22 @@ void runPipelineSweep() {
   w.field("reps_best_of", reps);
   w.field("method", "patricia");
   w.field("mode", "advance");
+  w.field("hardware_concurrency", hc);
+  w.field("alloc_hook_active", mem::allocHookActive());
   w.field("sequential_pps", npkts / ref_seconds);
   w.beginArray("configs");
   for (const auto& r : rows) {
     w.beginObject();
-    w.field("workers", r.workers);
+    w.field("workers", r.workers);  // requested; actual_workers is post-clamp
+    w.field("actual_workers", r.stats.workers);
+    w.field("oversubscribed", hc != 0 && r.stats.requested_workers > hc);
     w.field("batch", r.batch);
     w.field("packets", r.stats.packets);
     w.field("seconds", r.stats.seconds);
     w.field("pps", r.stats.packetsPerSec());
     w.field("accesses_per_packet", r.stats.accessesPerPacket());
+    w.field("shard_imbalance", r.stats.shardImbalance());
+    w.field("steady_allocs", r.stats.steady_allocs);
     w.field("matches_baseline", r.matches_baseline);
     w.endObject();
   }
@@ -275,6 +308,112 @@ void runPipelineSweep() {
 }
 
 // ---------------------------------------------------------------------------
+// --smoke: the ci.sh hot-path gate
+// ---------------------------------------------------------------------------
+//
+// A fixed, deterministic workload (100k packets over the §6 destination
+// sample) through the *threaded* sharded pipeline at 2 workers / batch 32.
+// The hardware clamp and the serial-inline fold are disabled so the shape —
+// and therefore the accesses-per-packet and shard-imbalance series — is
+// identical on every host, 1-core CI boxes included. Untraced and
+// unobserved: the steady-state window must be allocation-free, and tracing
+// deliberately allocates (Summary::add).
+//
+// Two checks fail the run directly (no baseline needed): the sharded output
+// diverging from the sequential oracle, and any heap allocation inside the
+// steady-state window while the counting hook is active. The emitted
+// BENCH_throughput_smoke.prom additionally lets tools/ci.sh gate
+// accesses/packet and shard imbalance against the committed
+// bench/BENCH_throughput_smoke_baseline.prom via metrics_diff.py.
+int runSmoke() {
+  Workbench& wb = workbench();
+  constexpr std::size_t kPackets = 100'000;
+  const auto clue_universe = wb.sender.prefixes();
+  std::vector<pipeline::Pipeline4::Input> inputs;
+  inputs.reserve(kPackets);
+  for (std::size_t i = 0; i < kPackets; ++i) {
+    const std::size_t j = i % wb.dests.size();
+    inputs.push_back({wb.dests[j], wb.clues[j]});
+  }
+
+  // Sequential oracle — untimed; the smoke gates determinism, not speed.
+  typename core::CluePort<A>::Options popt;
+  popt.method = lookup::Method::kPatricia;
+  popt.mode = lookup::ClueMode::kAdvance;
+  popt.learn = false;
+  popt.expected_clues = wb.sender.size() + 16;
+  core::CluePort<A> ref_port(*wb.suite, &wb.t1, popt);
+  ref_port.precompute(clue_universe);
+  std::vector<NextHop> expect(inputs.size(), kNoNextHop);
+  mem::AccessCounter ref_acc;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto r = ref_port.process(inputs[i].dest, inputs[i].clue, ref_acc);
+    expect[i] = r.match ? r.match->next_hop : kNoNextHop;
+  }
+
+  pipeline::PipelineOptions opt;
+  opt.workers = 2;
+  opt.batch_size = 32;
+  opt.ring_batches = 32;
+  opt.clamp_to_hardware = false;  // host-independent shape, see above
+  opt.inline_serial = false;
+  opt.method = lookup::Method::kPatricia;
+  opt.mode = lookup::ClueMode::kAdvance;
+  opt.learn = false;
+  opt.expected_clues = wb.sender.size() + 16;
+  pipeline::Pipeline4 pipe(*wb.suite, &wb.t1, opt);
+  pipe.precompute(clue_universe);
+
+  // Two runs through one pipeline: the second also covers ring reopen and
+  // counter reset on reuse, and is the one the gate reads.
+  std::vector<NextHop> got(inputs.size(), kNoNextHop);
+  pipeline::PipelineStats stats;
+  bool matches = true;
+  for (int rep = 0; rep < 2; ++rep) {
+    std::fill(got.begin(), got.end(), kNoNextHop);
+    stats = pipe.run(inputs, got);
+    matches = matches && got == expect;
+  }
+
+  {
+    std::ofstream prom("BENCH_throughput_smoke.prom");
+    prom << "# bench_throughput --smoke: fixed 2w/b32 sharded run, "
+         << kPackets << " packets (clamp off, untraced)\n";
+    prom << "throughput_smoke_packets " << stats.packets << "\n";
+    prom << "throughput_smoke_accesses_per_packet "
+         << stats.accessesPerPacket() << "\n";
+    prom << "throughput_smoke_shard_imbalance " << stats.shardImbalance()
+         << "\n";
+    prom << "throughput_smoke_steady_allocs " << stats.steady_allocs << "\n";
+    prom << "throughput_smoke_alloc_hook_active "
+         << (stats.alloc_hook_active ? 1 : 0) << "\n";
+    prom << "throughput_smoke_matches_baseline " << (matches ? 1 : 0) << "\n";
+  }
+  std::printf(
+      "throughput smoke: %llu packets, %.4f acc/pkt, shard imbalance %.3f, "
+      "steady allocs %llu (hook %s), matches_baseline=%d -> "
+      "BENCH_throughput_smoke.prom\n",
+      static_cast<unsigned long long>(stats.packets),
+      stats.accessesPerPacket(), stats.shardImbalance(),
+      static_cast<unsigned long long>(stats.steady_allocs),
+      stats.alloc_hook_active ? "active" : "inactive", matches ? 1 : 0);
+  if (!matches) {
+    std::fprintf(stderr,
+                 "bench_throughput: FAIL: sharded output diverged from the "
+                 "sequential baseline\n");
+    return 1;
+  }
+  if (stats.alloc_hook_active && stats.steady_allocs != 0) {
+    std::fprintf(stderr,
+                 "bench_throughput: FAIL: %llu heap allocations in the "
+                 "steady-state window (contract is zero)\n",
+                 static_cast<unsigned long long>(stats.steady_allocs));
+    return 1;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // Part 2: google-benchmark method comparison (original E12)
 // ---------------------------------------------------------------------------
 
@@ -325,9 +464,12 @@ BENCHMARK(BM_Clued)
 
 int main(int argc, char** argv) {
   bool sweep_only = std::getenv("CLUERT_SWEEP_ONLY") != nullptr;
+  bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sweep-only") == 0) sweep_only = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
+  if (smoke) return runSmoke();
   runPipelineSweep();
   if (sweep_only) return 0;
   benchmark::Initialize(&argc, argv);

@@ -80,6 +80,23 @@ std::string writeRoutes(const std::string& path, const rib::Fib4& fib) {
   return path;
 }
 
+// Owns the mkdtemp scratch directory: removes the registered files and the
+// directory itself on *every* exit path. The early error returns below used
+// to leak /tmp/bench_wire.XXXXXX because cleanup only ran at the end of a
+// fully successful run.
+struct ScratchDir {
+  std::string path;
+  std::vector<std::string> files;
+  std::string file(const char* name) {
+    files.push_back(path + "/" + name);
+    return files.back();
+  }
+  ~ScratchDir() {
+    for (const auto& f : files) ::unlink(f.c_str());
+    if (!path.empty()) ::rmdir(path.c_str());
+  }
+};
+
 double percentile(std::vector<std::uint64_t>& v, double p) {
   if (v.empty()) return 0.0;
   const std::size_t idx = std::min(
@@ -156,16 +173,25 @@ int run(const Params& pp) {
 
   char dir[] = "/tmp/bench_wire.XXXXXX";
   CLUERT_CHECK(::mkdtemp(dir) != nullptr) << "mkdtemp failed";
-  const std::string droutes = writeRoutes(std::string(dir) + "/r.routes", mine);
-  const std::string nroutes =
-      writeRoutes(std::string(dir) + "/n.routes", theirs);
+  ScratchDir tmp;
+  tmp.path = dir;
+  const std::string droutes = writeRoutes(tmp.file("r.routes"), mine);
+  const std::string nroutes = writeRoutes(tmp.file("n.routes"), theirs);
 
   // Sink first: its kernel-assigned port becomes the daemon's default peer.
+  // Socket setup is environmental (port exhaustion, rlimits): fail with a
+  // clean error return, not an abort — the ScratchDir guard must run.
   constexpr std::uint32_t kLoopback = 0x7f000001;
   netio::Fd sink = netio::udpSocket({kLoopback, 0}, false, 8 << 20);
-  CLUERT_CHECK(sink.valid()) << "sink bind failed";
+  if (!sink.valid()) {
+    std::fprintf(stderr, "bench_wire: FAIL: sink bind failed\n");
+    return 1;
+  }
   const auto sink_addr = netio::localAddr(sink.get());
-  CLUERT_CHECK(sink_addr.has_value()) << "sink addr";
+  if (!sink_addr.has_value()) {
+    std::fprintf(stderr, "bench_wire: FAIL: sink local address lookup\n");
+    return 1;
+  }
 
   netio::Config cfg;
   cfg.name = "bench_wire";
@@ -257,7 +283,13 @@ int run(const Params& pp) {
   // Sender: full-rate bursts of 64 with retry on backpressure. The daemon's
   // forwarding rate — not the sender's — is what the sink measures.
   netio::Fd tx = netio::udpSocket({kLoopback, 0});
-  CLUERT_CHECK(tx.valid()) << "tx bind failed";
+  if (!tx.valid()) {
+    std::fprintf(stderr, "bench_wire: FAIL: tx bind failed\n");
+    sender_done.store(true, std::memory_order_release);
+    sink_thread.join();
+    daemon.stop();
+    return 1;
+  }
   constexpr std::size_t kBurst = 64;
   std::vector<std::vector<std::uint8_t>> burst(kBurst);
   std::vector<netio::OutDatagram> out(kBurst);
@@ -309,8 +341,6 @@ int run(const Params& pp) {
   }
   HopPhases hop = drainHopPhases(daemon);
   daemon.stop();
-  for (const auto& p : {droutes, nroutes}) ::unlink(p.c_str());
-  ::rmdir(dir);
 
   std::printf(
       "bench_wire: sent %zu, delivered %llu (%.1f%%), %.0f pps, "

@@ -20,10 +20,22 @@
 #include "core/clue_analyzer.h"
 #include "ip/prefix.h"
 #include "lookup/engine.h"
+#include "lookup/swar_probe.h"
 #include "mem/access_counter.h"
 #include "common/check.h"
 
 namespace cluert::core {
+
+// Precomputed probe start for HashClueTable: the home slot plus the 7-bit
+// SWAR tag, both derived from one hash evaluation. The batched pipeline
+// computes this once in its prepare phase, prefetches the slot AND the tag
+// word, and resumes the probe from it in the resolve phase without hashing
+// again. `slot` is only meaningful for the bucketCount() it was computed
+// under (the caller re-derives on growth, see CluePort::finishResolve).
+struct ClueProbeHint {
+  std::uint32_t slot = 0;
+  std::uint8_t tag = 0;
+};
 
 // One clue table entry: the stored clue (for verification), the FD and the
 // Ptr/continuation (§3.1.1 "Hash table fields"). `ptr_empty` true means the
@@ -69,12 +81,21 @@ class HashClueTable {
   // near-perfect hash ("a perfect and efficient hashing function is
   // feasible" since the table changes rarely).
   explicit HashClueTable(std::size_t expected)
-      : slots_(bucketCountFor(expected)) {}
+      : slots_(bucketCountFor(expected)),
+        tags_(bucketCountFor(expected) + lookup::kSwarLanes, 0) {}
 
   // The slot a probe for `clue` starts at. Exposed so the batched pipeline
   // can hash once, prefetch the slot, and later resume the probe from it
   // (findFrom) without recomputing the hash.
   std::size_t homeSlot(const PrefixT& clue) const { return slotOf(clue); }
+
+  // Home slot + SWAR tag from one hash evaluation — what the batched
+  // prepare phase stores per packet (see ClueProbeHint).
+  ClueProbeHint hintFor(const PrefixT& clue) const {
+    const std::size_t h = hashOf(clue);
+    return ClueProbeHint{static_cast<std::uint32_t>(h & (slots_.size() - 1)),
+                         lookup::swarTag(h)};
+  }
 
   // Hints the hardware to pull a home slot toward the cache. Free in the
   // paper's accounting model (a prefetch is not a *dependent* reference —
@@ -83,25 +104,56 @@ class HashClueTable {
   // the memory-level parallelism of a modern CPU comes from.
   void prefetchSlot(std::size_t slot) const { __builtin_prefetch(&slots_[slot]); }
   void prefetch(const PrefixT& clue) const { prefetchSlot(slotOf(clue)); }
+  // The tag word a probe from `slot` reads first; one byte per slot, so the
+  // whole 8-slot window rides one line.
+  void prefetchTags(std::size_t slot) const { __builtin_prefetch(&tags_[slot]); }
 
-  // Probes for `clue`, charging one clue-table access per slot inspected.
-  // Returns nullptr on miss (the first invalid slot ends the probe chain).
+  // Probes for `clue`. Returns nullptr on miss (the first never-used slot
+  // ends the probe chain). Accounting: one kClueTable access per *entry*
+  // actually compared, plus one for the empty slot that terminates a miss —
+  // the SWAR tag word itself is free, like the §3.5 fast-memory cache (it
+  // is 8 bytes per 8 slots, resident next to the probe window), so a chain
+  // of tag-filtered collisions costs ~1 access where a plain open probe
+  // charged one per slot.
   const EntryT* find(const PrefixT& clue, mem::AccessCounter& acc) const {
-    return findFrom(slotOf(clue), clue, acc);
+    return findFrom(hintFor(clue), clue, acc);
   }
 
-  // Same probe, resumed from a precomputed homeSlot(clue).
-  const EntryT* findFrom(std::size_t home, const PrefixT& clue,
+  // Same probe, resumed from a precomputed hintFor(clue).
+  const EntryT* findFrom(ClueProbeHint hint, const PrefixT& clue,
                          mem::AccessCounter& acc) const {
-    std::size_t i = home;
-    for (std::size_t n = 0; n < slots_.size(); ++n) {
-      acc.add(mem::Region::kClueTable);
-      const EntryT& e = slots_[i];
-      if (!e.valid) return nullptr;
-      if (e.clue == clue) return &e;
-      i = (i + 1) % slots_.size();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hint.slot;
+    for (std::size_t probed = 0; probed < slots_.size();
+         probed += lookup::kSwarLanes) {
+      const std::uint64_t word = lookup::swarLoad(&tags_[i]);
+      const std::uint64_t empty = lookup::swarZeroMask(word);
+      std::uint64_t match = lookup::swarMatchMask(word, hint.tag);
+      // Candidates past the first empty slot belong to other probe chains
+      // (this clue's insert would have stopped at the empty slot).
+      if (empty != 0) match &= lookup::swarBelowLowest(empty);
+      while (match != 0) {
+        const EntryT& e = slots_[(i + lookup::swarLane(match)) & mask];
+        acc.add(mem::Region::kClueTable);
+        CLUERT_DCHECK(e.valid) << "live tag over an invalid slot";
+        if (e.clue == clue) return &e;
+        match &= match - 1;  // one flag bit per lane: drops the lowest lane
+      }
+      if (empty != 0) {
+        acc.add(mem::Region::kClueTable);  // the empty slot ending the chain
+        return nullptr;
+      }
+      i = (i + lookup::kSwarLanes) & mask;
     }
     return nullptr;
+  }
+
+  // Legacy probe resumed from a home slot only (re-derives the tag).
+  const EntryT* findFrom(std::size_t home, const PrefixT& clue,
+                         mem::AccessCounter& acc) const {
+    return findFrom(ClueProbeHint{static_cast<std::uint32_t>(home),
+                                  lookup::swarTag(hashOf(clue))},
+                    clue, acc);
   }
 
   // Inserts or overwrites. Control-plane operation (learning §3.3.1 does the
@@ -112,11 +164,13 @@ class HashClueTable {
     if (size_ * 2 >= slots_.size()) {
       if (!grow()) return false;
     }
-    std::size_t i = slotOf(entry.clue);
+    const std::size_t h = hashOf(entry.clue);
+    std::size_t i = h & (slots_.size() - 1);
     for (std::size_t n = 0; n < slots_.size(); ++n) {
       EntryT& e = slots_[i];
       if (!e.valid) {
         e = std::move(entry);
+        writeTag(i, lookup::swarTag(h));
         ++size_;
         return true;
       }
@@ -178,13 +232,26 @@ class HashClueTable {
     return n;
   }
 
+  std::size_t hashOf(const PrefixT& clue) const {
+    return std::hash<PrefixT>{}(clue);
+  }
+
   std::size_t slotOf(const PrefixT& clue) const {
-    return std::hash<PrefixT>{}(clue) & (slots_.size() - 1);
+    return hashOf(clue) & (slots_.size() - 1);
+  }
+
+  // Tag writes mirror the first SWAR window past the end of the array so a
+  // probe word loaded near the wrap point sees the wrapped slots (same trick
+  // as F14/Swiss tables' cloned control bytes).
+  void writeTag(std::size_t i, std::uint8_t tag) {
+    tags_[i] = tag;
+    if (i < lookup::kSwarLanes) tags_[slots_.size() + i] = tag;
   }
 
   bool grow() {
     std::vector<EntryT> old = std::move(slots_);
     slots_.assign(old.size() * 2, EntryT{});
+    tags_.assign(slots_.size() + lookup::kSwarLanes, 0);
     size_ = 0;
     for (EntryT& e : old) {
       if (e.valid && !insert(std::move(e))) return false;
@@ -193,6 +260,9 @@ class HashClueTable {
   }
 
   std::vector<EntryT> slots_;
+  // One byte per slot (+ kSwarLanes mirrored), 0 = never used; see
+  // lookup/swar_probe.h for the encoding.
+  std::vector<std::uint8_t> tags_;
   std::size_t size_ = 0;
 };
 

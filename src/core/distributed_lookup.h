@@ -255,7 +255,11 @@ class CluePort {
       if (options_.indexed && fields[i].index) {
         indexed_.prefetch(*fields[i].index);
       } else if (prep[i].cached == nullptr) {
-        readTable().prefetchSlot(prep[i].home_slot);
+        // Pull both the SWAR tag word and the home entry toward the cache;
+        // by resolve time the tag word usually filters the probe down to
+        // the one entry already in flight.
+        readTable().prefetchTags(prep[i].hint.slot);
+        readTable().prefetchSlot(prep[i].hint.slot);
       }
       // A table hit may still continue into the trie (case 3) or fall back
       // to a full lookup (miss); warming the first trie step costs nothing.
@@ -341,8 +345,8 @@ class CluePort {
   struct Prepared {
     std::optional<PrefixT> clue;          // nullopt: packet carried no clue
     const ClueEntry<A>* cached = nullptr;  // §3.5 fast-memory hit
-    std::size_t home_slot = 0;             // hash_ probe start (if !cached)
-    std::size_t buckets = 0;               // hash_ geometry when slot was computed
+    ClueProbeHint hint;                    // probe start + SWAR tag (if !cached)
+    std::size_t buckets = 0;               // hash_ geometry when hint was computed
   };
 
   // The clue table the data plane probes: the version-bound shared table
@@ -360,7 +364,7 @@ class CluePort {
     p.cached = cache_.lookup(*p.clue);
     if (p.cached == nullptr) {
       const HashClueTable<A>& table = readTable();
-      p.home_slot = table.homeSlot(*p.clue);
+      p.hint = table.hintFor(*p.clue);
       p.buckets = table.bucketCount();
     }
     return p;
@@ -399,16 +403,16 @@ class CluePort {
       // the slot since prepare(); treat that as the miss it now is.
       if (entry != nullptr && !(entry->valid && entry->clue == *p.clue)) {
         entry = nullptr;
-        p.home_slot = table.homeSlot(*p.clue);
+        p.hint = table.hintFor(*p.clue);
         p.buckets = table.bucketCount();
       }
       if (entry == nullptr) {
         // Learning from an earlier packet of this batch may have grown the
-        // table since prepare(); the slot is only valid for its geometry.
+        // table since prepare(); the hint is only valid for its geometry.
         if (p.buckets != table.bucketCount()) {
-          p.home_slot = table.homeSlot(*p.clue);
+          p.hint = table.hintFor(*p.clue);
         }
-        entry = table.findFrom(p.home_slot, *p.clue, acc);
+        entry = table.findFrom(p.hint, *p.clue, acc);
         if (entry != nullptr && entry->active) cache_.fill(*entry);
       }
     }

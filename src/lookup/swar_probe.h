@@ -1,0 +1,79 @@
+// SWAR tag probing for the open-addressed clue hash (HashClueTable).
+//
+// The table keeps a parallel byte array of *tags*, one per slot: 0 for a
+// never-used slot, otherwise 0x80 | the top 7 bits of the clue's hash. A
+// probe loads 8 tags as one 64-bit word and answers two questions with
+// branch-free bit tricks (SWAR — SIMD Within A Register):
+//
+//   * which of these 8 slots could hold my clue? (tag equality), and
+//   * does the probe chain end inside this word? (a zero tag = empty slot).
+//
+// Only slots whose tag matches are then actually loaded and compared — with
+// 7 hash bits in the tag, a colliding-but-different clue is filtered out
+// 127/128 of the time without touching its entry, so a probe chain of
+// length k costs ~1 entry access instead of k. This is the same trick the
+// lens/F14/Swiss-table families use, scaled down to one general-purpose
+// register (no SSE dependence, and 8 slots ≈ one entry cache line at the
+// paper's §3.5 entry size).
+//
+// False-positive caveat of the classic zero-byte test: bytes ABOVE the
+// lowest zero byte may be spuriously flagged (borrow propagation). Callers
+// therefore only trust the LOWEST set lane of swarZeroMask, and verify every
+// swarMatchMask candidate against the stored clue — which the clue table
+// does anyway ("a check that can be done ... in one assembly instruction").
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace cluert::lookup {
+
+// Slots examined per probe step: one 64-bit word of tags.
+inline constexpr std::size_t kSwarLanes = 8;
+
+inline constexpr std::uint64_t kSwarLsb = 0x0101010101010101ULL;
+inline constexpr std::uint64_t kSwarMsb = 0x8080808080808080ULL;
+
+// The tag of a hash value: top 7 bits, with the high bit forced so a live
+// tag can never collide with the empty marker 0.
+inline std::uint8_t swarTag(std::size_t hash) {
+  return static_cast<std::uint8_t>(
+      0x80u | (static_cast<std::uint64_t>(hash) >> 57));
+}
+
+// 0x80 set in every byte of `word` that is zero — plus possible false
+// positives above the lowest genuine zero byte; take only the lowest lane.
+inline std::uint64_t swarZeroMask(std::uint64_t word) {
+  return (word - kSwarLsb) & ~word & kSwarMsb;
+}
+
+// 0x80 set in every byte of `word` equal to `tag` (same caveat).
+inline std::uint64_t swarMatchMask(std::uint64_t word, std::uint8_t tag) {
+  return swarZeroMask(word ^ (kSwarLsb * tag));
+}
+
+// Lane index (0..7) of the lowest set byte-flag in a nonzero mask.
+inline unsigned swarLane(std::uint64_t mask) {
+  return static_cast<unsigned>(std::countr_zero(mask)) >> 3;
+}
+
+// Mask of whole lanes strictly below the lowest set lane of `mask` —
+// intersect a match mask with this to discard candidates past the first
+// empty slot (the probe chain ends there).
+inline std::uint64_t swarBelowLowest(std::uint64_t mask) {
+  return (mask & (~mask + 1)) - 1;
+}
+
+// Loads 8 consecutive tag bytes starting at `p` as one little-endian-order
+// word (lane i = p[i]). memcpy keeps the load well-defined at any address.
+inline std::uint64_t swarLoad(const std::uint8_t* p) {
+  std::uint64_t w;
+  std::memcpy(&w, p, sizeof(w));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  w = __builtin_bswap64(w);
+#endif
+  return w;
+}
+
+}  // namespace cluert::lookup

@@ -1,0 +1,31 @@
+// Counting allocator hook: the zero-allocation-steady-state enforcement
+// point for the forwarding pipeline.
+//
+// The data plane's contract (DESIGN.md hot path) is that after warm-up the
+// run loop performs NO heap allocation — every batch, ring slot, scratch
+// array and cache was sized at construction. Contracts that are not enforced
+// rot, so alloc_hook.cc replaces the global operator new/delete with
+// versions that bump a thread-local counter; Pipeline::run snapshots the
+// counter around its steady-state window and reports the delta as
+// PipelineStats::steady_allocs, which the ci.sh throughput-smoke gate
+// requires to be zero.
+//
+// The hook is compiled out under ASan/TSan/MSan (the sanitizer runtimes own
+// malloc there, and interposing operator new would hide their bookkeeping);
+// allocHookActive() tells callers whether the counter means anything, so a
+// sanitizer build reports "hook inactive" rather than a vacuous zero.
+#pragma once
+
+#include <cstdint>
+
+namespace cluert::mem {
+
+// True when the counting operator new/delete replacements are compiled in
+// (i.e. not a sanitizer build). When false, threadAllocs() stays 0 forever.
+bool allocHookActive();
+
+// Number of heap allocations (all operator-new family entry points) made by
+// THIS thread since it started. Monotonic; callers take deltas.
+std::uint64_t threadAllocs();
+
+}  // namespace cluert::mem

@@ -1,0 +1,128 @@
+// Cache-line-aligned bump arena for hot per-worker state.
+//
+// The pipeline's shards are long-lived objects built once on the control
+// plane and then hammered by one thread each; what matters for them is not
+// allocation speed but *placement* — every shard's state should start on its
+// own 64-byte boundary so no hot word (ring indices, access counters, batch
+// scratch) shares a cache line with another shard's. make_unique gives no
+// such guarantee (and scatters the shards across the heap); the arena packs
+// them into large contiguous blocks, each object aligned to at least a cache
+// line.
+//
+// Destruction is LIFO: create<T>() registers the destructor (when T has a
+// non-trivial one) on an intrusive list threaded through the arena itself,
+// and ~Arena runs the list in reverse creation order — the same order a
+// stack of locals would unwind, so later objects may reference earlier ones.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cluert::mem {
+
+class Arena {
+ public:
+  // Minimum alignment of every arena object: one cache line.
+  static constexpr std::size_t kAlign = 64;
+
+  // `block_bytes`: granularity of the backing allocations. Oversized
+  // requests get a dedicated block.
+  explicit Arena(std::size_t block_bytes = std::size_t{1} << 16)
+      : block_bytes_(block_bytes < kAlign ? kAlign : block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() {
+    for (DtorNode* d = dtors_; d != nullptr; d = d->prev) d->fn(d->obj);
+    Block* b = blocks_;
+    while (b != nullptr) {
+      Block* next = b->next;
+      ::operator delete(b, std::align_val_t{kAlign});
+      b = next;
+    }
+  }
+
+  // Uninitialized storage, aligned to max(align, kAlign). Never returns
+  // nullptr (allocation failure throws bad_alloc like any new would).
+  void* allocate(std::size_t bytes, std::size_t align = kAlign) {
+    if (align < kAlign) align = kAlign;
+    CLUERT_DCHECK((align & (align - 1)) == 0) << "alignment " << align;
+    if (blocks_ != nullptr) {
+      if (void* p = bumpFrom(blocks_, bytes, align)) return p;
+    }
+    newBlock(bytes + align);
+    void* p = bumpFrom(blocks_, bytes, align);
+    CLUERT_CHECK(p != nullptr) << "fresh arena block cannot satisfy " << bytes;
+    return p;
+  }
+
+  // Constructs a T in the arena. The object lives until the arena is
+  // destroyed; its destructor (when non-trivial) runs then, LIFO.
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    void* storage = allocate(sizeof(T), alignof(T));
+    T* obj = new (storage) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      auto* node = static_cast<DtorNode*>(
+          allocate(sizeof(DtorNode), alignof(DtorNode)));
+      node->prev = dtors_;
+      node->fn = [](void* o) { static_cast<T*>(o)->~T(); };
+      node->obj = obj;
+      dtors_ = node;
+    }
+    return obj;
+  }
+
+  // Total bytes handed out (including alignment padding) — a sizing aid.
+  std::size_t used() const { return used_; }
+
+ private:
+  struct Block {
+    Block* next;
+    std::size_t cap;   // usable bytes after the header
+    std::size_t bump;  // offset of the next free byte, from data()
+    std::byte* data() { return reinterpret_cast<std::byte*>(this + 1); }
+  };
+
+  struct DtorNode {
+    DtorNode* prev;
+    void (*fn)(void*);
+    void* obj;
+  };
+
+  void* bumpFrom(Block* b, std::size_t bytes, std::size_t align) {
+    const auto base = reinterpret_cast<std::uintptr_t>(b->data());
+    const std::uintptr_t at = (base + b->bump + align - 1) & ~(align - 1);
+    const std::size_t end = static_cast<std::size_t>(at - base) + bytes;
+    if (end > b->cap) return nullptr;
+    used_ += end - b->bump;
+    b->bump = end;
+    return reinterpret_cast<void*>(at);
+  }
+
+  void newBlock(std::size_t at_least) {
+    std::size_t cap = block_bytes_;
+    if (cap < at_least) cap = at_least;
+    // Header is a multiple of kAlign? It is not; data() starts right after
+    // the header, so round the header into the alignment math instead:
+    // allocate header + cap and let bumpFrom align within.
+    auto* b = static_cast<Block*>(
+        ::operator new(sizeof(Block) + cap, std::align_val_t{kAlign}));
+    b->next = blocks_;
+    b->cap = cap;
+    b->bump = 0;
+    blocks_ = b;
+  }
+
+  std::size_t block_bytes_;
+  Block* blocks_ = nullptr;
+  DtorNode* dtors_ = nullptr;
+  std::size_t used_ = 0;
+};
+
+}  // namespace cluert::mem

@@ -9,11 +9,19 @@
 // hand, 32 clue-table lines can be in flight from DRAM at once, which is how
 // the paper's "one memory access per packet" turns into line-rate forwarding
 // on a general-purpose CPU.
+//
+// Layout is structure-of-arrays: destinations, clues and stream positions
+// live in three separate cache-line-aligned arrays rather than interleaved
+// per-packet structs. The worker hands dests()/clues() spans STRAIGHT to
+// CluePort::processBatch — no per-packet gather copy on the hot path — and
+// the prepare loop streams through densely packed same-typed values instead
+// of striding over padded slots.
 #pragma once
 
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "common/types.h"
 #include "core/clue.h"
@@ -31,22 +39,16 @@ inline constexpr std::size_t kMaxBatch = 64;
 // not to blow per-worker latency or L1 residency.
 inline constexpr std::size_t kDefaultBatch = 32;
 
-// One packet descriptor inside a batch: the header fields the lookup needs
-// (destination + clue option), the packet's position in the input stream,
-// and the slot the worker fills with its forwarding decision.
+// A fixed-capacity inline frame of packets in SoA layout. Value-semantic so
+// it can ride an SPSC ring by move/copy, but copying transfers only the
+// *occupied* prefix of each array — a batch of 1 costs one element's copy
+// per array, not kMaxBatch.
+//
+// Stream positions are 32-bit: a single run() streams at most 2^32 packets,
+// which Pipeline::run checks at the rim. Half the seq footprint per slot is
+// what keeps the whole frame within two cache lines per array.
 template <typename A>
-struct BatchSlot {
-  A dest{};
-  core::ClueField clue;
-  std::uint64_t seq = 0;          // index in the pipeline's input stream
-  NextHop next_hop = kNoNextHop;  // filled in by the worker
-};
-
-// A fixed-capacity inline frame of BatchSlots. Value-semantic so it can ride
-// an SPSC ring by move/copy, but copying transfers only the *occupied* slots
-// — a batch of 1 costs one slot's copy, not kMaxBatch.
-template <typename A>
-class PacketBatch {
+class alignas(64) PacketBatch {
  public:
   PacketBatch() = default;
 
@@ -64,30 +66,50 @@ class PacketBatch {
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
-  void push(const A& dest, const core::ClueField& clue, std::uint64_t seq) {
+  void push(const A& dest, const core::ClueField& clue, std::uint32_t seq) {
     CLUERT_DCHECK(size_ < kMaxBatch) << "batch overflow";
-    slots_[size_++] = BatchSlot<A>{dest, clue, seq, kNoNextHop};
+    dests_[size_] = dest;
+    clues_[size_] = clue;
+    seqs_[size_] = seq;
+    ++size_;
   }
 
   void clear() { size_ = 0; }
 
-  BatchSlot<A>& operator[](std::size_t i) {
-    CLUERT_DCHECK(i < size_) << "slot " << i << " of " << size_;
-    return slots_[i];
+  // The occupied prefixes, in the exact span types CluePort::processBatch
+  // consumes — the worker resolves the ring slot in place.
+  std::span<const A> dests() const { return {dests_.data(), size_}; }
+  std::span<const core::ClueField> clues() const {
+    return {clues_.data(), size_};
   }
-  const BatchSlot<A>& operator[](std::size_t i) const {
+  std::span<const std::uint32_t> seqs() const { return {seqs_.data(), size_}; }
+
+  const A& dest(std::size_t i) const {
     CLUERT_DCHECK(i < size_) << "slot " << i << " of " << size_;
-    return slots_[i];
+    return dests_[i];
+  }
+  const core::ClueField& clue(std::size_t i) const {
+    CLUERT_DCHECK(i < size_) << "slot " << i << " of " << size_;
+    return clues_[i];
+  }
+  std::uint32_t seq(std::size_t i) const {
+    CLUERT_DCHECK(i < size_) << "slot " << i << " of " << size_;
+    return seqs_[i];
   }
 
  private:
   void assignFrom(const PacketBatch& other) {
     size_ = other.size_;
-    std::copy(other.slots_.begin(), other.slots_.begin() + size_,
-              slots_.begin());
+    std::copy(other.dests_.begin(), other.dests_.begin() + size_,
+              dests_.begin());
+    std::copy(other.clues_.begin(), other.clues_.begin() + size_,
+              clues_.begin());
+    std::copy(other.seqs_.begin(), other.seqs_.begin() + size_, seqs_.begin());
   }
 
-  std::array<BatchSlot<A>, kMaxBatch> slots_;
+  alignas(64) std::array<A, kMaxBatch> dests_;
+  alignas(64) std::array<core::ClueField, kMaxBatch> clues_;
+  alignas(64) std::array<std::uint32_t, kMaxBatch> seqs_;
   std::uint32_t size_ = 0;
 };
 

@@ -1,12 +1,20 @@
 // The batched multi-worker forwarding pipeline.
 //
-// Topology: one feeder (the calling thread) fans PacketBatches out
-// round-robin over N worker shards through fixed-capacity SPSC rings;
-// workers run to completion (lookup resolved on the shard that popped the
-// batch — no further hand-off) and publish next hops into the caller's
-// output array. When a ring is full the feeder spins-then-yields until the
-// shard drains — bounded backpressure, so memory use is capped at
-// N * ring_capacity batches no matter how fast the source is.
+// Topology: one feeder (the calling thread) fans PacketBatches out over N
+// worker shards through fixed-capacity SPSC rings; workers run to
+// completion (lookup resolved on the shard that popped the batch — no
+// further hand-off) and publish next hops into the caller's output array.
+// When a ring is full the feeder spins-then-yields until the shard drains —
+// bounded backpressure, so memory use is capped at N * ring_capacity
+// batches no matter how fast the source is.
+//
+// Dispatch is RSS-style flow-hash sharding: shard = hash(dest) mapped onto
+// [0, N), so every packet of a flow lands on the same worker. That keeps
+// each shard's working set core-private — its §3.5 ClueCache entries and
+// hot clue-table lines are never bounced between cores by packets of the
+// same flow landing elsewhere, which is what round-robin dispatch did. The
+// feeder keeps one open (claimed but unpublished) batch per shard and
+// publishes it when full; partial tails are flushed before the rings close.
 //
 // Every shard owns its CluePort / AccessCounter / Rng (see worker.h), which
 // makes the data plane share-nothing; run() merges the per-worker counters
@@ -20,6 +28,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <limits>
 #include <memory>
 #include <span>
 #include <string>
@@ -27,6 +37,8 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "mem/alloc_hook.h"
+#include "mem/arena.h"
 #include "pipeline/worker.h"
 #include "common/check.h"
 
@@ -43,6 +55,21 @@ struct PipelineOptions {
   // sleep). Relevant when threads outnumber cores: shorter sleeps react
   // faster, longer sleeps give the running thread longer bursts.
   std::uint32_t backoff_sleep_us = 50;
+  // Clamp `workers` to std::thread::hardware_concurrency(). Oversubscribing
+  // cores never helps a run-to-completion data plane (the threads just trade
+  // timeslices; BENCH_throughput's 8w rows were *slower* than 4w on a 4-core
+  // host) — so by default the pipeline refuses to silently degrade: it
+  // clamps, warns on stderr, and reports both counts in PipelineStats.
+  // Tests that deliberately oversubscribe to widen sanitizer interleavings
+  // opt out.
+  bool clamp_to_hardware = true;
+  // When the pipeline degenerates to a single worker (after clamping, or by
+  // request), resolve batches inline on the calling thread instead of
+  // ping-ponging one core between a feeder and one worker thread through a
+  // ring. Identical results and stats; DPDK calls this run-to-completion on
+  // one lcore. Tests that specifically exercise the threaded 1-worker path
+  // opt out.
+  bool inline_serial = true;
 
   // CluePort configuration, replicated per shard.
   lookup::Method method = lookup::Method::kPatricia;
@@ -67,6 +94,9 @@ struct PipelineOptions {
 // experiments report, plus throughput and load-balance figures.
 struct PipelineStats {
   std::size_t workers = 0;
+  // Worker count the caller asked for, pre-clamp; equals `workers` unless
+  // PipelineOptions::clamp_to_hardware trimmed an oversubscribed request.
+  std::size_t requested_workers = 0;
   std::size_t batch_size = 0;
 
   std::uint64_t packets = 0;
@@ -92,6 +122,23 @@ struct PipelineStats {
 
   // Per-shard packet counts — min/max/mean expose feeder imbalance.
   Summary worker_packets;
+
+  // max/mean of the per-shard packet counts: 1.0 is a perfectly balanced
+  // run, 2.0 means the hottest shard carried twice its fair share. Under
+  // flow-hash dispatch this is a property of the traffic (a single elephant
+  // flow pins one shard), so benches report it instead of pretending
+  // round-robin balance.
+  double shardImbalance() const {
+    const double m = worker_packets.mean();
+    return m > 0 ? worker_packets.max() / m : 0.0;
+  }
+
+  // Heap allocations inside the steady-state window (feeder loop after the
+  // workers spawned + each shard's loop after its warm-up batch). The hot
+  // path's contract is ZERO; `alloc_hook_active` false means the counting
+  // hook was compiled out (sanitizer build) and the zero is vacuous.
+  std::uint64_t steady_allocs = 0;
+  bool alloc_hook_active = false;
 
   // Per-batch resolve nanoseconds across all shards (Summary::merge of the
   // workers' summaries). Populated only when the run traced (the batch
@@ -122,11 +169,14 @@ class Pipeline {
 
   // Builds the shards. Control-plane work (port construction, the Advance
   // neighbor annotation inside CluePort's ctor) runs here, on the calling
-  // thread, strictly before any worker thread exists.
+  // thread, strictly before any worker thread exists. Shards are placed in
+  // the pipeline's arena, each on its own cache-line boundary — no worker's
+  // hot state shares a line with another's.
   Pipeline(lookup::LookupSuite<A>& suite,
            const trie::BinaryTrie<A>* neighbor_trie,
            const PipelineOptions& options)
-      : options_(sanitized(options)) {
+      : options_(sanitized(options)),
+        requested_workers_(options.workers == 0 ? 1 : options.workers) {
     for (std::size_t w = 0; w < options_.workers; ++w) {
       typename PortT::Options popt;
       popt.method = options_.method;
@@ -135,7 +185,7 @@ class Pipeline {
       popt.neighbor_index = options_.neighbor_index;
       popt.expected_clues = options_.expected_clues;
       popt.cache_entries = options_.cache_entries;
-      workers_.push_back(std::make_unique<WorkerT>(
+      workers_.push_back(arena_.template create<WorkerT>(
           w, options_.seed, options_.ring_batches,
           std::make_unique<PortT>(suite, neighbor_trie, popt),
           options_.backoff_sleep_us));
@@ -144,14 +194,8 @@ class Pipeline {
                                    options_.seed);
       }
     }
-    if (options_.registry != nullptr) {
-      options_.registry
-          ->gauge("pipeline_workers", "Worker shards in the pipeline")
-          .set(static_cast<double>(options_.workers));
-      options_.registry
-          ->gauge("pipeline_batch_size", "Packets per pipeline batch")
-          .set(static_cast<double>(options_.batch_size));
-    }
+    open_.assign(workers_.size(), nullptr);
+    announce();
   }
 
   // Epoch-versioned construction (the churn-safe data plane): every shard
@@ -161,7 +205,8 @@ class Pipeline {
   // arrive fully built, and a version-bound port never mutates the shared
   // table (a clue-table miss routes via the common lookup).
   Pipeline(rib::VersionedTables<A>& versions, const PipelineOptions& options)
-      : options_(sanitized(options)) {
+      : options_(sanitized(options)),
+        requested_workers_(options.workers == 0 ? 1 : options.workers) {
     CLUERT_CHECK(options_.workers <= rib::VersionedTables<A>::kMaxEpochWorkers)
         << options_.workers << " workers exceed the epoch-slot array";
     for (std::size_t w = 0; w < options_.workers; ++w) {
@@ -172,7 +217,7 @@ class Pipeline {
       popt.neighbor_index = options_.neighbor_index;
       popt.expected_clues = options_.expected_clues;
       popt.cache_entries = options_.cache_entries;
-      workers_.push_back(std::make_unique<WorkerT>(
+      workers_.push_back(arena_.template create<WorkerT>(
           w, options_.seed, options_.ring_batches,
           std::make_unique<PortT>(popt), options_.backoff_sleep_us));
       workers_.back()->bindVersions(&versions);
@@ -181,6 +226,8 @@ class Pipeline {
                                    options_.seed);
       }
     }
+    open_.assign(workers_.size(), nullptr);
+    announce();
   }
 
   const PipelineOptions& options() const { return options_; }
@@ -209,45 +256,29 @@ class Pipeline {
         << in.size() << " inputs vs " << out.size() << " out slots";
     CLUERT_CHECK(version_out.empty() || version_out.size() == out.size())
         << version_out.size() << " version slots vs " << out.size() << " out";
+    CLUERT_CHECK(in.size() <=
+                 std::size_t{std::numeric_limits<std::uint32_t>::max()})
+        << in.size() << " packets overflow the 32-bit batch seq";
     const auto t0 = std::chrono::steady_clock::now();
-    std::vector<std::thread> threads;
-    threads.reserve(workers_.size());
     // The pipeline is reusable: reopen the rings the previous run() closed
     // and zero the per-run counters, both while every shard is quiescent
     // (workers joined last run; none spawned yet). Stats therefore describe
     // THIS run, and a mid-stream worker can never mistake the previous
     // run's close() for its own end-of-stream — that race silently dropped
     // whole batches on reused pipelines.
-    for (auto& w : workers_) {
+    for (auto* w : workers_) {
       w->ring().reopen();
       w->resetRunCounters();
     }
-    for (auto& w : workers_) {
-      threads.emplace_back([&w, out, version_out] { w->run(out, version_out); });
+    std::uint64_t feeder_steady = 0;
+    if (workers_.size() == 1 && options_.inline_serial) {
+      feeder_steady = runInline(in, out, version_out);
+    } else {
+      feeder_steady = runThreaded(in, out, version_out);
     }
-
-    // Feed: claim the next ring slot of the round-robin shard, fill the
-    // batch in place (zero staging copy), publish. A full ring means the
-    // shard is the bottleneck; back off with escalation.
-    Rng feeder_rng = Rng::forThread(options_.seed, ~std::uint64_t{0});
-    std::size_t shard = 0;
-    for (std::size_t i = 0; i < in.size();) {
-      auto& ring = workers_[shard]->ring();
-      PacketBatch<A>* batch = ring.claim();
-      for (std::uint64_t streak = 1; batch == nullptr; ++streak) {
-        feederBackoff(feeder_rng, streak, options_.backoff_sleep_us);
-        batch = ring.claim();
-      }
-      batch->clear();
-      const std::size_t end = std::min(i + options_.batch_size, in.size());
-      for (; i < end; ++i) batch->push(in[i].dest, in[i].clue, i);
-      ring.publish();
-      shard = (shard + 1) % workers_.size();
-    }
-    for (auto& w : workers_) w->ring().close();
-    for (auto& t : threads) t.join();
     const auto t1 = std::chrono::steady_clock::now();
     PipelineStats s = aggregate(std::chrono::duration<double>(t1 - t0).count());
+    s.steady_allocs += feeder_steady;
     // Region totals are merged per run (the workers' counters are quiescent
     // now); the per-packet families were already fed live by the shards.
     if (options_.registry != nullptr) {
@@ -293,7 +324,124 @@ class Pipeline {
     if (o.batch_size == 0) o.batch_size = 1;
     if (o.batch_size > kMaxBatch) o.batch_size = kMaxBatch;
     if (o.ring_batches < 2) o.ring_batches = 2;
+    if (o.clamp_to_hardware) {
+      const auto hc =
+          static_cast<std::size_t>(std::thread::hardware_concurrency());
+      // hardware_concurrency() may legitimately return 0 ("unknown"); never
+      // clamp on a host we cannot size.
+      if (hc != 0 && o.workers > hc) o.workers = hc;
+    }
     return o;
+  }
+
+  // Post-construction reporting: the clamp warning (a silently degraded
+  // data plane is the bug this fixes) and the standing gauges.
+  void announce() const {
+    if (options_.workers < requested_workers_) {
+      std::fprintf(stderr,
+                   "cluert::pipeline: clamped %zu requested workers to %zu "
+                   "(hardware_concurrency); oversubscribing cores only adds "
+                   "context switches\n",
+                   requested_workers_, options_.workers);
+    }
+    if (options_.registry == nullptr) return;
+    options_.registry
+        ->gauge("pipeline_workers", "Worker shards in the pipeline")
+        .set(static_cast<double>(options_.workers));
+    options_.registry
+        ->gauge("pipeline_batch_size", "Packets per pipeline batch")
+        .set(static_cast<double>(options_.batch_size));
+    options_.registry
+        ->gauge("pipeline_workers_clamped",
+                "Requested-minus-actual workers after the hardware clamp")
+        .set(static_cast<double>(requested_workers_ - options_.workers));
+  }
+
+  // RSS-style dispatch: every packet of a flow (destination) maps to the
+  // same shard. The multiply-shift maps the low 32 hash bits onto [0, n)
+  // without a divide (Lemire's fastrange).
+  static std::size_t flowShard(const A& dest, std::size_t n) {
+    const auto h = static_cast<std::uint64_t>(std::hash<A>{}(dest));
+    return static_cast<std::size_t>(
+        ((h & 0xffffffffu) * static_cast<std::uint64_t>(n)) >> 32);
+  }
+
+  // The threaded fan-out. Returns the feeder's steady-window allocation
+  // count (snapshot taken after the worker threads spawned, so thread
+  // bring-up is warm-up; the feed loop itself must not allocate).
+  std::uint64_t runThreaded(std::span<const Input> in, std::span<NextHop> out,
+                            std::span<std::uint64_t> version_out) {
+    std::vector<std::thread> threads;
+    threads.reserve(workers_.size());
+    for (auto* w : workers_) {
+      threads.emplace_back([w, out, version_out] { w->run(out, version_out); });
+    }
+
+    const std::uint64_t alloc_base = mem::threadAllocs();
+    // Feed: flow-hash the destination to its shard, append to the shard's
+    // open batch (claimed in the ring on first use — zero staging copy),
+    // publish when full. A full ring means the shard is the bottleneck;
+    // back off with escalation.
+    Rng feeder_rng = Rng::forThread(options_.seed, ~std::uint64_t{0});
+    const std::size_t n_shards = workers_.size();
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const std::size_t shard = flowShard(in[i].dest, n_shards);
+      PacketBatch<A>* batch = open_[shard];
+      if (batch == nullptr) {
+        auto& ring = workers_[shard]->ring();
+        batch = ring.claim();
+        for (std::uint64_t streak = 1; batch == nullptr; ++streak) {
+          feederBackoff(feeder_rng, streak, options_.backoff_sleep_us);
+          batch = ring.claim();
+        }
+        batch->clear();
+        open_[shard] = batch;
+      }
+      batch->push(in[i].dest, in[i].clue, static_cast<std::uint32_t>(i));
+      if (batch->size() == options_.batch_size) {
+        workers_[shard]->ring().publish();
+        open_[shard] = nullptr;
+      }
+    }
+    // Tail flush: under flow-hash dispatch every shard can be left holding
+    // a partial batch (the stream length is never a multiple of
+    // workers x batch for all shards at once). Publish them before the
+    // close(), or those packets would be silently dropped.
+    for (std::size_t shard = 0; shard < n_shards; ++shard) {
+      if (open_[shard] == nullptr) continue;
+      workers_[shard]->ring().publish();
+      open_[shard] = nullptr;
+    }
+    for (auto* w : workers_) w->ring().close();
+    const std::uint64_t feeder_steady = mem::threadAllocs() - alloc_base;
+    for (auto& t : threads) t.join();
+    return feeder_steady;
+  }
+
+  // The serial-inline path: one worker, resolved on the calling thread.
+  // Same shard machinery (version pinning, stats, obs) — minus the ring
+  // hand-off and the feeder/worker context-switch ping-pong that made a
+  // 1-worker pipeline ~35% slower than the sequential loop on one core.
+  // Returns the steady-window allocation count (first batch = warm-up).
+  std::uint64_t runInline(std::span<const Input> in, std::span<NextHop> out,
+                          std::span<std::uint64_t> version_out) {
+    WorkerT& w = *workers_[0];
+    std::uint64_t alloc_base = 0;
+    bool warmed = false;
+    for (std::size_t i = 0; i < in.size();) {
+      scratch_batch_.clear();
+      const std::size_t end = std::min(i + options_.batch_size, in.size());
+      for (; i < end; ++i) {
+        scratch_batch_.push(in[i].dest, in[i].clue,
+                            static_cast<std::uint32_t>(i));
+      }
+      w.resolveBatch(scratch_batch_, out, version_out);
+      if (!warmed) {
+        warmed = true;
+        alloc_base = mem::threadAllocs();
+      }
+    }
+    return warmed ? mem::threadAllocs() - alloc_base : 0;
   }
 
   // Full-ring wait, escalating exactly like Worker::idleBackoff: jittered
@@ -322,8 +470,10 @@ class Pipeline {
   PipelineStats aggregate(double seconds) const {
     PipelineStats s;
     s.workers = workers_.size();
+    s.requested_workers = requested_workers_;
     s.batch_size = options_.batch_size;
     s.seconds = seconds;
+    s.alloc_hook_active = mem::allocHookActive();
     for (const auto& w : workers_) {
       s.packets += w->packets();
       s.batches += w->batches();
@@ -338,12 +488,23 @@ class Pipeline {
       s.worker_packets.add(static_cast<double>(w->packets()));
       s.batch_ns.merge(w->batchNs());
       s.version_changes += w->versionChanges();
+      s.steady_allocs += w->steadyAllocs();
     }
     return s;
   }
 
   PipelineOptions options_;
-  std::vector<std::unique_ptr<WorkerT>> workers_;
+  std::size_t requested_workers_ = 0;
+  // Shard placement: each Worker starts on its own cache-line boundary in
+  // the arena (destroyed LIFO with it). The vector holds non-owning
+  // pointers.
+  mem::Arena arena_;
+  std::vector<WorkerT*> workers_;
+  // Per-shard open (claimed, unpublished) batch of the in-flight feed loop;
+  // sized once at construction so run() never allocates it.
+  std::vector<PacketBatch<A>*> open_;
+  // Batch the serial-inline path fills on the calling thread.
+  PacketBatch<A> scratch_batch_;
 };
 
 using Pipeline4 = Pipeline<ip::Ip4Addr>;

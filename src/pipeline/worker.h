@@ -19,6 +19,7 @@
 #include "common/random.h"
 #include "common/stats.h"
 #include "core/distributed_lookup.h"
+#include "mem/alloc_hook.h"
 #include "obs/hooks.h"
 #include "pipeline/packet_batch.h"
 #include "pipeline/pinned_resolver.h"
@@ -92,10 +93,16 @@ class Worker {
     acc_.reset();
     packets_ = 0;
     batches_ = 0;
+    steady_allocs_ = 0;
     resolver_.resetVersionChanges();
     batch_ns_ = Summary{};
     port().resetStats();
   }
+
+  // Heap allocations this shard made after its warm-up batch (see run()).
+  // Valid after join; 0 when the alloc hook is compiled out or the shard
+  // processed at most one batch.
+  std::uint64_t steadyAllocs() const { return steady_allocs_; }
 
   // Post-join access to the shard's trace rings (null when tracing is off).
   const obs::Tracer* tracer() const { return tracer_.get(); }
@@ -116,13 +123,14 @@ class Worker {
   // the churn oracle compares out[seq] against a quiescent lookup at
   // version_out[seq].
   void run(std::span<NextHop> out, std::span<std::uint64_t> version_out = {}) {
-    std::array<A, kMaxBatch> dests;
-    std::array<core::ClueField, kMaxBatch> clues;
-    std::array<typename PortT::Result, kMaxBatch> results;
     std::uint64_t idle_streak = 0;
-    // Batch spans cost two clock reads per *batch* — cheap enough to gate at
-    // runtime rather than compile time (unlike the per-lookup events).
-    const bool spans = tracer_ != nullptr && tracer_->enabled();
+    // Zero-allocation steady state: the first batch is warm-up (lazy
+    // per-thread init, first-touch faults), everything after it must not
+    // allocate. Snapshot the thread-local alloc counter after that batch
+    // and report the delta — Pipeline::run sums the shards' deltas into
+    // PipelineStats::steady_allocs, which the ci throughput gate pins at 0.
+    bool warmed = false;
+    std::uint64_t alloc_base = 0;
     for (;;) {
       // Zero-copy consume: resolve the batch in place in the ring slot, then
       // hand the slot back. The producer cannot touch it before release().
@@ -137,38 +145,52 @@ class Worker {
         }
       }
       idle_streak = 0;
-      const std::uint64_t span_t0 = spans ? obs::Tracer::nowNs() : 0;
-      const std::size_t n = batch->size();
-      for (std::size_t i = 0; i < n; ++i) {
-        dests[i] = (*batch)[i].dest;
-        clues[i] = (*batch)[i].clue;
-      }
-      // Pin one version for the whole batch (PinnedResolver). The guard
-      // spans the resolve and the out[] writes — its release is what lets
-      // the updater's grace period complete.
-      resolver_.resolve(
-          {dests.data(), n}, {clues.data(), n}, {results.data(), n}, acc_,
-          [&](const rib::TableVersion<A>* version) {
-            const std::uint64_t seq = version != nullptr ? version->seq : 0;
-            for (std::size_t i = 0; i < n; ++i) {
-              const auto& m = results[i].match;
-              out[(*batch)[i].seq] = m ? m->next_hop : kNoNextHop;
-              if (!version_out.empty()) version_out[(*batch)[i].seq] = seq;
-            }
-          });
-      packets_ += n;
-      ++batches_;
-      if (spans) {
-        const std::uint64_t dur = obs::Tracer::nowNs() - span_t0;
-        tracer_->span({span_t0, dur, static_cast<std::uint32_t>(id_),
-                       static_cast<std::uint32_t>(n)});
-        batch_ns_.add(static_cast<double>(dur));
-      }
-      if (wobs_.enabled()) {
-        wobs_.packets->inc(n);
-        wobs_.batches->inc();
-      }
+      resolveBatch(*batch, out, version_out);
       ring_.release();
+      if (!warmed) {
+        warmed = true;
+        alloc_base = mem::threadAllocs();
+      }
+    }
+    if (warmed) steady_allocs_ = mem::threadAllocs() - alloc_base;
+  }
+
+  // Resolves one batch and publishes its next hops — the body of the worker
+  // loop, also called directly (on the feeder thread) by the pipeline's
+  // serial-inline path when the pipeline degenerates to one worker. Reads
+  // the batch's SoA spans in place: no per-packet gather copy.
+  void resolveBatch(PacketBatch<A>& batch, std::span<NextHop> out,
+                    std::span<std::uint64_t> version_out) {
+    // Batch spans cost two clock reads per *batch* — cheap enough to gate at
+    // runtime rather than compile time (unlike the per-lookup events).
+    const bool spans = tracer_ != nullptr && tracer_->enabled();
+    const std::uint64_t span_t0 = spans ? obs::Tracer::nowNs() : 0;
+    const std::size_t n = batch.size();
+    const std::span<const std::uint32_t> seqs = batch.seqs();
+    // Pin one version for the whole batch (PinnedResolver). The guard
+    // spans the resolve and the out[] writes — its release is what lets
+    // the updater's grace period complete.
+    resolver_.resolve(
+        batch.dests(), batch.clues(), {results_.data(), n}, acc_,
+        [&](const rib::TableVersion<A>* version) {
+          const std::uint64_t seq = version != nullptr ? version->seq : 0;
+          for (std::size_t i = 0; i < n; ++i) {
+            const auto& m = results_[i].match;
+            out[seqs[i]] = m ? m->next_hop : kNoNextHop;
+            if (!version_out.empty()) version_out[seqs[i]] = seq;
+          }
+        });
+    packets_ += n;
+    ++batches_;
+    if (spans) {
+      const std::uint64_t dur = obs::Tracer::nowNs() - span_t0;
+      tracer_->span({span_t0, dur, static_cast<std::uint32_t>(id_),
+                     static_cast<std::uint32_t>(n)});
+      batch_ns_.add(static_cast<double>(dur));
+    }
+    if (wobs_.enabled()) {
+      wobs_.packets->inc(n);
+      wobs_.batches->inc();
     }
   }
 
@@ -206,9 +228,13 @@ class Worker {
   mem::AccessCounter acc_;
   std::uint64_t packets_ = 0;
   std::uint64_t batches_ = 0;
+  std::uint64_t steady_allocs_ = 0;
   std::unique_ptr<obs::Tracer> tracer_;  // owned here: single-writer ring
   obs::WorkerObs wobs_;
   Summary batch_ns_;
+  // Per-batch resolve results; a member (not a stack array) so the shard's
+  // hot scratch lives inside its arena placement, cache-line aligned.
+  alignas(64) std::array<typename PortT::Result, kMaxBatch> results_;
 };
 
 }  // namespace cluert::pipeline

@@ -63,8 +63,13 @@ namespace cluert::rib {
 // One immutable-once-published snapshot of everything a data-plane worker
 // reads: the receiver's lookup structures, the clue table derived from them,
 // and the sender's prefix view the Advance analysis consulted.
+//
+// Cache-line aligned: the double-buffered versions (buf_[2] below) are read
+// concurrently by every worker while the retired buffer is being rebuilt —
+// alignment guarantees the writer's buffer never shares a line with the
+// live one (no false sharing between the updater and the data plane).
 template <typename A>
-struct TableVersion {
+struct alignas(64) TableVersion {
   std::uint64_t seq = 0;
   Fib<A> local;     // receiver table this version was built from
   Fib<A> neighbor;  // sender table (the clue universe)

@@ -136,6 +136,10 @@ TEST(ChurnPipeline, OracleHoldsAcrossAThousandSwaps) {
 
   PipelineOptions popt;
   popt.workers = 4;
+  // Keep 4 real worker threads even on a small host: the whole point is
+  // racing the updater against a genuinely concurrent data plane.
+  popt.clamp_to_hardware = false;
+  popt.inline_serial = false;
   popt.batch_size = 32;
   popt.mode = lookup::ClueMode::kSimple;
   popt.cache_entries = 64;  // exercise §3.5 cache invalidation across swaps
@@ -222,6 +226,10 @@ TEST(ChurnPipeline, AdvanceModeWithStaticSender) {
 
   PipelineOptions popt;
   popt.workers = 4;
+  // Keep 4 real worker threads even on a small host: the whole point is
+  // racing the updater against a genuinely concurrent data plane.
+  popt.clamp_to_hardware = false;
+  popt.inline_serial = false;
   popt.batch_size = 32;
   popt.mode = lookup::ClueMode::kAdvance;
   popt.seed = 11;
@@ -267,6 +275,10 @@ TEST(ChurnPipeline, QuiescentVersionedMatchesUnversioned) {
 
   PipelineOptions popt;
   popt.workers = 4;
+  // Keep 4 real worker threads even on a small host: the whole point is
+  // racing the updater against a genuinely concurrent data plane.
+  popt.clamp_to_hardware = false;
+  popt.inline_serial = false;
   popt.batch_size = 32;
   popt.mode = lookup::ClueMode::kSimple;
   popt.learn = false;

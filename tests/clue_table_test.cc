@@ -170,5 +170,83 @@ TEST(ClueIndexerLike, IndexedFieldCarriesIndex) {
   EXPECT_EQ(*f.index, 77);
 }
 
+// ---------------------------------------------------------------------------
+// SWAR tag probing
+// ---------------------------------------------------------------------------
+
+TEST(SwarProbe, TagNeverCollidesWithEmpty) {
+  // Tags have the 0x80 marker bit set, so no hash can produce the 0x00
+  // empty-slot sentinel — the property the whole word-probe rests on.
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NE(lookup::swarTag(rng.u64()), 0);
+    EXPECT_EQ(lookup::swarTag(rng.u64()) & 0x80, 0x80);
+  }
+}
+
+TEST(SwarProbe, MaskHelpersFindLanes) {
+  const std::uint8_t tags[8] = {0x81, 0x00, 0x81, 0xD2, 0x00, 0x81, 0xFF, 0};
+  const std::uint64_t word = lookup::swarLoad(tags);
+  const std::uint64_t empty = lookup::swarZeroMask(word);
+  // Lowest empty lane is index 1.
+  EXPECT_EQ(lookup::swarLane(empty), 1u);
+  std::uint64_t match = lookup::swarMatchMask(word, 0x81);
+  EXPECT_EQ(lookup::swarLane(match), 0u);  // first 0x81 is lane 0
+  match &= lookup::swarBelowLowest(empty);
+  // Below the lowest empty lane only lane 0 matches — lanes 2 and 5 are
+  // past the probe's termination point and must be discarded.
+  EXPECT_EQ(match, lookup::swarMatchMask(word, 0x81) & 0xFF);
+}
+
+TEST(HashClueTable, HintedProbeFindsEveryEntryAndTerminatesMisses) {
+  Table t(64);
+  Rng rng(9);
+  std::vector<ip::Prefix4> clues;
+  for (int i = 0; i < 48; ++i) {
+    const ip::Prefix4 p(A(rng.u32()), 24);
+    if (std::find(clues.begin(), clues.end(), p) != clues.end()) continue;
+    clues.push_back(p);
+    ASSERT_TRUE(t.insert(entryFor(p, static_cast<NextHop>(i))));
+  }
+  for (const auto& c : clues) {
+    mem::AccessCounter acc;
+    const auto hint = t.hintFor(c);
+    const Entry* e = t.findFrom(hint, c, acc);
+    ASSERT_NE(e, nullptr) << c.toString();
+    EXPECT_EQ(e->clue, c);
+    EXPECT_GE(acc.count(mem::Region::kClueTable), 1u);
+  }
+  // Misses: the probe stops at the first genuinely empty lane and charges
+  // the access that discovered it.
+  std::size_t misses = 0;
+  for (int i = 0; misses < 32 && i < 1000; ++i) {
+    const ip::Prefix4 p(A(rng.u32()), 20);
+    if (std::find(clues.begin(), clues.end(), p) != clues.end()) continue;
+    ++misses;
+    mem::AccessCounter acc;
+    EXPECT_EQ(t.findFrom(t.hintFor(p), p, acc), nullptr);
+    EXPECT_GE(acc.count(mem::Region::kClueTable), 1u);
+  }
+}
+
+TEST(HashClueTable, DenseTableStillResolvesThroughWrappedTagWords) {
+  // Push the load factor high enough that probes cross SWAR word
+  // boundaries and the mirrored tail tags (the cloned first kSwarLanes
+  // bytes) get exercised at the wrap.
+  Table t(4);
+  Rng rng(12);
+  std::vector<ip::Prefix4> clues;
+  while (clues.size() < 300) {
+    const ip::Prefix4 p(A(rng.u32()), static_cast<int>(rng.uniform(9, 30)));
+    if (std::find(clues.begin(), clues.end(), p) != clues.end()) continue;
+    clues.push_back(p);
+    ASSERT_TRUE(t.insert(entryFor(p, 1)));
+  }
+  mem::AccessCounter acc;
+  for (const auto& c : clues) {
+    ASSERT_NE(t.find(c, acc), nullptr) << c.toString();
+  }
+}
+
 }  // namespace
 }  // namespace cluert::core

@@ -238,6 +238,11 @@ struct PipelineFixture {
     opt.mode = lookup::ClueMode::kAdvance;
     opt.learn = false;
     opt.expected_clues = sender.size() + 16;
+    // These tests exercise the *threaded* data plane deliberately — real
+    // rings, real cross-thread hand-off — even on a small CI host where the
+    // hardware clamp would fold everything to one inline shard.
+    opt.clamp_to_hardware = false;
+    opt.inline_serial = false;
     return opt;
   }
 
@@ -337,10 +342,12 @@ TEST(PipelineTest, StatsAggregateAcrossWorkers) {
   EXPECT_GT(stats.table_hits, stats.packets / 2);  // clues mostly resolve
   EXPECT_GT(stats.seconds, 0.0);
   EXPECT_GT(stats.packetsPerSec(), 0.0);
-  // Round-robin feeding keeps shards within a couple of batches.
+  // Flow-hash dispatch: balance is statistical, not round-robin-exact. With
+  // thousands of distinct flows spread over 4 shards the hottest shard stays
+  // well under 1.5x its fair share, and every shard sees traffic.
   EXPECT_EQ(stats.worker_packets.count(), 4u);
-  EXPECT_LE(stats.worker_packets.max() - stats.worker_packets.min(),
-            2.0 * static_cast<double>(opt.batch_size));
+  EXPECT_GT(stats.worker_packets.min(), 0.0);
+  EXPECT_LT(stats.shardImbalance(), 1.5);
   EXPECT_FALSE(pipeline::formatStats(stats).empty());
 }
 

@@ -34,6 +34,17 @@
 #                           gate 1 automatically when the compiler is clang;
 #                           on gcc hosts that check is a documented no-op
 #                           (the annotations compile to nothing).
+#   9. throughput smoke     bench_throughput --smoke: a fixed deterministic
+#                           sharded run (2w/b32, clamp off) that fails on
+#                           any sharded-vs-sequential output divergence or
+#                           any heap allocation in the steady-state window;
+#                           then metrics_diff.py gates its accesses/packet
+#                           against the committed baseline, pins
+#                           steady_allocs at 0 and shard imbalance under an
+#                           absolute ceiling (--max: the baseline values sit
+#                           at/below --min-base, where a relative diff would
+#                           skip), and asserts the counting alloc hook was
+#                           actually compiled in.
 #
 # Exits nonzero on the first finding. This is what "CI green" means for this
 # repo; see README "Lint and sanitizer gates".
@@ -43,28 +54,28 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "=== [1/8] -Werror build + full test suite ==="
+echo "=== [1/9] -Werror build + full test suite ==="
 cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCLUERT_WERROR=ON
 cmake --build build-ci -j"$(nproc)"
 ctest --test-dir build-ci --output-on-failure
 
-echo "=== [2/8] clang-tidy ==="
+echo "=== [2/9] clang-tidy ==="
 tools/run_tidy.sh build-ci
 
-echo "=== [3/8] sanitizer matrix ==="
+echo "=== [3/9] sanitizer matrix ==="
 tools/run_sanitizers.sh
 
-echo "=== [4/8] metrics tooling self-test ==="
+echo "=== [4/9] metrics tooling self-test ==="
 python3 tools/metrics_diff.py --self-test
 
-echo "=== [5/8] churn smoke (update-under-traffic oracle) ==="
+echo "=== [5/9] churn smoke (update-under-traffic oracle) ==="
 cmake --build build-ci -j"$(nproc)" --target bench_churn
 (cd build-ci && ./bench/bench_churn --smoke)
 python3 tools/metrics_diff.py \
   --require-nonzero 'rib_version_(swaps_total|live_seq)' \
   build-ci/BENCH_churn.prom
 
-echo "=== [6/8] corpus replay + fuzz smoke + coverage gate ==="
+echo "=== [6/9] corpus replay + fuzz smoke + coverage gate ==="
 cmake --build build-ci -j"$(nproc)" --target sim_run
 build-ci/tools/sim_run replay tests/corpus
 
@@ -99,14 +110,14 @@ fi
 
 tools/run_coverage.sh --check
 
-echo "=== [7/8] wire topology smoke (cluertd line topology) ==="
+echo "=== [7/9] wire topology smoke (cluertd line topology) ==="
 cmake --build build-ci -j"$(nproc)" --target cluertd wire_play
 # topo_run asserts delivery, zero oracle mismatches, nonzero case-1 and
 # per-peer netio_peer_{rx,tx}_packets_total on every hop (metrics_diff.py
 # --require-nonzero against each /metrics scrape), and exit-0 SIGTERM drains.
 BUILD_DIR=build-ci tools/topo_run.sh --smoke
 
-echo "=== [8/8] concurrency contracts (lint + model-checker smoke) ==="
+echo "=== [8/9] concurrency contracts (lint + model-checker smoke) ==="
 python3 tools/lint_cluert.py --self-test
 python3 tools/lint_cluert.py src/
 cmake --build build-ci -j"$(nproc)" --target mc_run
@@ -115,5 +126,16 @@ cmake --build build-ci -j"$(nproc)" --target mc_run
 # gate to "bounded smoke" instead of hanging CI. Violations still fail
 # regardless of where the budget lands.
 build-ci/tools/mc_run --smoke 30000
+
+echo "=== [9/9] throughput smoke (zero-alloc hot path + perf trajectory) ==="
+cmake --build build-ci -j"$(nproc)" --target bench_throughput
+(cd build-ci && ./bench/bench_throughput --smoke)
+python3 tools/metrics_diff.py \
+  --match 'throughput_smoke_' --threshold 5 \
+  --max 'throughput_smoke_steady_allocs:0' \
+  --max 'throughput_smoke_shard_imbalance:1.6' \
+  --require-nonzero 'throughput_smoke_alloc_hook_active' \
+  bench/BENCH_throughput_smoke_baseline.prom \
+  build-ci/BENCH_throughput_smoke.prom
 
 echo "ci.sh: all gates green"

@@ -25,6 +25,14 @@ Usage:
       silently stopped doing its job, which no diff against a baseline
       would catch. Composes with the two-snapshot diff form (the check
       then applies to `current`).
+  tools/metrics_diff.py --max REGEX:VALUE snapshot.prom   (repeatable)
+      absolute-ceiling gate on the current (or only) snapshot: every series
+      matching REGEX must be <= VALUE; no matching series at all also
+      fails (a vanished gate series means the bench stopped emitting it).
+      This is the right tool when the baseline value sits below --min-base
+      (a relative diff would skip it — e.g. shard imbalance hovering near
+      1.0) or when the bound is a hard contract rather than a trajectory
+      (steady_allocs:0). Composes with the two-snapshot diff form.
   tools/metrics_diff.py baseline.prom current.prom \\
       --quantile p99:lookup_accesses:10 [--quantile p50:...:5 ...]
       histogram-aware quantile gate: estimates the given quantile from the
@@ -117,6 +125,37 @@ def require_nonzero(cur, pattern):
     rx = re.compile(pattern)
     hits = {k: v for k, v in cur.items() if rx.search(k)}
     return hits, any(v != 0 for v in hits.values())
+
+
+def parse_max_spec(spec):
+    """'regex:3.5' -> ('regex', 3.5). The regex may itself contain colons
+    (label matchers), so the split is on the LAST colon. Raises ValueError."""
+    regex, sep, raw = spec.rpartition(':')
+    if not sep or not regex:
+        raise ValueError('bad --max spec %r (want SERIES_REGEX:VALUE)' % spec)
+    try:
+        limit = float(raw)
+    except ValueError:
+        raise ValueError('bad --max limit in %r (not a number)' % spec)
+    return regex, limit
+
+
+def max_gate(cur, specs):
+    """Returns (report_lines, regression_lines) for --max specs: every series
+    matching the regex must be <= the limit; zero matches is a failure."""
+    report, regressions = [], []
+    for spec in specs:
+        regex, limit = parse_max_spec(spec)
+        rx = re.compile(regex)
+        hits = {k: v for k, v in cur.items() if rx.search(k)}
+        if not hits:
+            regressions.append('max %s: no series matching the pattern'
+                               % regex)
+            continue
+        for key in sorted(hits):
+            line = 'max     %-60s %g (limit %g)' % (key, hits[key], limit)
+            (regressions if hits[key] > limit else report).append(line)
+    return report, regressions
 
 
 _LE = re.compile(r'le="([^"]+)"')
@@ -278,6 +317,28 @@ up_total{router="1"} 7 1699999999
         else:
             raise AssertionError('accepted bad spec %r' % bad)
 
+    # Absolute ceilings: at/under the limit passes, over fails, no match
+    # fails, colons inside the regex survive (split is on the last one).
+    snap = {'steady_allocs': 0.0, 'imbalance': 1.31, 'other': 9.0}
+    rep, reg = max_gate(snap, ['steady_allocs:0'])
+    assert reg == [] and len(rep) == 1, (rep, reg)
+    _, reg = max_gate(snap, ['imbalance:1.25'])
+    assert len(reg) == 1 and 'imbalance' in reg[0], reg
+    rep, reg = max_gate(snap, ['imbalance:1.6', 'other:10'])
+    assert reg == [] and len(rep) == 2, (rep, reg)
+    _, reg = max_gate(snap, ['no_such_series:5'])
+    assert len(reg) == 1 and 'no series' in reg[0], reg
+    rep, reg = max_gate({'h_bucket{le="1"}': 2.0}, [r'le="1":3'])
+    assert reg == [] and len(rep) == 1, (rep, reg)
+    assert parse_max_spec('a:b:3.5') == ('a:b', 3.5)
+    for bad in ('nocolon', ':5', 'x:notanum'):
+        try:
+            parse_max_spec(bad)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError('accepted bad --max spec %r' % bad)
+
     hist_worse = dict(hist)
     hist_worse['h_bucket{le="1"}'] = 40.0  # tail mass doubled at p50's level
     rep, reg = quantile_gate(hist, hist_worse, ['p50:h:10'])
@@ -313,6 +374,11 @@ def main(argv):
     ap.add_argument('--require-nonzero', default=None, metavar='REGEX',
                     help='fail unless the current (or only) snapshot has a '
                          'series matching REGEX with a nonzero value')
+    ap.add_argument('--max', action='append', default=[],
+                    metavar='SERIES_REGEX:VALUE',
+                    help='absolute ceiling: fail when any series matching '
+                         'the regex exceeds VALUE in the current (or only) '
+                         'snapshot, or when none matches (repeatable)')
     ap.add_argument('--quantile', action='append', default=[],
                     metavar='pNN:METRIC:MAX_PCT',
                     help='gate on a histogram quantile estimate: fail when '
@@ -323,8 +389,9 @@ def main(argv):
 
     if args.self_test:
         return self_test()
-    # Single-snapshot liveness mode: the one positional is the file to check.
-    if args.require_nonzero and args.baseline and not args.current:
+    # Single-snapshot modes: the one positional is the file to check.
+    if (args.require_nonzero or args.max) and args.baseline \
+            and not args.current:
         args.baseline, args.current = None, args.baseline
     if not args.current:
         ap.error('baseline and current snapshots are required')
@@ -342,6 +409,18 @@ def main(argv):
             return 1
         print('require-nonzero OK: %d series matching %r, nonzero present'
               % (len(hits), args.require_nonzero))
+    if args.max:
+        try:
+            mreport, mregressions = max_gate(cur, args.max)
+        except ValueError as e:
+            ap.error(str(e))
+        for line in mreport:
+            print(line)
+        if mregressions:
+            print('%d series over their --max ceiling:' % len(mregressions))
+            for line in mregressions:
+                print('  ' + line)
+            return 1
     if not args.baseline:
         return 0
 

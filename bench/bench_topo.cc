@@ -1,0 +1,275 @@
+// Topology flap-storm benchmark (DESIGN.md §12): drives the multi-router
+// harness over 5-node line and ring topologies through a long deterministic
+// run — periodic link flaps plus advertise/withdraw churn — while packets
+// stream hop by hop under the per-hop differential oracle. Reports, per
+// topology:
+//   * case-1 rate by hop distance (the clue gets re-stamped every hop, so
+//     the paper's "lookup starts where the previous router stopped" benefit
+//     should hold at every distance, not just hop 1);
+//   * convergence time after each transient (p50/p99 ticks from event to
+//     the RIP oracle's converged() verdict);
+//   * the safety ledger: strict mismatches (must be zero), stale clues
+//     classified during convergence windows, Advance-mode
+//     misrouted-but-safe divergences, drops by cause.
+// The run is self-gating: any strict-oracle mismatch or check/ violation
+// exits nonzero. Full mode writes BENCH_topo.json.
+//
+// --smoke: a short fixed ring run for tools/ci.sh — writes
+// BENCH_topo_smoke.prom (topo_smoke_* counters) for metrics_diff.py
+// --require-nonzero liveness gating, and still enforces the zero-mismatch
+// contract.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "bench_util.h"
+#include "topo/harness.h"
+#include "topo/scenario.h"
+
+namespace cluert::bench {
+namespace {
+
+using topo::Shape;
+using topo::TopoEvent;
+using topo::TopoEventKind;
+using topo::TopoOriginate;
+using topo::TopoPacket;
+using topo::TopoScenario;
+
+ip::Prefix4 routerBlock(RouterId r) {
+  // 10.(r+1).0.0/16 — one address block per router, same scheme the
+  // scenario generator uses.
+  return ip::Prefix4(ip::Ip4Addr((10u << 24) | ((r + 1) << 16)), 16);
+}
+
+// One flap-storm scenario: every `flap_every` ticks a link goes down, comes
+// back `down_for` ticks later; every 8th transient also withdraws and
+// re-advertises a /24 so the withdraw-race window is exercised too. Packet
+// bursts are injected from every router each `inject_every` ticks toward
+// destinations spread over all originated blocks — so hop distances cover
+// the topology's whole diameter.
+TopoScenario stormScenario(Shape shape, std::size_t nodes, int ticks,
+                           int flap_every, std::uint32_t burst) {
+  TopoScenario s;
+  s.seed = 4242;
+  s.shape = shape;
+  s.nodes = nodes;
+  s.mode = lookup::ClueMode::kAdvance;
+  s.method = lookup::Method::kPatricia;
+  s.ticks = ticks;
+  for (RouterId r = 0; r < nodes; ++r) {
+    s.originate.push_back(TopoOriginate{r, routerBlock(r)});
+  }
+
+  const topo::Topology t = s.topology();
+  const int down_for = 10;
+  int k = 0;
+  for (int tick = 40; tick + down_for + 20 < ticks; tick += flap_every, ++k) {
+    const topo::Link& link = t.links[static_cast<std::size_t>(k) %
+                                     t.links.size()];
+    s.events.push_back(
+        TopoEvent{tick, TopoEventKind::kLinkDown, link.a, link.b, {}});
+    s.events.push_back(
+        TopoEvent{tick + down_for, TopoEventKind::kLinkUp, link.a, link.b, {}});
+    if (k % 8 == 3) {
+      // Withdraw a /24 carved from a router's block mid-flap, re-advertise
+      // once the dust settles: stale_during_withdraw coverage.
+      const RouterId r = static_cast<RouterId>(k % nodes);
+      const ip::Prefix4 sub(
+          ip::Ip4Addr((10u << 24) | ((r + 1) << 16) | (0xc0u << 8)), 24);
+      s.events.push_back(
+          TopoEvent{tick + 2, TopoEventKind::kWithdraw, r, 0, sub});
+      s.events.push_back(
+          TopoEvent{tick + down_for + 6, TopoEventKind::kAdvertise, r, 0, sub});
+    }
+  }
+
+  // Destination d-th burst from router r targets block (r + 1 + d) mod n:
+  // every (src, dest-owner) pair occurs, so hop distance spans 1..diameter.
+  const int inject_every = 2;
+  Rng rng(s.seed);
+  for (int tick = 0; tick < ticks; tick += inject_every) {
+    for (RouterId r = 0; r < nodes; ++r) {
+      const RouterId owner =
+          static_cast<RouterId>((r + 1 + (tick / inject_every) % (nodes - 1)) % nodes);
+      ip::Ip4Addr dest((10u << 24) | ((owner + 1) << 16) |
+                       (rng.u32() & 0xffffu));
+      s.packets.push_back(TopoPacket{tick, r, dest, burst});
+    }
+  }
+  return s;
+}
+
+struct TopoRun {
+  TopoScenario scenario;
+  topo::HarnessStats stats;
+};
+
+TopoRun runStorm(Shape shape, std::size_t nodes, int ticks, int flap_every,
+                 std::uint32_t burst) {
+  TopoRun run;
+  run.scenario = stormScenario(shape, nodes, ticks, flap_every, burst);
+  topo::HarnessOptions opt;
+  // The oracle still runs per hop; the per-publish check/ validation is the
+  // part too expensive for ~10^6 hops. A final-version validation still
+  // happens in the tests and the smoke gate keeps it on (short run).
+  opt.validate_publishes = false;
+  run.stats = topo::runTopoScenario(run.scenario, opt);
+  return run;
+}
+
+void printRun(const char* name, const TopoRun& run) {
+  const topo::HarnessStats& st = run.stats;
+  std::printf("\n== %s (%zu nodes, %d ticks, %zu events) ==\n", name,
+              run.scenario.nodes, run.scenario.ticks,
+              run.scenario.events.size());
+  std::printf("%s\n", st.summary().c_str());
+  std::printf("%6s %12s %10s %8s\n", "hop", "lookups", "case1", "rate");
+  for (std::size_t h = 0; h < topo::HarnessStats::kMaxHopBuckets; ++h) {
+    if (st.lookups_by_hop[h] == 0) continue;
+    std::printf("%6zu %12llu %10llu %7.1f%%\n", h,
+                static_cast<unsigned long long>(st.lookups_by_hop[h]),
+                static_cast<unsigned long long>(st.case1_by_hop[h]),
+                100.0 * static_cast<double>(st.case1_by_hop[h]) /
+                    static_cast<double>(st.lookups_by_hop[h]));
+  }
+}
+
+void writeRunJson(JsonWriter& w, const char* name, const TopoRun& run) {
+  const topo::HarnessStats& st = run.stats;
+  w.beginObject();
+  w.field("topology", std::string_view(name));
+  w.field("nodes", static_cast<std::uint64_t>(run.scenario.nodes));
+  w.field("ticks", run.scenario.ticks);
+  w.field("events", static_cast<std::uint64_t>(run.scenario.events.size()));
+  w.field("injected", st.injected);
+  w.field("forwarded_hops", st.forwarded_hops);
+  w.field("delivered", st.delivered);
+  w.field("no_route_drops", st.no_route_drops);
+  w.field("down_link_drops", st.down_link_drops);
+  w.field("ttl_drops", st.ttl_drops);
+  w.field("strict_mismatches", st.strict_mismatches);
+  w.field("stale_clue_hops", st.stale_clue_hops);
+  w.field("stale_during_convergence", st.stale_during_convergence);
+  w.field("stale_during_flap", st.stale_during_flap);
+  w.field("stale_during_withdraw", st.stale_during_withdraw);
+  w.field("advance_stale_divergences", st.advance_stale_divergences);
+  w.field("link_flaps", st.link_flaps);
+  w.field("rip_messages", st.rip_messages);
+  w.field("publishes", st.publishes);
+  w.field("version_changes", st.version_changes);
+  w.field("unconverged_ticks", st.unconverged_ticks);
+  w.field("convergence_samples",
+          static_cast<std::uint64_t>(st.convergence_samples.size()));
+  w.field("convergence_p50_ticks", st.convergencePercentile(0.5));
+  w.field("convergence_p99_ticks", st.convergencePercentile(0.99));
+  w.beginArray("case1_rate_by_hop");
+  for (std::size_t h = 0; h < topo::HarnessStats::kMaxHopBuckets; ++h) {
+    if (st.lookups_by_hop[h] == 0) continue;
+    w.beginObject();
+    w.field("hop", static_cast<std::uint64_t>(h));
+    w.field("lookups", st.lookups_by_hop[h]);
+    w.field("case1", st.case1_by_hop[h]);
+    w.field("rate", static_cast<double>(st.case1_by_hop[h]) /
+                        static_cast<double>(st.lookups_by_hop[h]));
+    w.endObject();
+  }
+  w.endArray();
+  w.field("ok", st.ok());
+  w.endObject();
+}
+
+int runFull() {
+  // >1M injected packets and >100 link-down events per topology: 2600
+  // ticks, a flap every 25, bursts of 160 from each of the 5 routers every
+  // other tick.
+  const int ticks = 2600;
+  const int flap_every = 25;
+  const std::uint32_t burst = 160;
+
+  const TopoRun line = runStorm(Shape::kLine, 5, ticks, flap_every, burst);
+  printRun("line", line);
+  const TopoRun ring = runStorm(Shape::kRing, 5, ticks, flap_every, burst);
+  printRun("ring", ring);
+
+  std::ofstream out("BENCH_topo.json");
+  JsonWriter w(out);
+  w.beginDocument("topo_flap_storm");
+  w.field("mode", "advance");
+  w.field("method", "Patricia");
+  w.beginArray("topologies");
+  writeRunJson(w, "line", line);
+  writeRunJson(w, "ring", ring);
+  w.endArray();
+  w.endDocument();
+  std::printf("\nwrote BENCH_topo.json\n");
+
+  bool ok = true;
+  for (const TopoRun* run : {&line, &ring}) {
+    if (!run->stats.ok()) {
+      std::fprintf(stderr, "FAIL: %s\n%s\n",
+                   run->stats.first_mismatch.c_str(),
+                   run->stats.check_report.toString().c_str());
+      ok = false;
+    }
+    if (run->stats.link_flaps < 100 || run->stats.injected < 1'000'000) {
+      std::fprintf(stderr,
+                   "FAIL: storm under-sized (flaps=%llu injected=%llu)\n",
+                   static_cast<unsigned long long>(run->stats.link_flaps),
+                   static_cast<unsigned long long>(run->stats.injected));
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+// --smoke: fixed short ring storm, full per-publish validation on, prom
+// counters out. Fast enough for every CI run (~1s).
+int runSmoke() {
+  TopoScenario s = stormScenario(Shape::kRing, 5, /*ticks=*/300,
+                                 /*flap_every=*/40, /*burst=*/4);
+  topo::HarnessOptions opt;
+  opt.validate_publishes = true;
+  const topo::HarnessStats st = topo::runTopoScenario(s, opt);
+
+  std::ofstream prom("BENCH_topo_smoke.prom");
+  prom << "# bench_topo --smoke: 5-node ring flap storm, 300 ticks, "
+          "per-publish validation on.\n";
+  prom << "topo_smoke_injected " << st.injected << "\n";
+  prom << "topo_smoke_forwarded_hops " << st.forwarded_hops << "\n";
+  prom << "topo_smoke_delivered " << st.delivered << "\n";
+  prom << "topo_smoke_strict_mismatches " << st.strict_mismatches << "\n";
+  prom << "topo_smoke_stale_clue_hops " << st.stale_clue_hops << "\n";
+  prom << "topo_smoke_safe_divergences " << st.advance_stale_divergences
+       << "\n";
+  prom << "topo_smoke_case1_hits " << st.case1_hits << "\n";
+  prom << "topo_smoke_flaps " << st.link_flaps << "\n";
+  prom << "topo_smoke_publishes " << st.publishes << "\n";
+  prom << "topo_smoke_convergence_samples " << st.convergence_samples.size()
+       << "\n";
+  prom << "topo_smoke_convergence_p99_ticks " << st.convergencePercentile(0.99)
+       << "\n";
+  prom << "topo_smoke_ok " << (st.ok() ? 1 : 0) << "\n";
+
+  std::printf("topo smoke: %s\nwrote BENCH_topo_smoke.prom\n",
+              st.summary().c_str());
+  if (!st.ok()) {
+    std::fprintf(stderr, "FAIL: %s\n%s\n", st.first_mismatch.c_str(),
+                 st.check_report.toString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cluert::bench
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      return cluert::bench::runSmoke();
+    }
+  }
+  return cluert::bench::runFull();
+}

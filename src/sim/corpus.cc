@@ -19,7 +19,11 @@ std::string_view scenarioFamily(std::string_view text) {
   const auto header = in.next();
   if (!header) return {};
   const auto f = detail::fields(*header);
-  if (f.size() != 3 || f[0] != "cluert-scenario") return {};
+  if (f.size() != 3 || f[1] != "v1") return {};
+  // Topology scenarios (topo/scenario.h) share the corpus directory and
+  // replay machinery; the header word routes them to the topo parser.
+  if (f[0] == "cluert-topo") return f[2] == "ipv4" ? "topo4" : std::string_view{};
+  if (f[0] != "cluert-scenario") return {};
   if (f[2] == "ipv4" || f[2] == "ipv6") return f[2] == "ipv4" ? "ipv4" : "ipv6";
   return {};
 }

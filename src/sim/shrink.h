@@ -38,9 +38,10 @@ namespace detail {
 
 // One chunked-removal sweep over the vector `get(s)` returns: keep every
 // removal under which the scenario still fails. Classic ddmin chunk
-// halving, stopping at single elements.
-template <typename A, typename GetFn>
-bool chunkShrink(Scenario<A>& s, const FailPredicate<A>& fails,
+// halving, stopping at single elements. Generic over the scenario type so
+// topo::TopoScenario (topo/scenario.h) shrinks through the same machinery.
+template <typename S, typename GetFn>
+bool chunkShrink(S& s, const std::function<bool(const S&)>& fails,
                  const GetFn& get, ShrinkStats& stats,
                  const ShrinkOptions& opt) {
   bool shrunk_any = false;
@@ -50,7 +51,7 @@ bool chunkShrink(Scenario<A>& s, const FailPredicate<A>& fails,
     std::size_t start = 0;
     while (start < get(s).size()) {
       if (stats.evals >= opt.max_evals) return shrunk_any;
-      Scenario<A> candidate = s;
+      S candidate = s;
       auto& vec = get(candidate);
       const std::size_t end = std::min(vec.size(), start + chunk);
       vec.erase(vec.begin() + static_cast<std::ptrdiff_t>(start),
@@ -71,12 +72,12 @@ bool chunkShrink(Scenario<A>& s, const FailPredicate<A>& fails,
 }
 
 // Tries one whole-scenario mutation; keeps it if still failing.
-template <typename A, typename MutFn>
-bool tryMutation(Scenario<A>& s, const FailPredicate<A>& fails,
+template <typename S, typename MutFn>
+bool tryMutation(S& s, const std::function<bool(const S&)>& fails,
                  const MutFn& mut, ShrinkStats& stats,
                  const ShrinkOptions& opt) {
   if (stats.evals >= opt.max_evals) return false;
-  Scenario<A> candidate = s;
+  S candidate = s;
   if (!mut(candidate)) return false;  // mutation not applicable / no-op
   ++stats.evals;
   if (!fails(candidate)) return false;

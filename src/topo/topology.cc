@@ -1,0 +1,174 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace cluert::topo {
+
+std::string_view shapeName(Shape s) {
+  switch (s) {
+    case Shape::kLine:
+      return "line";
+    case Shape::kRing:
+      return "ring";
+    case Shape::kStar:
+      return "star";
+    case Shape::kFatTree:
+      return "fattree";
+    case Shape::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+std::optional<Shape> shapeFromName(std::string_view name) {
+  for (std::size_t i = 0; i < kShapeCount; ++i) {
+    const Shape s = static_cast<Shape>(i);
+    if (shapeName(s) == name) return s;
+  }
+  return std::nullopt;
+}
+
+int Topology::linkIndex(RouterId x, RouterId y) const {
+  if (x > y) std::swap(x, y);
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    if (links[i].a == x && links[i].b == y) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Topology::linkUp(RouterId x, RouterId y) const {
+  const int i = linkIndex(x, y);
+  return i >= 0 && links[static_cast<std::size_t>(i)].up;
+}
+
+bool Topology::setLink(RouterId x, RouterId y, bool up) {
+  const int i = linkIndex(x, y);
+  if (i < 0) return false;
+  Link& l = links[static_cast<std::size_t>(i)];
+  if (l.up == up) return false;
+  l.up = up;
+  return true;
+}
+
+std::vector<RouterId> Topology::neighbors(RouterId r) const {
+  std::vector<RouterId> out;
+  for (const Link& l : links) {
+    if (l.a == r) out.push_back(l.b);
+    if (l.b == r) out.push_back(l.a);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<RouterId> Topology::upNeighbors(RouterId r) const {
+  std::vector<RouterId> out;
+  for (const Link& l : links) {
+    if (!l.up) continue;
+    if (l.a == r) out.push_back(l.b);
+    if (l.b == r) out.push_back(l.a);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int> Topology::distancesFrom(RouterId r) const {
+  std::vector<int> dist(nodes, kUnreachable);
+  CLUERT_CHECK(r < nodes) << "router id out of range";
+  dist[r] = 0;
+  std::deque<RouterId> frontier{r};
+  while (!frontier.empty()) {
+    const RouterId v = frontier.front();
+    frontier.pop_front();
+    for (const RouterId n : upNeighbors(v)) {
+      if (dist[n] != kUnreachable) continue;
+      dist[n] = dist[v] + 1;
+      frontier.push_back(n);
+    }
+  }
+  return dist;
+}
+
+bool Topology::connected() const {
+  if (nodes == 0) return true;
+  const auto dist = distancesFrom(0);
+  return std::all_of(dist.begin(), dist.end(),
+                     [](int d) { return d != kUnreachable; });
+}
+
+namespace {
+
+void addEdge(Topology& t, RouterId x, RouterId y) {
+  if (x == y) return;
+  if (x > y) std::swap(x, y);
+  if (t.linkIndex(x, y) >= 0) return;
+  t.links.push_back(Link{x, y, true});
+}
+
+void canonicalize(Topology& t) {
+  std::sort(t.links.begin(), t.links.end(), [](const Link& l, const Link& r) {
+    return l.a != r.a ? l.a < r.a : l.b < r.b;
+  });
+}
+
+}  // namespace
+
+Topology buildTopology(Shape shape, std::size_t nodes, std::uint64_t seed) {
+  CLUERT_CHECK(nodes >= 2) << "topology needs at least 2 routers";
+  Topology t;
+  t.nodes = nodes;
+  const auto id = [](std::size_t i) { return static_cast<RouterId>(i); };
+  switch (shape) {
+    case Shape::kLine:
+      for (std::size_t i = 0; i + 1 < nodes; ++i) addEdge(t, id(i), id(i + 1));
+      break;
+    case Shape::kRing:
+      for (std::size_t i = 0; i + 1 < nodes; ++i) addEdge(t, id(i), id(i + 1));
+      if (nodes >= 3) addEdge(t, id(0), id(nodes - 1));
+      break;
+    case Shape::kStar:
+      for (std::size_t i = 1; i < nodes; ++i) addEdge(t, id(0), id(i));
+      break;
+    case Shape::kFatTree: {
+      // Two cores, two aggregations (each dual-homed to both cores), leaves
+      // dual-homed to both aggregations — the smallest shape with the
+      // multipath redundancy the name implies. Below 6 nodes there is no
+      // room for two tiers; a star is the honest degenerate form.
+      if (nodes < 6) return buildTopology(Shape::kStar, nodes, seed);
+      addEdge(t, id(0), id(1));  // core peering link
+      for (std::size_t agg = 2; agg <= 3; ++agg) {
+        addEdge(t, id(0), id(agg));
+        addEdge(t, id(1), id(agg));
+      }
+      for (std::size_t leaf = 4; leaf < nodes; ++leaf) {
+        addEdge(t, id(2), id(leaf));
+        addEdge(t, id(3), id(leaf));
+      }
+      break;
+    }
+    case Shape::kRandom: {
+      // AS-graph-ish: every new node attaches to an existing one with a
+      // bias toward low ids (min of two uniform draws ~ preferential
+      // attachment), then extra shortcut edges add path diversity.
+      Rng rng(Rng::splitMix64(seed) ^ 0x7090a55eedULL);
+      for (std::size_t i = 1; i < nodes; ++i) {
+        const std::size_t parent = std::min(rng.index(i), rng.index(i));
+        addEdge(t, id(parent), id(i));
+      }
+      const std::size_t extras = nodes / 2;
+      for (std::size_t k = 0; k < extras; ++k) {
+        const std::size_t x = std::min(rng.index(nodes), rng.index(nodes));
+        const std::size_t y = rng.index(nodes);
+        addEdge(t, id(x), id(y));
+      }
+      break;
+    }
+  }
+  canonicalize(t);
+  return t;
+}
+
+}  // namespace cluert::topo

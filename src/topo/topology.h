@@ -1,0 +1,61 @@
+// Deterministic multi-router topologies for the topology harness
+// (DESIGN.md §12). A Topology is a flat undirected graph over router ids
+// [0, nodes) with per-link up/down state — the substrate the RIP-style
+// control plane (topo/rip.h) and the versioned data plane (topo/harness.h)
+// both run over. Builders are pure functions of (shape, nodes, seed), so a
+// scenario file that names a topology reproduces it bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cluert::topo {
+
+struct Link {
+  RouterId a = 0;  // canonical: a < b
+  RouterId b = 0;
+  bool up = true;
+};
+
+enum class Shape : std::uint8_t { kLine, kRing, kStar, kFatTree, kRandom };
+inline constexpr std::size_t kShapeCount = 5;
+
+std::string_view shapeName(Shape s);
+std::optional<Shape> shapeFromName(std::string_view name);
+
+struct Topology {
+  std::size_t nodes = 0;
+  std::vector<Link> links;  // canonical order: (a, b) ascending, a < b
+
+  // Index into links, or -1 when the (unordered) pair is not an edge.
+  int linkIndex(RouterId x, RouterId y) const;
+  bool hasLink(RouterId x, RouterId y) const { return linkIndex(x, y) >= 0; }
+  bool linkUp(RouterId x, RouterId y) const;
+  // Flips one link; returns false when the pair is not an edge or the state
+  // did not change (callers use that to skip redundant control-plane work).
+  bool setLink(RouterId x, RouterId y, bool up);
+
+  // Neighbors by edge existence (ignoring up/down), ascending. The data
+  // plane keys one port stack per static edge, so flaps never create or
+  // destroy stacks.
+  std::vector<RouterId> neighbors(RouterId r) const;
+  std::vector<RouterId> upNeighbors(RouterId r) const;
+
+  // BFS hop distances from `r` over up links; kUnreachable where cut off.
+  static constexpr int kUnreachable = 1 << 20;
+  std::vector<int> distancesFrom(RouterId r) const;
+  bool connected() const;  // over up links
+};
+
+// Builds the named shape over `nodes` routers. `seed` matters only for
+// kRandom (an AS-graph-ish connected graph: spanning tree with attachment
+// biased toward low ids, plus extra shortcut edges). Shapes degrade
+// gracefully when `nodes` is small: a 2-node anything is a line, a fat-tree
+// below 6 nodes falls back to a star.
+Topology buildTopology(Shape shape, std::size_t nodes, std::uint64_t seed);
+
+}  // namespace cluert::topo

@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include "sim/sim.h"
+#include "topo/harness.h"
+#include "topo/scenario.h"
 
 namespace cluert {
 namespace {
@@ -34,6 +36,19 @@ void replayFile(const std::string& path, const std::string& text) {
   }
 }
 
+// Topology scenarios replay through the multi-router harness: strict-clean
+// with every publish validated, same as `sim_run replay`.
+void replayTopoFile(const std::string& path, const std::string& text) {
+  const auto scenario = topo::parseTopoScenario(text);
+  ASSERT_TRUE(scenario.has_value()) << "malformed topology corpus " << path;
+  const topo::HarnessStats stats = topo::runTopoScenario(*scenario);
+  EXPECT_TRUE(stats.ok()) << path << ": " << stats.summary() << "\n"
+                          << stats.first_mismatch;
+  if (!stats.check_report.ok()) {
+    ADD_FAILURE() << path << " invariants:\n" << stats.check_report.toString();
+  }
+}
+
 TEST(CorpusReplay, AllScenarioFilesClean) {
   const auto files = sim::listCorpusFiles(CLUERT_CORPUS_DIR);
   if (files.empty()) {
@@ -48,6 +63,8 @@ TEST(CorpusReplay, AllScenarioFilesClean) {
       replayFile<ip::Ip4Addr>(path, *text);
     } else if (family == "ipv6") {
       replayFile<ip::Ip6Addr>(path, *text);
+    } else if (family == "topo4") {
+      replayTopoFile(path, *text);
     } else {
       ADD_FAILURE() << "unknown scenario family in " << path;
     }
@@ -66,7 +83,12 @@ TEST(CorpusReplay, SerializationIsStable) {
     SCOPED_TRACE(path);
     const auto text = sim::readFile(path);
     ASSERT_TRUE(text.has_value());
-    if (sim::scenarioFamily(*text) == "ipv4") {
+    const auto family = sim::scenarioFamily(*text);
+    if (family == "topo4") {
+      const auto s = topo::parseTopoScenario(*text);
+      ASSERT_TRUE(s.has_value());
+      EXPECT_EQ(topo::serializeTopoScenario(*s), *text);
+    } else if (family == "ipv4") {
       const auto s = sim::parseScenario<ip::Ip4Addr>(*text);
       ASSERT_TRUE(s.has_value());
       EXPECT_EQ(sim::serializeScenario(*s), *text);

@@ -1,8 +1,13 @@
 // Route-update dynamics: incremental trie maintenance, suite refresh, clue
-// table recomputation and the §3.4 inactive-entry marking.
+// table recomputation, the §3.4 inactive-entry marking, and the
+// RouteUpdater's cross-queue publication ordering.
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "core/distributed_lookup.h"
+#include "rib/route_updater.h"
+#include "rib/versioned_tables.h"
 #include "test_util.h"
 
 namespace cluert {
@@ -329,6 +334,124 @@ TEST(CluePortUpdate, ReactivateRecomputesEntry) {
   ASSERT_TRUE(fx.port->reactivateClue(clue));
   Rng rng(6);
   fx.checkTransparency(rng, 100);
+}
+
+// ---------------------------------------------------------------------------
+// RouteUpdater queue ordering
+// ---------------------------------------------------------------------------
+
+// Two producers race local and neighbor deltas into the same updater while
+// every publish is observed from the on_publish hook. The queue is one FIFO,
+// so each producer's deltas must land in its own enqueue order regardless of
+// how the interleaving shook out — a marker prefix per queue steps its next
+// hop by exactly one per delta, and any reorder (or lost/duplicated publish)
+// shows up as a skip or a decrease in the observed sequence.
+//
+// The hook runs on the updater thread and the vector is only read after
+// stop() joins it, so the test is TSan-clean by construction — which is the
+// point: it rides in the sanitizer gate (run_sanitizers.sh filters on
+// RouteUpdater.*) to catch publication racing the queue hand-off.
+TEST(RouteUpdater, InterleavedQueuesPreservePerSourceOrder) {
+  constexpr NextHop kLocalBase = 100;
+  constexpr NextHop kNeighborBase = 500;
+  constexpr int kUpdates = 64;
+  const auto local_marker = p4("10.0.0.0/8");
+  const auto neighbor_marker = p4("30.0.0.0/8");
+
+  rib::Fib<A> local({MatchT{local_marker, kLocalBase},
+                     MatchT{p4("20.0.0.0/8"), 1}});
+  rib::Fib<A> neighbor({MatchT{neighbor_marker, kNeighborBase},
+                        MatchT{p4("20.0.0.0/8"), 1}});
+
+  struct Observed {
+    NextHop local;
+    NextHop neighbor;
+  };
+  std::vector<Observed> seen;  // updater thread only; read after stop()
+
+  rib::VersionedTables4::Options opt;
+  opt.mode = ClueMode::kAdvance;
+  opt.validate_retired = true;
+  opt.on_publish = [&](const rib::TableVersion<A>& v) {
+    Observed o{0, 0};
+    for (const auto& e : v.local.entries()) {
+      if (e.prefix == local_marker) o.local = e.next_hop;
+    }
+    for (const auto& e : v.neighbor.entries()) {
+      if (e.prefix == neighbor_marker) o.neighbor = e.next_hop;
+    }
+    seen.push_back(o);
+  };
+  rib::VersionedTables4 tables(local, neighbor, opt);
+  rib::RouteUpdater<A> updater(tables);
+
+  std::thread local_producer([&] {
+    for (int i = 1; i <= kUpdates; ++i) {
+      rib::FibDelta<A> d;
+      d.rerouted.push_back(MatchT{local_marker, kLocalBase + i});
+      updater.enqueueLocal(std::move(d));
+    }
+  });
+  std::thread neighbor_producer([&] {
+    for (int i = 1; i <= kUpdates; ++i) {
+      rib::FibDelta<A> d;
+      d.rerouted.push_back(MatchT{neighbor_marker, kNeighborBase + i});
+      updater.enqueueNeighbor(std::move(d));
+    }
+  });
+  local_producer.join();
+  neighbor_producer.join();
+  updater.flush();
+  updater.stop();
+
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(2 * kUpdates));
+  EXPECT_EQ(updater.published(), static_cast<std::uint64_t>(2 * kUpdates));
+  NextHop prev_local = kLocalBase;
+  NextHop prev_neighbor = kNeighborBase;
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    // Per-source order: each marker either holds (the other queue published)
+    // or advances by exactly one (its next delta in enqueue order).
+    EXPECT_TRUE(seen[i].local == prev_local ||
+                seen[i].local == prev_local + 1)
+        << "publish " << i << ": local marker jumped " << prev_local << " -> "
+        << seen[i].local;
+    EXPECT_TRUE(seen[i].neighbor == prev_neighbor ||
+                seen[i].neighbor == prev_neighbor + 1)
+        << "publish " << i << ": neighbor marker jumped " << prev_neighbor
+        << " -> " << seen[i].neighbor;
+    prev_local = seen[i].local;
+    prev_neighbor = seen[i].neighbor;
+  }
+  EXPECT_EQ(prev_local, kLocalBase + kUpdates);
+  EXPECT_EQ(prev_neighbor, kNeighborBase + kUpdates);
+  EXPECT_EQ(tables.liveVersion().seq, 1u + 2 * kUpdates);
+}
+
+// flush() is the "is the new table live yet" barrier: after it returns,
+// every delta enqueued before the call is visible in the live version even
+// while the updater keeps running (stop() not yet called).
+TEST(RouteUpdater, FlushPublishesEverythingEnqueuedBefore) {
+  const auto marker = p4("10.0.0.0/8");
+  rib::Fib<A> local({MatchT{marker, 0}});
+  rib::Fib<A> neighbor({MatchT{p4("20.0.0.0/8"), 1}});
+  rib::VersionedTables4::Options opt;
+  opt.validate_retired = true;
+  rib::VersionedTables4 tables(local, neighbor, opt);
+  rib::RouteUpdater<A> updater(tables);
+
+  for (int round = 1; round <= 8; ++round) {
+    rib::FibDelta<A> d;
+    d.rerouted.push_back(MatchT{marker, static_cast<NextHop>(round)});
+    updater.enqueueLocal(std::move(d));
+    updater.flush();
+    NextHop live = 0;
+    for (const auto& e : tables.liveVersion().local.entries()) {
+      if (e.prefix == marker) live = e.next_hop;
+    }
+    EXPECT_EQ(live, static_cast<NextHop>(round)) << "round " << round;
+    EXPECT_EQ(updater.published(), static_cast<std::uint64_t>(round));
+  }
+  updater.stop();
 }
 
 }  // namespace

@@ -45,6 +45,17 @@
 #                           at/below --min-base, where a relative diff would
 #                           skip), and asserts the counting alloc hook was
 #                           actually compiled in.
+#  10. multi-router topology  the control-plane suite: sim_run replays the
+#                           topo4 corpus (RIP convergence transients caught
+#                           by the per-hop oracle, gate already rides 6 via
+#                           `sim_run replay tests/corpus`), bench_topo
+#                           --smoke runs a 5-node ring flap storm with
+#                           per-publish validation and zero-strict-mismatch
+#                           gating, metrics_diff.py --require-nonzero
+#                           asserts the storm actually forwarded, flapped,
+#                           and reconverged, and topo_run.sh drives the star
+#                           and ring daemon topologies with per-peer counter
+#                           conservation.
 #
 # Exits nonzero on the first finding. This is what "CI green" means for this
 # repo; see README "Lint and sanitizer gates".
@@ -54,28 +65,28 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "=== [1/9] -Werror build + full test suite ==="
+echo "=== [1/10] -Werror build + full test suite ==="
 cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCLUERT_WERROR=ON
 cmake --build build-ci -j"$(nproc)"
 ctest --test-dir build-ci --output-on-failure
 
-echo "=== [2/9] clang-tidy ==="
+echo "=== [2/10] clang-tidy ==="
 tools/run_tidy.sh build-ci
 
-echo "=== [3/9] sanitizer matrix ==="
+echo "=== [3/10] sanitizer matrix ==="
 tools/run_sanitizers.sh
 
-echo "=== [4/9] metrics tooling self-test ==="
+echo "=== [4/10] metrics tooling self-test ==="
 python3 tools/metrics_diff.py --self-test
 
-echo "=== [5/9] churn smoke (update-under-traffic oracle) ==="
+echo "=== [5/10] churn smoke (update-under-traffic oracle) ==="
 cmake --build build-ci -j"$(nproc)" --target bench_churn
 (cd build-ci && ./bench/bench_churn --smoke)
 python3 tools/metrics_diff.py \
   --require-nonzero 'rib_version_(swaps_total|live_seq)' \
   build-ci/BENCH_churn.prom
 
-echo "=== [6/9] corpus replay + fuzz smoke + coverage gate ==="
+echo "=== [6/10] corpus replay + fuzz smoke + coverage gate ==="
 cmake --build build-ci -j"$(nproc)" --target sim_run
 build-ci/tools/sim_run replay tests/corpus
 
@@ -110,14 +121,14 @@ fi
 
 tools/run_coverage.sh --check
 
-echo "=== [7/9] wire topology smoke (cluertd line topology) ==="
+echo "=== [7/10] wire topology smoke (cluertd line topology) ==="
 cmake --build build-ci -j"$(nproc)" --target cluertd wire_play
 # topo_run asserts delivery, zero oracle mismatches, nonzero case-1 and
 # per-peer netio_peer_{rx,tx}_packets_total on every hop (metrics_diff.py
 # --require-nonzero against each /metrics scrape), and exit-0 SIGTERM drains.
 BUILD_DIR=build-ci tools/topo_run.sh --smoke
 
-echo "=== [8/9] concurrency contracts (lint + model-checker smoke) ==="
+echo "=== [8/10] concurrency contracts (lint + model-checker smoke) ==="
 python3 tools/lint_cluert.py --self-test
 python3 tools/lint_cluert.py src/
 cmake --build build-ci -j"$(nproc)" --target mc_run
@@ -127,7 +138,7 @@ cmake --build build-ci -j"$(nproc)" --target mc_run
 # regardless of where the budget lands.
 build-ci/tools/mc_run --smoke 30000
 
-echo "=== [9/9] throughput smoke (zero-alloc hot path + perf trajectory) ==="
+echo "=== [9/10] throughput smoke (zero-alloc hot path + perf trajectory) ==="
 cmake --build build-ci -j"$(nproc)" --target bench_throughput
 (cd build-ci && ./bench/bench_throughput --smoke)
 python3 tools/metrics_diff.py \
@@ -137,5 +148,28 @@ python3 tools/metrics_diff.py \
   --require-nonzero 'throughput_smoke_alloc_hook_active' \
   bench/BENCH_throughput_smoke_baseline.prom \
   build-ci/BENCH_throughput_smoke.prom
+
+echo "=== [10/10] multi-router topology (flap storm + daemon shapes) ==="
+# Corpus replay already covered the committed topo4 repros in gate 6; this
+# gate adds the flap-storm smoke (5-node ring, per-publish validation, zero
+# strict mismatches enforced by the binary's own exit code) and liveness
+# over its counters — a storm that stopped forwarding, flapping, or
+# converging would otherwise still "pass".
+cmake --build build-ci -j"$(nproc)" --target bench_topo
+(cd build-ci && ./bench/bench_topo --smoke)
+# --require-nonzero is at-least-one semantics, so each liveness counter gets
+# its own invocation; the strict-mismatch ceiling rides the first.
+for series in topo_smoke_forwarded_hops topo_smoke_delivered \
+              topo_smoke_flaps topo_smoke_convergence_samples; do
+  python3 tools/metrics_diff.py \
+    --require-nonzero "$series" \
+    --max 'topo_smoke_strict_mismatches:0' \
+    build-ci/BENCH_topo_smoke.prom
+done
+# Daemon-level star and ring shapes: end-to-end delivery, zero oracle
+# mismatches, per-peer tx/rx counter conservation on every traffic-carrying
+# link (tools/topo_run_shapes.sh).
+BUILD_DIR=build-ci tools/topo_run.sh --topology star --count 3000 --size 2000
+BUILD_DIR=build-ci tools/topo_run.sh --topology ring --count 3000 --size 2000
 
 echo "ci.sh: all gates green"

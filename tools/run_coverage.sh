@@ -37,7 +37,10 @@ if ! command -v python3 >/dev/null 2>&1; then
 fi
 
 cmake -B "$BUILD" -S "$ROOT" -DCLUERT_COVERAGE=ON >/dev/null
-cmake --build "$BUILD" -j "$(nproc)" --target cluert_tests >/dev/null
+# cluert_mc_mutant_tests rides along: ctest discovers its tests, so a tree
+# with only cluert_tests built errors out before the report runs.
+cmake --build "$BUILD" -j "$(nproc)" \
+  --target cluert_tests cluert_mc_mutant_tests >/dev/null
 
 # Stale counters from a previous run would inflate the report.
 find "$BUILD" -name '*.gcda' -delete

@@ -34,8 +34,11 @@ cd "$(dirname "$0")/.."
 # protocol under TSan with scenario-driven deltas.
 # Flight/Span/Trace cover the tracing + flight-recorder layer (DESIGN.md
 # §11): FlightRecorder's concurrent reader/writer test is the TSan proof of
-# the single-writer release-publish ring.
-DEFAULT_FILTER="SpscRing|Pipeline|LookupBatch|DistributedLookup|RngForThread|AccessCounter|Check|Obs|Versioned|Churn|Sim(Generator|Faults|Corpus|Differential)|Shrink|CorpusReplay|Flight|Span|Trace"
+# the single-writer release-publish ring. Topo*/RouteUpdater cover the
+# multi-router harness (DESIGN.md §12): every (router, port) stack runs a
+# live RouteUpdater thread against resolver pins, and the RouteUpdater
+# ordering test races two producers into one publication queue.
+DEFAULT_FILTER="SpscRing|Pipeline|LookupBatch|DistributedLookup|RngForThread|AccessCounter|Check|Obs|Versioned|Churn|Sim(Generator|Faults|Corpus|Differential)|Shrink|CorpusReplay|Flight|Span|Trace|Topo|RouteUpdater"
 
 SANITIZERS=()
 FILTER="$DEFAULT_FILTER"

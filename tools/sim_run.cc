@@ -17,6 +17,15 @@
 //       Materialise one generated scenario as a corpus file (seed corpus
 //       entries are checked in this way, so replays never depend on the
 //       generator staying bit-identical).
+//   sim_run topo-gen <seed> <out.scn>
+//       Materialise one generated *topology* scenario (cluert-topo header;
+//       replay and show dispatch on it like any other corpus file).
+//   sim_run topo-shrink <in.scn> <out.scn> --require <predicate>
+//       ddmin-shrink a topology scenario while it keeps satisfying the
+//       named predicate: `stale-convergence` (stale clues classified during
+//       a convergence window, Advance mode, strict-clean) or
+//       `withdraw-race` (a withdraw whose transient drops or stale-clues
+//       traffic, strict-clean).
 //
 // Sweep options:
 //   --seeds N        number of seeds to run            (default 20)
@@ -35,6 +44,8 @@
 #include <vector>
 
 #include "sim/sim.h"
+#include "topo/harness.h"
+#include "topo/scenario.h"
 
 namespace {
 
@@ -62,7 +73,10 @@ int usage() {
                "                [--save DIR]\n"
                "  sim_run replay <file-or-dir>...\n"
                "  sim_run show <file>\n"
-               "  sim_run gen <seed> <ipv4|ipv6> <out.scn> [packets]\n");
+               "  sim_run gen <seed> <ipv4|ipv6> <out.scn> [packets]\n"
+               "  sim_run topo-gen <seed> <out.scn>\n"
+               "  sim_run topo-shrink <in.scn> <out.scn> --require "
+               "stale-convergence|withdraw-race\n");
   return 2;
 }
 
@@ -226,6 +240,27 @@ bool replayOne(const std::string& path, const std::string& text,
   return false;
 }
 
+bool replayTopo(const std::string& path, const std::string& text) {
+  const auto scenario = topo::parseTopoScenario(text);
+  if (!scenario) {
+    std::fprintf(stderr, "malformed topology scenario file %s\n", path.c_str());
+    return false;
+  }
+  const topo::HarnessStats stats = topo::runTopoScenario(*scenario);
+  if (stats.ok()) {
+    std::printf("ok   %s (%s)\n", path.c_str(), stats.summary().c_str());
+    return true;
+  }
+  std::printf("FAIL %s: %s\n", path.c_str(), stats.summary().c_str());
+  if (!stats.first_mismatch.empty()) {
+    std::printf("  %s\n", stats.first_mismatch.c_str());
+  }
+  if (!stats.check_report.ok()) {
+    std::printf("%s", stats.check_report.toString().c_str());
+  }
+  return false;
+}
+
 int cmdReplay(int argc, char** argv) {
   if (argc < 3) return usage();
   std::vector<std::string> files;
@@ -252,6 +287,8 @@ int cmdReplay(int argc, char** argv) {
       ok = replayOne<ip::Ip4Addr>(path, *text, totals);
     } else if (family == "ipv6") {
       ok = replayOne<ip::Ip6Addr>(path, *text, totals);
+    } else if (family == "topo4") {
+      ok = replayTopo(path, *text);
     } else {
       std::fprintf(stderr, "unknown scenario family in %s\n", path.c_str());
     }
@@ -301,6 +338,32 @@ int cmdShow(int argc, char** argv) {
       return 1;
     }
     showScenario(*s);
+  } else if (family == "topo4") {
+    const auto s = topo::parseTopoScenario(*text);
+    if (!s) {
+      std::fprintf(stderr, "malformed topology scenario file %s\n", argv[2]);
+      return 1;
+    }
+    std::printf(
+        "topo seed %llu: %s n=%zu %s/%s ticks=%d originate=%zu events=%zu "
+        "packets=%zu\n",
+        static_cast<unsigned long long>(s->seed),
+        std::string(topo::shapeName(s->shape)).c_str(), s->nodes,
+        std::string(lookup::methodName(s->method)).c_str(),
+        std::string(lookup::clueModeName(s->mode)).c_str(), s->ticks,
+        s->originate.size(), s->events.size(), s->packets.size());
+    for (const auto& e : s->events) {
+      if (e.kind == topo::TopoEventKind::kLinkDown ||
+          e.kind == topo::TopoEventKind::kLinkUp) {
+        std::printf("  @%d %s %u %u\n", e.tick,
+                    std::string(topo::topoEventName(e.kind)).c_str(), e.a,
+                    e.b);
+      } else {
+        std::printf("  @%d %s %u %s\n", e.tick,
+                    std::string(topo::topoEventName(e.kind)).c_str(), e.a,
+                    e.prefix.toString().c_str());
+      }
+    }
   } else {
     std::fprintf(stderr, "unknown scenario family in %s\n", argv[2]);
     return 1;
@@ -336,6 +399,79 @@ int cmdGen(int argc, char** argv) {
   return usage();
 }
 
+int cmdTopoGen(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::uint64_t seed = std::strtoull(argv[2], nullptr, 10);
+  const topo::TopoScenario s = topo::generateTopoScenario(seed);
+  if (!sim::writeFile(argv[3], topo::serializeTopoScenario(s))) {
+    std::fprintf(stderr, "cannot write %s\n", argv[3]);
+    return 1;
+  }
+  const topo::HarnessStats stats = topo::runTopoScenario(s);
+  std::printf("wrote %s: %s n=%zu ticks=%d events=%zu packets=%zu\n  %s\n",
+              argv[3], std::string(topo::shapeName(s.shape)).c_str(), s.nodes,
+              s.ticks, s.events.size(), s.packets.size(),
+              stats.summary().c_str());
+  return stats.ok() ? 0 : 1;
+}
+
+// The named corpus-hunt predicates. Both require a strict-clean run: the
+// repros pin down *classified* transients, not oracle failures — the
+// CorpusReplay gate keeps replaying them green.
+topo::TopoFailPredicate topoPredicate(std::string_view name) {
+  if (name == "stale-convergence") {
+    return [](const topo::TopoScenario& s) {
+      if (s.mode != lookup::ClueMode::kAdvance) return false;
+      const topo::HarnessStats st = topo::runTopoScenario(s);
+      return st.ok() && st.stale_during_flap > 0;
+    };
+  }
+  if (name == "withdraw-race") {
+    return [](const topo::TopoScenario& s) {
+      const topo::HarnessStats st = topo::runTopoScenario(s);
+      return st.ok() && st.stale_during_withdraw > 0;
+    };
+  }
+  return nullptr;
+}
+
+int cmdTopoShrink(int argc, char** argv) {
+  if (argc < 6 || std::strcmp(argv[4], "--require") != 0) return usage();
+  const auto text = sim::readFile(argv[2]);
+  if (!text) {
+    std::fprintf(stderr, "cannot read %s\n", argv[2]);
+    return 1;
+  }
+  const auto scenario = topo::parseTopoScenario(*text);
+  if (!scenario) {
+    std::fprintf(stderr, "malformed topology scenario file %s\n", argv[2]);
+    return 1;
+  }
+  const topo::TopoFailPredicate fails = topoPredicate(argv[5]);
+  if (!fails) {
+    std::fprintf(stderr, "unknown predicate %s\n", argv[5]);
+    return usage();
+  }
+  if (!fails(*scenario)) {
+    std::fprintf(stderr, "%s does not satisfy predicate %s\n", argv[2],
+                 argv[5]);
+    return 1;
+  }
+  sim::ShrinkStats stats;
+  const topo::TopoScenario small =
+      topo::shrinkTopoScenario(*scenario, fails, {}, &stats);
+  if (!sim::writeFile(argv[3], topo::serializeTopoScenario(small))) {
+    std::fprintf(stderr, "cannot write %s\n", argv[3]);
+    return 1;
+  }
+  std::printf(
+      "shrunk to %zu originate / %zu events / %zu packets / %d ticks "
+      "(%zu evals, %zu rounds) -> %s\n",
+      small.originate.size(), small.events.size(), small.packets.size(),
+      small.ticks, stats.evals, stats.rounds, argv[3]);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -344,5 +480,9 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "replay") == 0) return cmdReplay(argc, argv);
   if (std::strcmp(argv[1], "show") == 0) return cmdShow(argc, argv);
   if (std::strcmp(argv[1], "gen") == 0) return cmdGen(argc, argv);
+  if (std::strcmp(argv[1], "topo-gen") == 0) return cmdTopoGen(argc, argv);
+  if (std::strcmp(argv[1], "topo-shrink") == 0) {
+    return cmdTopoShrink(argc, argv);
+  }
   return usage();
 }

@@ -19,10 +19,23 @@
 #     keep running;
 #   * every daemon exits 0 on SIGTERM (bounded drain, no crash).
 #
+# --topology star|ring swaps the line for a multi-peer shape (same clue
+# datapath, different wiring) and gates on per-peer counter conservation:
+# for every directed link a→b the sender's netio_peer_tx_packets_total
+# {peer=...} must equal the receiver's netio_peer_rx_packets_total{src=...}.
+#   * star: 3 leaves fan in to a hub (distinct tables via the neighbor
+#     chain); the hub egresses to the collector. Exercises multi-source rx
+#     accounting under concurrent injectors' clues.
+#   * ring: 5 nodes, ring-shortest forwarding over one shared prefix
+#     universe (wire_play gen --ring); each node's own blocks egress to the
+#     collector via peer.<self>. Exercises per-next-hop egress choice.
+# The trace and flight-recorder gates are line-only (hop 1 is the tracer).
+#
 # Usage:
 #   tools/topo_run.sh [--smoke]           # 3 hops, 10k packets (CI gate 7)
 #   tools/topo_run.sh --hops N --count M [--mode simple|advance] \
-#                     [--method Patricia] [--size S] [--seed X] [--keep]
+#                     [--method Patricia] [--size S] [--seed X] [--keep] \
+#                     [--topology line|star|ring]
 set -u
 
 cd "$(dirname "$0")/.." || exit 1
@@ -39,6 +52,7 @@ METHOD=Patricia
 SIZE=4000
 SEED=7
 KEEP=0
+TOPOLOGY=line
 while [ $# -gt 0 ]; do
   case "$1" in
     --smoke) HOPS=3; COUNT=10000 ;;
@@ -49,10 +63,15 @@ while [ $# -gt 0 ]; do
     --size) SIZE=$2; shift ;;
     --seed) SEED=$2; shift ;;
     --keep) KEEP=1 ;;
+    --topology) TOPOLOGY=$2; shift ;;
     *) echo "topo_run: unknown option $1" >&2; exit 2 ;;
   esac
   shift
 done
+case "$TOPOLOGY" in
+  line|star|ring) ;;
+  *) echo "topo_run: unknown --topology $TOPOLOGY" >&2; exit 2 ;;
+esac
 
 for bin in "$CLUERTD" "$WIRE_PLAY"; do
   if [ ! -x "$bin" ]; then
@@ -76,6 +95,92 @@ BASE=$(( (RANDOM % 2000) + 21000 ))
 data_port() { echo $((BASE + $1)); }
 admin_port() { echo $((BASE + 100 + $1)); }
 COLLECT_PORT=$((BASE + 99))
+
+# Shared by every topology: wait for a daemon's admin plane, scrape
+# status+metrics with the baseline per-node gates, drain everything with
+# SIGTERM and require exit 0.
+wait_healthz() { # name admin_port
+  local ok=0
+  for _ in $(seq 1 50); do
+    if "$WIRE_PLAY" get "127.0.0.1:$2" /healthz >/dev/null 2>&1; then
+      ok=1; break
+    fi
+    sleep 0.1
+  done
+  [ "$ok" = 1 ] || { cat "$DIR/$1.log" >&2; fail "$1 did not start"; }
+}
+scrape_node() { # name admin_port case_regex
+  "$WIRE_PLAY" get "127.0.0.1:$2" /status > "$DIR/$1.status.json" \
+    || fail "$1 /status"
+  "$WIRE_PLAY" get "127.0.0.1:$2" /metrics > "$DIR/$1.prom" \
+    || fail "$1 /metrics"
+  grep -q '"oracle_mismatches":0,' "$DIR/$1.status.json" \
+    || fail "$1 reported oracle mismatches: $(cat "$DIR/$1.status.json")"
+  python3 "$METRICS_DIFF" --require-nonzero "$3" "$DIR/$1.prom" \
+    || fail "$1: no clue-path lookups matching $3"
+  python3 "$METRICS_DIFF" --require-nonzero 'netio_peer_rx_packets_total' \
+    "$DIR/$1.prom" || fail "$1: per-peer rx counters dead"
+  python3 "$METRICS_DIFF" --require-nonzero 'netio_peer_tx_packets_total' \
+    "$DIR/$1.prom" || fail "$1: per-peer tx counters dead"
+}
+drain_all() {
+  for pid in $PIDS; do kill -TERM "$pid" 2>/dev/null; done
+  local rc_all=0 rc
+  for pid in $PIDS; do
+    wait "$pid"
+    rc=$?
+    [ "$rc" = 0 ] || { echo "topo_run: pid $pid exit $rc" >&2; rc_all=1; }
+  done
+  PIDS=""
+  [ "$rc_all" = 0 ] || fail "unclean shutdown"
+}
+# conservation EDGE...: each EDGE is "senderfile:peerLabel=receiverfile:srcLabel
+# =what" — sum the sender's tx{peer="peerLabel"} and the receiver's
+# rx{src="srcLabel"} series (across shards) and require exact equality.
+# UDP on loopback does not reorder or drop under these rates, so any skew is
+# an accounting bug, which is the point of the gate.
+conservation() {
+  python3 - "$DIR" "$@" <<'PYEOF'
+import re, sys
+d = sys.argv[1]
+line = re.compile(r'^(\w+)(\{[^}]*\})?\s+([0-9.eE+-]+)$')
+def series(path, metric, label_kv):
+    total, seen = 0.0, False
+    for ln in open(f"{d}/{path}"):
+        m = line.match(ln.strip())
+        if not m or m.group(1) != metric:
+            continue
+        if label_kv not in (m.group(2) or ""):
+            continue
+        total += float(m.group(3)); seen = True
+    return total, seen
+bad = False
+for edge in sys.argv[2:]:
+    spec, what = edge.rsplit("=", 1)
+    tx_spec, rx_spec = spec.split("=")
+    tx_file, peer = tx_spec.split(":")
+    rx_file, src = rx_spec.split(":")
+    tx, tx_seen = series(tx_file, "netio_peer_tx_packets_total",
+                         f'peer="{peer}"')
+    rx, rx_seen = series(rx_file, "netio_peer_rx_packets_total",
+                         f'src="{src}"')
+    if not (tx_seen and rx_seen and tx == rx and tx > 0):
+        print(f"conservation violated on {what}: "
+              f"{tx_file} tx[peer={peer}]={tx if tx_seen else 'absent'} vs "
+              f"{rx_file} rx[src={src}]={rx if rx_seen else 'absent'}")
+        bad = True
+    else:
+        print(f"conserved {what}: {int(tx)} packets")
+sys.exit(1 if bad else 0)
+PYEOF
+}
+
+if [ "$TOPOLOGY" != line ]; then
+  # shellcheck disable=SC1090
+  . "$ROOT/tools/topo_run_shapes.sh"
+  if [ "$TOPOLOGY" = star ]; then run_star; else run_ring; fi
+  exit 0
+fi
 
 echo "topo_run: $HOPS hops, $COUNT packets, mode=$MODE method=$METHOD (base port $BASE)"
 

@@ -1,0 +1,179 @@
+# topo_run_shapes.sh — the star and ring topology flows sourced by
+# tools/topo_run.sh (not a standalone script: relies on its option parsing,
+# port helpers, scrape_node/conservation/drain_all, and cleanup trap).
+#
+# Both shapes end in the same gates: collector got every packet, zero oracle
+# mismatches on every node, clue-path lookups nonzero, and per-peer counter
+# conservation across every directed link that carried traffic.
+
+# Star: injectors fan COUNT/3 packets into each of 3 leaves; leaves forward
+# everything to the hub (their single egress), the hub egresses to the
+# collector. Leaves share hop1.routes (neighbor: the injector table), the
+# hub runs hop2.routes (neighbor: the leaves' table) — the same
+# neighbor-derived chain the line uses, so clues stay genuine on every hop.
+run_star() {
+  local per=$((COUNT / 3))
+  local total=$((per * 3))
+  local hub_id=4
+  echo "topo_run: star (3 leaves + hub), $total packets, mode=$MODE method=$METHOD (base port $BASE)"
+
+  "$WIRE_PLAY" gen --out "$DIR" --hops 2 --size "$SIZE" --seed "$SEED" \
+    || fail "table generation"
+
+  for k in 1 2 3; do
+    {
+      echo "name = leaf$k"
+      echo "router_id = $k"
+      echo "listen = 127.0.0.1:$(data_port "$k")"
+      echo "admin = 127.0.0.1:$(admin_port "$k")"
+      echo "routes = $DIR/hop1.routes"
+      echo "neighbor_routes = $DIR/inj.routes"
+      echo "peer.default = 127.0.0.1:$(data_port $hub_id)"
+      echo "method = $METHOD"
+      echo "mode = $MODE"
+      echo "oracle = 1"
+      echo "drain_ms = 2000"
+    } > "$DIR/leaf$k.conf"
+    "$CLUERTD" --config "$DIR/leaf$k.conf" > "$DIR/leaf$k.log" 2>&1 &
+    PIDS="$PIDS $!"
+  done
+  {
+    echo "name = hub"
+    echo "router_id = $hub_id"
+    echo "listen = 127.0.0.1:$(data_port $hub_id)"
+    echo "admin = 127.0.0.1:$(admin_port $hub_id)"
+    echo "routes = $DIR/hop2.routes"
+    echo "neighbor_routes = $DIR/hop1.routes"
+    echo "peer.default = 127.0.0.1:$COLLECT_PORT"
+    echo "method = $METHOD"
+    echo "mode = $MODE"
+    echo "oracle = 1"
+    echo "drain_ms = 2000"
+  } > "$DIR/hub.conf"
+  "$CLUERTD" --config "$DIR/hub.conf" > "$DIR/hub.log" 2>&1 &
+  PIDS="$PIDS $!"
+
+  for k in 1 2 3; do wait_healthz "leaf$k" "$(admin_port "$k")"; done
+  wait_healthz hub "$(admin_port $hub_id)"
+
+  "$WIRE_PLAY" collect --listen "127.0.0.1:$COLLECT_PORT" --expect "$total" \
+    --timeout-ms 60000 --out "$DIR/collect.txt" > /dev/null 2>&1 &
+  local collect_pid=$!
+  PIDS="$PIDS $collect_pid"
+  sleep 0.2
+
+  for k in 1 2 3; do
+    "$WIRE_PLAY" inject --to "127.0.0.1:$(data_port "$k")" \
+      --tables "$DIR/inj.routes,$DIR/hop1.routes,$DIR/hop2.routes" \
+      --count "$per" --seed $((SEED + k)) --src-id 0 --pps 15000 \
+      || fail "injection into leaf$k"
+  done
+
+  wait "$collect_pid"
+  local collect_rc=$?
+  PIDS=$(echo "$PIDS" | sed "s/ $collect_pid//")
+  cat "$DIR/collect.txt"
+  [ "$collect_rc" = 0 ] || fail "collector: $(cat "$DIR/collect.txt")"
+
+  for k in 1 2 3; do
+    scrape_node "leaf$k" "$(admin_port "$k")" 'lookup_case_total\{case="1"\}'
+  done
+  scrape_node hub "$(admin_port $hub_id)" 'lookup_case_total\{case="1"\}'
+
+  # Fan-in conservation: each leaf's single egress equals the hub's rx from
+  # that leaf's router id. The hub's egress equals what the collector got
+  # (asserted by collect --expect above).
+  conservation \
+    "leaf1.prom:default=hub.prom:1=leaf1→hub" \
+    "leaf2.prom:default=hub.prom:2=leaf2→hub" \
+    "leaf3.prom:default=hub.prom:3=leaf3→hub" \
+    || fail "per-peer counter conservation (star)"
+
+  drain_all
+  echo "topo_run: PASS (star: 3 leaves + hub, $total packets end-to-end, 0 oracle mismatches, counters conserved)"
+}
+
+# Ring: 5 nodes forward along the ring-shortest direction over one shared
+# prefix universe (wire_play gen --ring). Next hops are real FIB ids —
+# peer.<left>/peer.<right> pick the wire direction, peer.<self> sends a
+# node's own blocks to the collector. The injector hits node 0 only; hop
+# distance to the owning node spans 0..2.
+run_ring() {
+  local n=5
+  local inj_src=8
+  echo "topo_run: ring ($n nodes), $COUNT packets, mode=$MODE method=$METHOD (base port $BASE)"
+
+  "$WIRE_PLAY" gen --out "$DIR" --ring "$n" --size "$SIZE" --seed "$SEED" \
+    || fail "ring table generation"
+
+  local tables="$DIR/inj.routes"
+  for k in $(seq 0 $((n - 1))); do
+    local next=$(((k + 1) % n))
+    local prev=$(((k + n - 1) % n))
+    {
+      echo "name = ring$k"
+      echo "router_id = $k"
+      echo "listen = 127.0.0.1:$(data_port "$k")"
+      echo "admin = 127.0.0.1:$(admin_port "$k")"
+      echo "routes = $DIR/ring$k.routes"
+      echo "neighbor_routes = $DIR/inj.routes"
+      echo "peer.$next = 127.0.0.1:$(data_port "$next")"
+      echo "peer.$prev = 127.0.0.1:$(data_port "$prev")"
+      echo "peer.$k = 127.0.0.1:$COLLECT_PORT"
+      echo "method = $METHOD"
+      echo "mode = $MODE"
+      echo "oracle = 1"
+      echo "drain_ms = 2000"
+    } > "$DIR/ring$k.conf"
+    "$CLUERTD" --config "$DIR/ring$k.conf" > "$DIR/ring$k.log" 2>&1 &
+    PIDS="$PIDS $!"
+    tables="$tables,$DIR/ring$k.routes"
+  done
+
+  for k in $(seq 0 $((n - 1))); do
+    wait_healthz "ring$k" "$(admin_port "$k")"
+  done
+
+  "$WIRE_PLAY" collect --listen "127.0.0.1:$COLLECT_PORT" --expect "$COUNT" \
+    --timeout-ms 60000 --out "$DIR/collect.txt" > /dev/null 2>&1 &
+  local collect_pid=$!
+  PIDS="$PIDS $collect_pid"
+  sleep 0.2
+
+  "$WIRE_PLAY" inject --to "127.0.0.1:$(data_port 0)" --tables "$tables" \
+    --count "$COUNT" --seed "$SEED" --src-id "$inj_src" --pps 15000 \
+    || fail "injection"
+
+  wait "$collect_pid"
+  local collect_rc=$?
+  PIDS=$(echo "$PIDS" | sed "s/ $collect_pid//")
+  cat "$DIR/collect.txt"
+  [ "$collect_rc" = 0 ] || fail "collector: $(cat "$DIR/collect.txt")"
+
+  # The shared universe means a clue vertex always exists at the receiver, so
+  # the clue path exercises cases 2/3 (case 1 is the absent-vertex case).
+  for k in $(seq 0 $((n - 1))); do
+    scrape_node "ring$k" "$(admin_port "$k")" 'lookup_case_total\{case="[23]"\}'
+  done
+  # Every node's own blocks must have egressed to the collector.
+  for k in $(seq 0 $((n - 1))); do
+    python3 "$METRICS_DIFF" \
+      --require-nonzero "netio_peer_tx_packets_total\\{peer=\"$k\"\\}" \
+      "$DIR/ring$k.prom" || fail "ring$k: no collector egress"
+  done
+  python3 "$METRICS_DIFF" \
+    --require-nonzero "netio_peer_rx_packets_total\\{src=\"$inj_src\"\\}" \
+    "$DIR/ring0.prom" || fail "ring0: injector rx not accounted"
+
+  # Directed links that carry traffic under ring-shortest forwarding from a
+  # single injection point at node 0: 0→1→2 clockwise, 0→4→3 counter.
+  conservation \
+    "ring0.prom:1=ring1.prom:0=ring0→ring1" \
+    "ring1.prom:2=ring2.prom:1=ring1→ring2" \
+    "ring0.prom:4=ring4.prom:0=ring0→ring4" \
+    "ring4.prom:3=ring3.prom:4=ring4→ring3" \
+    || fail "per-peer counter conservation (ring)"
+
+  drain_all
+  echo "topo_run: PASS (ring: $n nodes, $COUNT packets end-to-end, 0 oracle mismatches, counters conserved)"
+}

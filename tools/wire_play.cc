@@ -7,6 +7,14 @@
 //       each derived from its predecessor with `shared` fraction of common
 //       prefixes — the similarity knob the clue mechanism lives off.
 //
+//   gen --out DIR --ring N [--size S] [--seed X]
+//       Ring variant: one shared prefix universe (per-node /16 blocks plus
+//       random sub-prefixes), written N times as DIR/ring0..ring{N-1}.routes
+//       with next hops pointing the ring-shortest direction toward each
+//       block's owner (the owner's own blocks carry next hop = its id, which
+//       topo_run.sh maps to the collector via peer.<id>). DIR/inj.routes is
+//       node 0's table, so the injector's clue stamps stay genuine.
+//
 //   inject --to IP:PORT --tables f0,f1,...,fN --count N [--seed X]
 //          [--pps R] [--src-id K] [--ttl T]
 //       Draws destinations that have a BMP in EVERY listed table (so the
@@ -104,6 +112,61 @@ std::vector<std::string> splitComma(const std::string& s) {
   return out;
 }
 
+// gen --ring: the shared universe + per-node ring-shortest next hops.
+int cmdGenRing(const std::string& dir, std::size_t nodes, std::size_t size,
+               std::uint64_t seed) {
+  using MatchT = cluert::trie::Match<A>;
+  Rng rng(seed);
+  // Universe: for each owner k, the block 10.(k+1).0.0/16 plus sub-prefixes
+  // inside it. Every node shares this prefix set — only next hops differ —
+  // so a clue stamped by any ring neighbor is genuine at every receiver.
+  struct Owned {
+    cluert::ip::Prefix4 prefix;
+    std::size_t owner;
+  };
+  std::vector<Owned> universe;
+  const std::size_t per_node = std::max<std::size_t>(size / nodes, 1);
+  for (std::size_t k = 0; k < nodes; ++k) {
+    const Ip4Addr block(
+        (10u << 24) | (static_cast<std::uint32_t>(k + 1) << 16));
+    universe.push_back(Owned{cluert::ip::Prefix4(block, 16), k});
+    for (std::size_t i = 1; i < per_node; ++i) {
+      const int len = static_cast<int>(rng.uniform(18, 26));
+      Ip4Addr addr = block;
+      for (int b = 16; b < len; ++b) {
+        addr = addr.withBit(b, static_cast<unsigned>(rng.u32() & 1));
+      }
+      universe.push_back(Owned{cluert::ip::Prefix4(addr, len), k});
+    }
+  }
+  for (std::size_t j = 0; j < nodes; ++j) {
+    std::vector<MatchT> entries;
+    entries.reserve(universe.size());
+    for (const Owned& o : universe) {
+      std::size_t nh = j;
+      if (o.owner != j) {
+        const std::size_t cw = (o.owner + nodes - j) % nodes;   // via j+1
+        const std::size_t ccw = (j + nodes - o.owner) % nodes;  // via j-1
+        nh = cw <= ccw ? (j + 1) % nodes : (j + nodes - 1) % nodes;
+      }
+      entries.push_back(MatchT{o.prefix, static_cast<cluert::NextHop>(nh)});
+    }
+    const cluert::rib::Fib<A> fib(std::move(entries));
+    const std::string path = dir + "/ring" + std::to_string(j) + ".routes";
+    if (!writeText(path, fib.serialize())) {
+      std::fprintf(stderr, "gen: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    if (j == 0 && !writeText(dir + "/inj.routes", fib.serialize())) {
+      std::fprintf(stderr, "gen: cannot write %s/inj.routes\n", dir.c_str());
+      return 1;
+    }
+  }
+  std::printf("gen: ring of %zu tables, %zu routes each, under %s\n", nodes,
+              universe.size(), dir.c_str());
+  return 0;
+}
+
 int cmdGen(const Args& args) {
   const std::string dir = args.get("--out");
   if (dir.empty()) {
@@ -114,6 +177,14 @@ int cmdGen(const Args& args) {
   const std::size_t size = args.getU64("--size", 4000);
   const std::uint64_t seed = args.getU64("--seed", 1);
   const double shared = args.getF("--shared", 0.9);
+  const std::size_t ring = args.getU64("--ring", 0);
+  if (ring > 0) {
+    if (ring < 3) {
+      std::fprintf(stderr, "gen: --ring needs at least 3 nodes\n");
+      return 2;
+    }
+    return cmdGenRing(dir, ring, size, seed);
+  }
 
   Rng rng(seed);
   cluert::rib::GenOptions<A> gopt;
